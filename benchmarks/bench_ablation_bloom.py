@@ -1,0 +1,64 @@
+"""Ablation: Bloom-filter singleton suppression vs exact thresholding.
+
+The paper mentions the Bloom filter as "a memory-efficient alternative" to
+exact count tables + threshold removal.  This benchmark builds both ways
+on the same dataset and reports peak table entries, bytes, and the
+agreement of the surviving spectra.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bloomfilter_build import build_spectra_bloom
+from repro.core.spectrum import build_spectra
+
+
+@pytest.fixture(scope="module")
+def scale(request):
+    from repro.bench.harness import small_scale
+
+    return small_scale(genome_size=12_000, chunk_size=250)
+
+
+def test_exact_build(benchmark, scale):
+    spectra = benchmark(
+        build_spectra, scale.dataset.block, scale.config, True
+    )
+    assert len(spectra.kmers) > 0
+
+
+def test_bloom_build(benchmark, scale):
+    report = benchmark(
+        build_spectra_bloom, scale.dataset.block, scale.config
+    )
+    assert report.kmers_suppressed > 0
+
+
+def test_bloom_memory_vs_exact(benchmark, scale, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    exact_pre = build_spectra(scale.dataset.block, scale.config,
+                              apply_threshold=False)
+    exact_peak_bytes = exact_pre.nbytes
+    exact_peak_entries = len(exact_pre.kmers) + len(exact_pre.tiles)
+    exact_pre.threshold(scale.config.kmer_threshold, scale.config.tile_threshold)
+
+    bloom = build_spectra_bloom(scale.dataset.block, scale.config)
+    bloom_entries = len(bloom.spectra.kmers) + len(bloom.spectra.tiles)
+
+    with capsys.disabled():
+        print("\n== Ablation: exact thresholding vs Bloom suppression ==")
+        print(f"  exact  peak entries {exact_peak_entries:>9,d}  "
+              f"bytes {exact_peak_bytes / 2**20:6.2f} MiB")
+        print(f"  bloom  peak entries {bloom_entries:>9,d}  "
+              f"bytes {bloom.total_bytes / 2**20:6.2f} MiB "
+              f"(filters {bloom.filter_bytes / 2**20:.2f} MiB)")
+        print(f"  suppressed first-occurrences: "
+              f"kmers {bloom.kmers_suppressed:,d}, "
+              f"tiles {bloom.tiles_suppressed:,d}")
+
+    # The Bloom build's tables never hold the singleton wave.
+    assert bloom_entries < exact_peak_entries
+    # Surviving spectra agree with the exact build.
+    keys, counts = exact_pre.kmers.items()
+    agree = (bloom.spectra.kmers.lookup(keys) == counts).mean()
+    assert agree > 0.99

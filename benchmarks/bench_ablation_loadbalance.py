@@ -1,0 +1,88 @@
+"""Ablation: none vs static hashing vs dynamic master-worker balancing.
+
+The paper chose a static scheme ("does not rely on a master-slave policy")
+over the prior work's dynamic global-master design.  On the same bursty
+dataset this measures what each policy costs and how flat the resulting
+work distribution is.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+NRANKS = 5
+
+
+def _spread(values: np.ndarray) -> float:
+    values = values[values > 0] if (values > 0).any() else values
+    return float(values.max() / max(1, values.min()))
+
+
+@pytest.fixture(scope="module")
+def runs(bursty_scale):
+    cfg = bursty_scale.config
+    block = bursty_scale.dataset.block
+    out = {}
+    out["none"] = ParallelReptile(
+        cfg, HeuristicConfig(load_balance=False), nranks=NRANKS,
+        engine="cooperative",
+    ).run(block)
+    out["static"] = ParallelReptile(
+        cfg, HeuristicConfig(load_balance=True), nranks=NRANKS,
+        engine="cooperative",
+    ).run(block)
+    out["dynamic"] = ParallelReptile(
+        cfg, HeuristicConfig(load_balance=False), nranks=NRANKS,
+        engine="cooperative",
+    ).run_dynamic(block)
+    return out
+
+
+def test_all_policies_same_corrections(benchmark, runs):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = {k: r.total_corrections for k, r in runs.items()}
+    assert len(set(totals.values())) == 1, totals
+
+
+def test_balancing_policies_flatten_load(benchmark, runs, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    spreads = {
+        k: _spread(r.corrections_per_rank()) for k, r in runs.items()
+    }
+    with capsys.disabled():
+        print("\n== Ablation: load-balancing policy ==")
+        for k, r in runs.items():
+            per_rank = r.corrections_per_rank()
+            print(f"  {k:8s} corrections/rank {per_rank.tolist()} "
+                  f"(max/min {spreads[k]:.2f})")
+    assert spreads["static"] < spreads["none"]
+    assert spreads["dynamic"] < spreads["none"]
+
+
+def test_dynamic_costs_one_rank(benchmark, runs):
+    """The master corrects nothing — the scheme's intrinsic overhead the
+    paper avoids."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert runs["dynamic"].reads_per_rank()[0] == 0
+    assert (runs["static"].reads_per_rank() > 0).all()
+
+
+@pytest.mark.parametrize("policy", ["none", "static", "dynamic"])
+def test_policy_runtime(benchmark, bursty_scale, policy):
+    cfg = bursty_scale.config
+    block = bursty_scale.dataset.block
+
+    def run():
+        if policy == "dynamic":
+            return ParallelReptile(
+                cfg, HeuristicConfig(load_balance=False), nranks=NRANKS,
+                engine="cooperative",
+            ).run_dynamic(block)
+        return ParallelReptile(
+            cfg, HeuristicConfig(load_balance=(policy == "static")),
+            nranks=NRANKS, engine="cooperative",
+        ).run(block)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total_corrections > 0

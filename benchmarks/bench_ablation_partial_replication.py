@@ -1,0 +1,90 @@
+"""Ablation: partial replication (the paper's Section V future work).
+
+"One potential strategy is for each rank to store the k-mers and tiles of
+a subset of other ranks, besides the k-mers and the tiles the rank owns.
+This would allow the memory footprint to be low enough for a complete
+execution and reduce the communication overhead."
+
+This sweeps the replication-group size on the real implementation
+(measuring remote-lookup reduction and memory growth) and projects the
+time/memory trade-off to BG/Q scale with the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import ECOLI
+from repro.parallel import HeuristicConfig, ParallelReptile
+from repro.perfmodel import BGQMachine, PerformancePredictor, workload_for_profile
+
+NRANKS = 8
+
+
+@pytest.fixture(scope="module")
+def sweep(ecoli_scale):
+    cfg = ecoli_scale.config
+    block = ecoli_scale.dataset.block
+    out = {}
+    for g in (1, 2, 4, 8):
+        out[g] = ParallelReptile(
+            cfg, HeuristicConfig(replication_group=g), nranks=NRANKS,
+            engine="cooperative",
+        ).run(block)
+    return out
+
+
+def test_remote_lookups_fall_with_group_size(benchmark, sweep, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    remote = {
+        g: int(r.counter_per_rank("remote_tile_lookups").sum())
+        for g, r in sweep.items()
+    }
+    mem = {g: int(r.memory_per_rank().max()) for g, r in sweep.items()}
+    with capsys.disabled():
+        print("\n== Ablation: partial replication (measured, 8 ranks) ==")
+        print("  group  remote_tile_lookups  max_rank_bytes")
+        for g in sorted(remote):
+            print(f"  {g:5d}  {remote[g]:>19,d}  {mem[g]:>14,d}")
+    assert remote[2] < remote[1]
+    assert remote[4] < remote[2]
+    assert remote[8] == 0          # group == world: fully replicated
+    assert mem[8] > mem[1]
+
+    # All group sizes produce identical corrections.
+    ref = sweep[1].corrected_block.codes
+    for g, r in sweep.items():
+        assert np.array_equal(r.corrected_block.codes, ref)
+
+
+def test_projection_interpolates_time_memory(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    machine = BGQMachine()
+    workload = workload_for_profile(ECOLI)
+    rows = []
+    for g in (1, 8, 32, 128):
+        pred = PerformancePredictor(
+            machine, workload, HeuristicConfig(replication_group=g)
+        )
+        pb = pred.predict(1024)
+        rows.append((g, pb.correction_total, pb.memory_peak / 2**20))
+    with capsys.disabled():
+        print("\n== Ablation: partial replication (projected, 1024 ranks) ==")
+        print("  group  correction_s  memory_MB")
+        for g, t, m in rows:
+            print(f"  {g:5d}  {t:12.1f}  {m:9.1f}")
+    times = [t for _, t, _ in rows]
+    mems = [m for _, _, m in rows]
+    assert times == sorted(times, reverse=True)  # bigger group -> faster
+    assert mems == sorted(mems)                  # ... and heavier
+
+
+@pytest.mark.parametrize("group", [1, 4])
+def test_partial_replication_runtime(benchmark, ecoli_scale, group):
+    def run():
+        return ParallelReptile(
+            ecoli_scale.config, HeuristicConfig(replication_group=group),
+            nranks=NRANKS, engine="cooperative",
+        ).run(ecoli_scale.dataset.block)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total_corrections > 0

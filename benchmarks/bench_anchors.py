@@ -1,0 +1,22 @@
+"""The anchor table and the model sensitivity analysis as exhibits."""
+
+from repro.bench.figures import anchors, sensitivity
+
+
+def test_anchor_table(benchmark, capsys):
+    out = benchmark(anchors)
+    with capsys.disabled():
+        print("\n" + str(out))
+    assert all(row[-1] == "yes" for row in out.rows)
+    assert len(out.rows) == 15
+
+
+def test_sensitivity_table(benchmark, capsys):
+    out = benchmark.pedantic(sensitivity, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + str(out))
+    # The headline fits are genuinely constrained: some perturbations break
+    # anchors, most survive.
+    broken = [row for row in out.rows if row[2] > 0]
+    assert broken
+    assert len(broken) < len(out.rows) / 2

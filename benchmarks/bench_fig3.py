@@ -1,0 +1,16 @@
+"""Fig. 3: per-rank k-mer and tile counts (spectrum uniformity)."""
+
+from repro.bench.figures import fig3
+
+
+def test_fig3_table(benchmark, ecoli_scale, capsys):
+    out = benchmark.pedantic(
+        lambda: fig3(nranks=128, scale=ecoli_scale, measured_ranks=16),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + str(out))
+    rows = {r[0]: r for r in out.rows}
+    # The paper's claims at full scale.
+    assert rows["full-scale kmers"][-1] < 1.0
+    assert rows["full-scale tiles"][-1] < 2.0

@@ -1,0 +1,15 @@
+"""Fig. 4: static load balancing — errors corrected and times per rank."""
+
+from repro.bench.figures import fig4
+
+
+def test_fig4_table(benchmark, bursty_scale, capsys):
+    out = benchmark.pedantic(
+        lambda: fig4(nranks=8, scale=bursty_scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + str(out))
+    rows = {r[0]: r for r in out.rows}
+    # Balancing flattens the error distribution and halves the slowest rank.
+    assert rows["balanced"][6] < rows["imbalanced"][6]
+    assert rows["imbalanced"][2] > rows["imbalanced"][1]

@@ -1,0 +1,21 @@
+"""Fig. 5: execution time and memory footprint per heuristic."""
+
+from repro.bench.figures import fig5
+
+
+def test_fig5_table(benchmark, ecoli_scale, capsys):
+    out = benchmark.pedantic(
+        lambda: fig5(scale=ecoli_scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + str(out))
+    rows = {r[0]: r for r in out.rows}
+    assert rows["universal"][3] < rows["base"][3]
+    assert rows["allgather both"][3] < rows["allgather tiles"][3]
+    assert rows["batch reads table"][4] < rows["base"][4]
+
+
+def test_fig5_model_only(benchmark):
+    """The projection alone (no measured component) for timing."""
+    out = benchmark(lambda: fig5(measure=False))
+    assert len(out.rows) == 8

@@ -1,0 +1,39 @@
+"""Fig. 6: E.Coli strong scaling, 32-256 BG/Q nodes.
+
+The projected sweep is the figure; the measured benchmark runs the real
+implementation across rank counts to show the 1/P decay of per-rank work
+(the quantity that drives the projected curve).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig6
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+
+def test_fig6_table(benchmark, capsys):
+    out = benchmark(fig6)
+    with capsys.disabled():
+        print("\n" + str(out))
+    assert out.rows[-1][4] < 250  # <~200 s at 256 nodes
+
+
+def test_fig6_measured_scaling(benchmark, ecoli_scale, capsys):
+    """Per-rank lookup load of the real implementation halves as the rank
+    count doubles (the strong-scaling mechanism)."""
+
+    def sweep():
+        loads = {}
+        for nranks in (2, 4, 8):
+            res = ParallelReptile(
+                ecoli_scale.config, HeuristicConfig(), nranks=nranks,
+                engine="cooperative",
+            ).run(ecoli_scale.dataset.block)
+            loads[nranks] = res.counter_per_rank("tile_lookups").mean()
+        return loads
+
+    loads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nmean tile lookups/rank:", {k: int(v) for k, v in loads.items()})
+    assert loads[4] < 0.65 * loads[2]
+    assert loads[8] < 0.65 * loads[4]

@@ -1,0 +1,32 @@
+"""Fig. 7: Drosophila strong scaling (batch-reads mode)."""
+
+from repro.bench.figures import fig7
+from repro.bench.harness import small_scale
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+
+def test_fig7_table(benchmark, capsys):
+    out = benchmark(fig7)
+    with capsys.disabled():
+        print("\n" + str(out))
+    # Imbalanced DNF at low rank counts; balanced completes everywhere.
+    assert out.rows[0][5] == "DNF"
+    assert out.rows[-1][5] != "DNF"
+
+
+def test_fig7_measured_drosophila_profile(benchmark, capsys):
+    """The Drosophila-profile instance through the real pipeline with the
+    batch-reads heuristic the paper used."""
+    scale = small_scale("Drosophila", genome_size=8_000, chunk_size=200)
+
+    def run():
+        return ParallelReptile(
+            scale.config, HeuristicConfig(batch_reads=True), nranks=4,
+            engine="cooperative",
+        ).run(scale.dataset.block)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = result.accuracy(scale.dataset)
+    with capsys.disabled():
+        print(f"\nDrosophila-profile accuracy: {report}")
+    assert report.gain > 0.4

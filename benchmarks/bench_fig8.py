@@ -1,0 +1,34 @@
+"""Fig. 8: Human strong scaling, 128-1024 BG/Q nodes (one rack)."""
+
+from repro.bench.figures import fig8
+from repro.bench.harness import small_scale
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+
+def test_fig8_table(benchmark, capsys):
+    out = benchmark(fig8)
+    with capsys.disabled():
+        print("\n" + str(out))
+    last = out.rows[-1]
+    assert last[1] == 1024
+    assert 6000 < last[4] < 10_000  # ~2-2.5 hours
+
+
+def test_fig8_measured_human_profile(benchmark, capsys):
+    """Human-profile instance through the pipeline with batch reads and
+    load balancing (the paper's configuration for these runs)."""
+    scale = small_scale("Human", genome_size=10_000, chunk_size=250)
+
+    def run():
+        return ParallelReptile(
+            scale.config,
+            HeuristicConfig(batch_reads=True, load_balance=True),
+            nranks=4,
+            engine="cooperative",
+        ).run(scale.dataset.block)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = result.accuracy(scale.dataset)
+    with capsys.disabled():
+        print(f"\nHuman-profile accuracy: {report}")
+    assert report.gain > 0.3

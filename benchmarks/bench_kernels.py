@@ -1,0 +1,90 @@
+"""Microbenchmarks for the computational kernels.
+
+Not a paper exhibit — these track the throughput of the hot paths the
+guides demand stay vectorized: 2-bit window extraction, count-hash batch
+operations, candidate generation, and the serial corrector itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LocalSpectrumView, ReptileCorrector, build_spectra
+from repro.hashing.counthash import CountHash
+from repro.kmer.codec import block_window_ids
+from repro.kmer.neighbors import neighbors_at_positions
+
+
+@pytest.fixture(scope="module")
+def code_block(ecoli_scale):
+    block = ecoli_scale.dataset.block
+    return block.codes, block.lengths
+
+
+def test_window_extraction_throughput(benchmark, code_block):
+    """All k-mer ids of a whole block (the Step II hot loop)."""
+    codes, lengths = code_block
+    ids, valid = benchmark(block_window_ids, codes, lengths, 12)
+    bases = codes.shape[0] * codes.shape[1]
+    assert ids.shape[0] == codes.shape[0]
+    benchmark.extra_info["bases"] = bases
+
+
+def test_counthash_insert_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 2**62, 500_000, dtype=np.uint64)
+
+    def insert():
+        table = CountHash(capacity=1 << 20)
+        table.add_counts(keys)
+        return table
+
+    table = benchmark(insert)
+    assert len(table) > 400_000
+
+
+def test_counthash_lookup_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 2**62, 300_000, dtype=np.uint64)
+    table = CountHash(capacity=1 << 20)
+    table.add_counts(keys)
+    queries = np.concatenate([keys[:150_000],
+                              rng.integers(0, 2**62, 150_000, dtype=np.uint64)])
+    counts = benchmark(table.lookup, queries)
+    assert counts.shape == queries.shape
+
+
+def test_candidate_generation_throughput(benchmark):
+    """Distance-1 candidates at 6 positions for 1000 tiles."""
+    rng = np.random.default_rng(2)
+    tiles = rng.integers(0, 1 << 40, 1000, dtype=np.uint64)
+    positions = np.array([0, 3, 7, 11, 15, 19])
+
+    def generate():
+        return [
+            neighbors_at_positions(int(t), 20, positions) for t in tiles
+        ]
+
+    out = benchmark(generate)
+    assert len(out) == 1000
+    assert out[0].shape == (18,)
+
+
+def test_serial_corrector_throughput(benchmark, ecoli_scale):
+    """End-to-end serial correction rate (reads per second)."""
+    block = ecoli_scale.dataset.block
+    spectra = build_spectra(block, ecoli_scale.config)
+
+    def correct():
+        view = LocalSpectrumView(spectra)
+        return ReptileCorrector(ecoli_scale.config, view).correct_block(block)
+
+    result = benchmark.pedantic(correct, rounds=2, iterations=1)
+    assert result.total_corrections > 0
+    benchmark.extra_info["reads"] = len(block)
+
+
+def test_spectrum_build_throughput(benchmark, ecoli_scale):
+    """Serial spectrum construction rate (the Step II equivalent)."""
+    block = ecoli_scale.dataset.block
+    spectra = benchmark(build_spectra, block, ecoli_scale.config)
+    assert len(spectra.kmers) > 0

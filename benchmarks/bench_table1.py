@@ -1,0 +1,21 @@
+"""Table I: dataset properties.
+
+Regenerates the dataset table and benchmarks the synthesis of a scaled
+E.Coli instance (the substrate every measured experiment draws on).
+"""
+
+from repro.bench.figures import table1
+from repro.datasets.profiles import ECOLI
+
+
+def test_table1_rows(benchmark, capsys):
+    out = benchmark(table1)
+    with capsys.disabled():
+        print("\n" + str(out))
+    assert len(out.rows) == 3
+
+
+def test_dataset_synthesis_throughput(benchmark):
+    """Time to synthesize a coverage-preserving scaled E.Coli instance."""
+    ds = benchmark(ECOLI.scaled, genome_size=20_000, seed=1)
+    assert ds.n_reads > 10_000

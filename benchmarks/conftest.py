@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates one of the paper's exhibits and times its
+computational core with pytest-benchmark.  The printed tables (captured with
+``pytest benchmarks/ --benchmark-only -s``) are the reproduced figures; the
+timings track the cost of reproducing them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import small_scale
+
+
+def pytest_configure(config):
+    # The benchmark files live outside tests/; make sure pytest-benchmark
+    # is active even under `-p no:cacheprovider`.
+    pass
+
+
+@pytest.fixture(scope="session")
+def ecoli_scale():
+    """Laptop-sized E.Coli instance shared by the measured benchmarks."""
+    return small_scale("E.Coli", genome_size=10_000, chunk_size=250)
+
+
+@pytest.fixture(scope="session")
+def bursty_scale():
+    """Localized-error instance for the load-balance benchmarks."""
+    return small_scale(
+        "E.Coli", genome_size=10_000, localized_errors=True, chunk_size=250
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Load balancing on a bursty dataset (cf. Fig. 4).
+
+Simulates a read file whose errors are localized in contiguous stretches —
+the property the paper identifies as the cause of load imbalance — and
+corrects it three ways:
+
+* contiguous chunks, no balancing (the imbalanced baseline),
+* the paper's static hash redistribution,
+* the prior work's dynamic master-worker allocation.
+
+All three apply identical corrections; the work distribution differs.
+
+Run:  python examples/load_balancing.py
+"""
+
+import numpy as np
+
+from repro import (
+    ECOLI,
+    HeuristicConfig,
+    ParallelReptile,
+    ReptileConfig,
+    derive_thresholds,
+)
+
+NRANKS = 8
+
+
+def main() -> None:
+    dataset = ECOLI.scaled(genome_size=16_000, seed=5, localized_errors=True)
+    per_read = dataset.errors_per_read()
+    chunked = np.array_split(per_read, 10)
+    print("error mass per tenth of the file:",
+          [int(c.sum()) for c in chunked])
+
+    kt, tt = derive_thresholds(
+        dataset.coverage, ECOLI.read_length, 12, 20, tile_step=8
+    )
+    config = ReptileConfig(
+        kmer_length=12, tile_overlap=4,
+        kmer_threshold=kt, tile_threshold=tt, chunk_size=200,
+    )
+
+    runs = {
+        "imbalanced": ParallelReptile(
+            config, HeuristicConfig(load_balance=False), nranks=NRANKS
+        ).run(dataset.block),
+        "static": ParallelReptile(
+            config, HeuristicConfig(load_balance=True), nranks=NRANKS
+        ).run(dataset.block),
+        "dynamic": ParallelReptile(
+            config, HeuristicConfig(load_balance=False), nranks=NRANKS
+        ).run_dynamic(dataset.block),
+    }
+
+    reference = runs["imbalanced"].corrected_block.codes
+    print(f"\n{'policy':<12} {'errors corrected per rank':<50} max/min")
+    for name, result in runs.items():
+        assert np.array_equal(result.corrected_block.codes, reference)
+        per_rank = result.corrections_per_rank()
+        active = per_rank[per_rank > 0]
+        ratio = active.max() / max(1, active.min())
+        print(f"{name:<12} {str(per_rank.tolist()):<50} {ratio:.2f}")
+
+    report = runs["static"].accuracy(dataset)
+    print(f"\naccuracy (identical across policies): gain {report.gain:.3f}, "
+          f"precision {report.precision:.3f}")
+    print("note: the dynamic policy dedicates rank 0 to coordination — the "
+          "overhead the paper's static scheme avoids")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Project a measured run to BlueGene/Q scale (cf. Figs. 6-8).
+
+Shows the full modeling workflow:
+
+1. run the real distributed implementation on a laptop-sized instance with
+   instrumentation on;
+2. distill the measured traffic into a workload model
+   (``DatasetWorkload.from_trace``) and rescale it to the full Table I
+   dataset size;
+3. sweep rank counts on the calibrated BG/Q machine model — once with the
+   measured workload, once with the paper-calibrated workload — and print
+   the Fig. 6-style series side by side.
+
+Run:  python examples/scaling_projection.py
+"""
+
+from repro import (
+    ECOLI,
+    BGQMachine,
+    HeuristicConfig,
+    ParallelReptile,
+    PerformancePredictor,
+    ReptileConfig,
+    ScalingStudy,
+    derive_thresholds,
+    workload_for_profile,
+)
+from repro.perfmodel import DatasetWorkload
+
+
+def main() -> None:
+    # -- 1. measured small-scale run ---------------------------------
+    dataset = ECOLI.scaled(genome_size=10_000, seed=13)
+    kt, tt = derive_thresholds(
+        dataset.coverage, ECOLI.read_length, 12, 20, tile_step=8
+    )
+    config = ReptileConfig(
+        kmer_length=12, tile_overlap=4,
+        kmer_threshold=kt, tile_threshold=tt, chunk_size=300,
+    )
+    result = ParallelReptile(
+        config, HeuristicConfig(), nranks=8, engine="cooperative"
+    ).run(dataset.block)
+    print(f"measured run: {len(dataset.block)} reads on 8 ranks, "
+          f"{result.counter_per_rank('remote_tile_lookups').sum():,d} "
+          f"remote tile lookups")
+
+    # -- 2. workload models -------------------------------------------
+    measured = DatasetWorkload.from_trace(result, name="measured").scaled_to(ECOLI)
+    calibrated = workload_for_profile(ECOLI)
+    print(f"tile lookups/read: measured {measured.tile_lookups_per_read:.0f} "
+          f"(d=1 candidates) vs paper-calibrated "
+          f"{calibrated.tile_lookups_per_read:.0f} (d<=2 candidates)")
+
+    # -- 3. projections ------------------------------------------------
+    machine = BGQMachine()
+    ranks = [1024, 2048, 4096, 8192]
+    print(f"\n{'ranks':>6} {'nodes':>6} "
+          f"{'measured_total_s':>17} {'calibrated_total_s':>19} {'eff':>5}")
+    m_study = ScalingStudy(PerformancePredictor(machine, measured))
+    c_study = ScalingStudy(PerformancePredictor(machine, calibrated))
+    m_points = m_study.sweep(ranks)
+    c_points = c_study.sweep(ranks)
+    effs = c_study.efficiency(c_points)
+    for mp, cp, eff in zip(m_points, c_points, effs):
+        print(f"{cp.nranks:>6} {cp.nodes:>6} "
+              f"{mp.total_balanced:>17.0f} {cp.total_balanced:>19.0f} "
+              f"{eff:>5.2f}")
+    print("\npaper anchors: <200 s total at 256 nodes, efficiency 0.81 at "
+          "8192 ranks (the calibrated column reproduces them; the measured "
+          "column is lighter because this reproduction generates d=1 "
+          "candidate sets against the paper's larger candidate space)")
+
+
+if __name__ == "__main__":
+    main()

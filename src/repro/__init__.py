@@ -1,0 +1,93 @@
+"""repro — a reproduction of "A Memory and Time Scalable Parallelization
+of the Reptile Error-Correction Code" (Sachdeva, Aluru, Bader; IPDPSW 2016).
+
+The package contains the full system stack the paper describes:
+
+* :mod:`repro.kmer`, :mod:`repro.hashing`, :mod:`repro.io` — k-mer/tile
+  codecs, hash-table spectra and the fasta/quality file formats;
+* :mod:`repro.core` — the serial Reptile error corrector;
+* :mod:`repro.datasets` — synthetic Illumina-like datasets with the
+  Table I profiles (E.Coli / Drosophila / Human);
+* :mod:`repro.simmpi` — a from-scratch message-passing runtime with MPI
+  semantics (tagged p2p, probe, alltoallv, barriers) over Python threads;
+* :mod:`repro.parallel` — the paper's contribution: distributed k-mer and
+  tile spectra, message-based correction, static load balancing, and all
+  of the paper's heuristics;
+* :mod:`repro.perfmodel` — a calibrated BlueGene/Q model that projects
+  measured run statistics to the paper's scales (Figs. 2-8);
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+
+Quickstart::
+
+    from repro import (ReptileConfig, ParallelReptile, HeuristicConfig,
+                       ECOLI, derive_thresholds)
+    ds = ECOLI.scaled(genome_size=20_000)
+    kt, tt = derive_thresholds(ECOLI.coverage, ECOLI.read_length, 12, 20, 8)
+    cfg = ReptileConfig(kmer_threshold=kt, tile_threshold=tt)
+    result = ParallelReptile(cfg, HeuristicConfig(), nranks=8).run(ds.block)
+    print(result.accuracy(ds))
+"""
+
+from repro.config import ReptileConfig
+from repro.core import (
+    ReptileCorrector,
+    CorrectionResult,
+    SpectrumPair,
+    LocalSpectrumView,
+    build_spectra,
+    derive_thresholds,
+    evaluate_correction,
+    AccuracyReport,
+)
+from repro.datasets import (
+    DatasetProfile,
+    ECOLI,
+    DROSOPHILA,
+    HUMAN,
+    ReadSimulator,
+    ErrorModel,
+)
+from repro.io import ReadBlock
+from repro.parallel import (
+    ParallelReptile,
+    ParallelRunResult,
+    HeuristicConfig,
+)
+from repro.perfmodel import (
+    BGQMachine,
+    PerformancePredictor,
+    ScalingStudy,
+    workload_for_profile,
+)
+from repro.simmpi import run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReptileConfig",
+    "ReptileCorrector",
+    "CorrectionResult",
+    "SpectrumPair",
+    "LocalSpectrumView",
+    "build_spectra",
+    "derive_thresholds",
+    "evaluate_correction",
+    "AccuracyReport",
+    "DatasetProfile",
+    "ECOLI",
+    "DROSOPHILA",
+    "HUMAN",
+    "ReadSimulator",
+    "ErrorModel",
+    "ReadBlock",
+    "ParallelReptile",
+    "ParallelRunResult",
+    "HeuristicConfig",
+    "BGQMachine",
+    "PerformancePredictor",
+    "ScalingStudy",
+    "workload_for_profile",
+    "run_spmd",
+    "__version__",
+]

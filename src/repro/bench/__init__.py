@@ -1,0 +1,21 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``fig*``/``table*`` function in :mod:`repro.bench.figures` regenerates
+the corresponding exhibit: the rows/series the paper reports, produced by
+running the reproduced implementation at laptop scale and projecting to
+BlueGene/Q scale with the calibrated performance model.  The
+``benchmarks/`` directory wraps these in pytest-benchmark targets.
+"""
+
+from repro.bench.harness import ExperimentResult, format_table, small_scale
+from repro.bench.export import export_all, write_csv
+from repro.bench import figures
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "small_scale",
+    "figures",
+    "export_all",
+    "write_csv",
+]

@@ -1,0 +1,48 @@
+"""``python -m repro.bench`` — regenerate every paper exhibit.
+
+Prints each table/figure in sequence; with ``--csv DIR`` also writes one
+CSV per exhibit.  Pass exhibit names to restrict (e.g. ``fig6 fig7``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    from repro.bench.export import export_all
+    from repro.bench.figures import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"subset to run (default all: {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--csv", metavar="DIR",
+                        help="also export each exhibit as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [n for n in chosen if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in chosen:
+        t0 = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0
+        print(result)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    if args.csv:
+        paths = export_all(args.csv, only=chosen)
+        print(f"CSV exhibits written: {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

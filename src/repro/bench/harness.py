@@ -1,0 +1,118 @@
+"""Shared machinery for the per-figure experiments.
+
+``small_scale`` builds a laptop-sized instance of one of the Table I
+dataset profiles (same coverage / read length / error character, shrunken
+genome) together with a matching :class:`~repro.config.ReptileConfig`, so
+every figure's measured component runs the *real* distributed
+implementation end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.config import ReptileConfig
+from repro.core.policy import derive_thresholds
+from repro.datasets.profiles import PROFILES, DatasetProfile
+from repro.datasets.reads import SimulatedDataset
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced exhibit: titled columns and data rows."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        """Append one data row (width must match the columns)."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row width {len(row)} != column count {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        """Attach a footnote shown under the table."""
+        self.notes.append(text)
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,d}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an experiment as an aligned text table."""
+    cells = [[_fmt(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(result.columns)
+    ]
+    lines = [f"== {result.experiment}: {result.title} =="]
+    header = "  ".join(c.ljust(w) for c, w in zip(result.columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SmallScale:
+    """A shrunken dataset instance plus the matching configuration."""
+
+    profile: DatasetProfile
+    dataset: SimulatedDataset
+    config: ReptileConfig
+
+
+def small_scale(
+    profile_name: str = "E.Coli",
+    genome_size: int = 12_000,
+    seed: int = 7,
+    localized_errors: bool = False,
+    k: int = 12,
+    tile_overlap: int = 4,
+    chunk_size: int = 250,
+) -> SmallScale:
+    """A laptop-sized instance of a Table I profile with tuned thresholds."""
+    profile = PROFILES[profile_name]
+    dataset = profile.scaled(
+        genome_size=genome_size, seed=seed, localized_errors=localized_errors
+    )
+    shape_len = 2 * k - tile_overlap
+    kt, tt = derive_thresholds(
+        dataset.coverage,
+        profile.read_length,
+        k,
+        shape_len,
+        tile_step=k - tile_overlap,
+        error_rate=profile.error_model.base_rate,
+    )
+    config = ReptileConfig(
+        kmer_length=k,
+        tile_overlap=tile_overlap,
+        kmer_threshold=kt,
+        tile_threshold=tt,
+        chunk_size=chunk_size,
+    )
+    return SmallScale(profile=profile, dataset=dataset, config=config)

@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Three subcommands mirror the project's workflows:
+
+* ``repro correct`` — run distributed Reptile on a fasta + quality pair
+  (or a Reptile configuration file), writing corrected reads;
+* ``repro simulate`` — synthesize a dataset (genome, reads, qualities)
+  as fasta/quality/fastq files, with optional localized error bursts;
+* ``repro project`` — print a BlueGene/Q scaling projection for one of
+  the Table I datasets.
+
+``python -m repro ...`` and the ``repro`` console script are equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import ReptileConfig
+from repro.core.policy import derive_thresholds
+from repro.datasets.profiles import PROFILES
+from repro.errors import ReproError
+from repro.parallel.driver import ParallelReptile
+from repro.parallel.heuristics import HeuristicConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed-memory Reptile error correction "
+                    "(IPDPSW 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # ----------------------------------------------------------- correct
+    c = sub.add_parser("correct", help="correct reads from files")
+    c.add_argument("--config", help="Reptile-style configuration file")
+    c.add_argument("--fasta", help="input fasta (numeric record names)")
+    c.add_argument("--quality", help="input quality file")
+    c.add_argument("--output", required=True, help="corrected fasta path")
+    c.add_argument("--nranks", type=int, default=4,
+                   help="simulated MPI ranks (default 4)")
+    c.add_argument("--engine", choices=["cooperative", "threaded"],
+                   default="cooperative")
+    c.add_argument("--kmer-length", type=int, default=12)
+    c.add_argument("--tile-overlap", type=int, default=4)
+    c.add_argument("--kmer-threshold", type=int, default=0,
+                   help="0 = derive from the data")
+    c.add_argument("--tile-threshold", type=int, default=0)
+    c.add_argument("--chunk-size", type=int, default=2000)
+    c.add_argument("--universal", action="store_true",
+                   help="universal message heuristic")
+    c.add_argument("--batch-reads", action="store_true",
+                   help="batch reads table heuristic")
+    c.add_argument("--read-tables", action="store_true",
+                   help="retain read k-mer/tile tables")
+    c.add_argument("--allgather", choices=["none", "kmers", "tiles", "both"],
+                   default="none", help="spectrum replication")
+    c.add_argument("--replication-group", type=int, default=1,
+                   help="partial replication group size (Sec. V)")
+    c.add_argument("--no-load-balance", action="store_true",
+                   help="disable the static read redistribution")
+    c.add_argument("--stats", action="store_true",
+                   help="print per-rank statistics")
+    c.add_argument("--report", help="write a JSON run report to this path")
+
+    # ---------------------------------------------------------- simulate
+    s = sub.add_parser("simulate", help="synthesize a dataset")
+    s.add_argument("--profile", choices=sorted(PROFILES), default="E.Coli")
+    s.add_argument("--genome-size", type=int, default=20_000)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--localized-errors", action="store_true",
+                   help="contiguous error bursts (load-imbalance regime)")
+    s.add_argument("--fasta", required=True, help="output fasta path")
+    s.add_argument("--quality", required=True, help="output quality path")
+    s.add_argument("--truth", help="optional error-free fasta (ground truth)")
+
+    # ----------------------------------------------------------- project
+    p = sub.add_parser("project", help="BG/Q scaling projection")
+    p.add_argument("--dataset", choices=sorted(PROFILES), default="E.Coli")
+    p.add_argument("--ranks", type=int, nargs="+",
+                   default=[1024, 2048, 4096, 8192])
+    p.add_argument("--ranks-per-node", type=int, default=32)
+    p.add_argument("--batch-reads", action="store_true")
+    p.add_argument("--chunk-size", type=int, default=2000)
+    p.add_argument("--imbalanced", action="store_true",
+                   help="also show the no-load-balance series")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the projection as JSON")
+
+    # ------------------------------------------------------------ verify
+    sub.add_parser(
+        "verify",
+        help="run the reproduction self-checks "
+             "(correctness, equivalence, model fidelity)",
+    )
+    return parser
+
+
+def _heuristics_from_args(args: argparse.Namespace) -> HeuristicConfig:
+    return HeuristicConfig(
+        universal=args.universal,
+        batch_reads=args.batch_reads,
+        read_kmers=args.read_tables,
+        read_tiles=args.read_tables,
+        allgather_kmers=args.allgather in ("kmers", "both"),
+        allgather_tiles=args.allgather in ("tiles", "both"),
+        replication_group=args.replication_group,
+        load_balance=not args.no_load_balance,
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ReptileConfig:
+    if args.config:
+        cfg = ReptileConfig.from_file(args.config)
+        if args.fasta:
+            cfg = cfg.with_updates(fasta_file=args.fasta)
+        if args.quality:
+            cfg = cfg.with_updates(quality_file=args.quality)
+        return cfg
+    if not args.fasta:
+        raise ReproError("either --config or --fasta is required")
+    kt, tt = args.kmer_threshold, args.tile_threshold
+    if not kt or not tt:
+        # Read the thresholds off the k-mer/tile count histograms of a
+        # sample of the file (the classical valley method).
+        from repro.core.pipeline import estimate_thresholds_from_file
+
+        base = ReptileConfig(
+            kmer_length=args.kmer_length, tile_overlap=args.tile_overlap
+        )
+        est_kt, est_tt = estimate_thresholds_from_file(
+            args.fasta, args.quality, base
+        )
+        kt = kt or est_kt
+        tt = tt or est_tt
+        print(f"auto thresholds from count histograms: kmer>={kt}, tile>={tt}")
+    return ReptileConfig(
+        fasta_file=args.fasta,
+        quality_file=args.quality or "",
+        kmer_length=args.kmer_length,
+        tile_overlap=args.tile_overlap,
+        kmer_threshold=kt,
+        tile_threshold=tt,
+        chunk_size=args.chunk_size,
+    )
+
+
+def cmd_correct(args: argparse.Namespace) -> int:
+    from repro.io.fasta import write_fasta
+
+    cfg = _config_from_args(args)
+    heur = _heuristics_from_args(args)
+    runner = ParallelReptile(cfg, heur, nranks=args.nranks, engine=args.engine)
+    result = runner.run_files(cfg.fasta_file, cfg.quality_file or None)
+    block = result.corrected_block
+    write_fasta(args.output, block.to_strings(), start_id=int(block.ids[0]))
+    print(f"corrected {len(block)} reads "
+          f"({result.total_corrections} substitutions) -> {args.output}")
+    if args.report:
+        from repro.parallel.report import write_run_report
+
+        write_run_report(result, args.report)
+        print(f"run report -> {args.report}")
+    if args.stats:
+        print(f"{'rank':>4} {'reads':>8} {'corrected':>9} "
+              f"{'remote_kmers':>12} {'remote_tiles':>12} {'peak_bytes':>12}")
+        for r, report in enumerate(result.reports):
+            print(f"{r:>4} {len(report.block):>8} "
+                  f"{report.errors_corrected:>9} "
+                  f"{result.stats[r].get('remote_kmer_lookups'):>12,d} "
+                  f"{result.stats[r].get('remote_tile_lookups'):>12,d} "
+                  f"{report.memory.peak:>12,d}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io.fasta import write_fasta
+    from repro.io.quality import write_quality
+    from repro.kmer.codec import decode_sequence
+
+    profile = PROFILES[args.profile]
+    dataset = profile.scaled(
+        genome_size=args.genome_size, seed=args.seed,
+        localized_errors=args.localized_errors or None,
+    )
+    block = dataset.block
+    write_fasta(args.fasta, block.to_strings())
+    write_quality(
+        args.quality,
+        [block.quals[i, : block.lengths[i]].tolist() for i in range(len(block))],
+    )
+    print(f"{args.profile}: {len(block)} reads of {block.max_length} bp, "
+          f"{dataset.n_errors} injected errors -> {args.fasta}, {args.quality}")
+    if args.truth:
+        truth = [
+            decode_sequence(dataset.true_codes[i]) for i in range(len(block))
+        ]
+        write_fasta(args.truth, truth)
+        print(f"ground truth -> {args.truth}")
+    return 0
+
+
+def cmd_project(args: argparse.Namespace) -> int:
+    from repro.perfmodel.calibrate import workload_for_profile
+    from repro.perfmodel.machine import BGQMachine
+    from repro.perfmodel.predict import PerformancePredictor
+    from repro.perfmodel.scaling import ScalingStudy
+
+    heur = HeuristicConfig(batch_reads=args.batch_reads)
+    pred = PerformancePredictor(
+        BGQMachine(), workload_for_profile(PROFILES[args.dataset]), heur,
+        ranks_per_node=args.ranks_per_node, chunk_size=args.chunk_size,
+    )
+    study = ScalingStudy(pred)
+    points = study.sweep(args.ranks)
+    effs = study.efficiency(points)
+    header = f"{'ranks':>7} {'nodes':>6} {'constr_s':>9} {'corr_s':>9} " \
+             f"{'total_s':>9} {'eff':>5}"
+    if args.imbalanced:
+        header += f" {'imbalanced_s':>13}"
+    print(f"{args.dataset} on BlueGene/Q, {args.ranks_per_node} ranks/node")
+    print(header)
+    for pt, eff in zip(points, effs):
+        line = (f"{pt.nranks:>7} {pt.nodes:>6} "
+                f"{pt.balanced.construction_total:>9.1f} "
+                f"{pt.balanced.correction_total:>9.1f} "
+                f"{pt.total_balanced:>9.1f} {eff:>5.2f}")
+        if args.imbalanced:
+            imb = "DNF" if pt.imbalanced_dnf else f"{pt.total_imbalanced:.0f}"
+            line += f" {imb:>13}"
+        print(line)
+    if args.json:
+        import json
+
+        payload = {
+            "dataset": args.dataset,
+            "ranks_per_node": args.ranks_per_node,
+            "points": [
+                {
+                    "nranks": pt.nranks,
+                    "nodes": pt.nodes,
+                    "construction_s": pt.balanced.construction_total,
+                    "correction_s": pt.balanced.correction_total,
+                    "total_s": pt.total_balanced,
+                    "imbalanced_s": pt.total_imbalanced,
+                    "imbalanced_dnf": pt.imbalanced_dnf,
+                    "memory_peak_bytes": pt.balanced.memory_peak,
+                    "efficiency": eff_,
+                }
+                for pt, eff_ in zip(points, effs)
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"projection JSON -> {args.json}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "correct":
+            return cmd_correct(args)
+        if args.command == "simulate":
+            return cmd_simulate(args)
+        if args.command == "project":
+            return cmd_project(args)
+        if args.command == "verify":
+            from repro.verify import main as verify_main
+
+            return verify_main([])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/main
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Bloom-prefiltered spectrum construction.
+
+The paper notes: "A memory-efficient alternative to this step [threshold
+removal] is usage of a Bloom filter."  The standard construction is a
+two-pass build: pass one inserts every window into a Bloom filter and only
+windows *seen before* enter the count table — singletons (the bulk of
+error-induced spectrum noise) never occupy table slots, so the peak
+footprint shrinks by roughly the singleton fraction at the cost of the
+filter bits and a small false-positive leak.
+
+This module provides the serial reference used by the Bloom ablation
+benchmark; it mirrors :func:`repro.core.spectrum.build_spectra` with a
+filter in front of each table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.core.spectrum import SpectrumPair, block_kmer_ids, block_tile_ids
+from repro.hashing.bloom import BloomFilter
+from repro.io.records import ReadBlock
+
+
+@dataclass
+class BloomBuildReport:
+    """Outcome of a Bloom-prefiltered build (for the ablation)."""
+
+    spectra: SpectrumPair
+    filter_bytes: int
+    kmers_suppressed: int
+    tiles_suppressed: int
+
+    @property
+    def table_bytes(self) -> int:
+        return self.spectra.nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Tables plus filters — the quantity to compare with the exact
+        build's peak table bytes."""
+        return self.table_bytes + self.filter_bytes
+
+
+def build_spectra_bloom(
+    block: ReadBlock,
+    config: ReptileConfig,
+    fp_rate: float = 0.01,
+    apply_threshold: bool = True,
+) -> BloomBuildReport:
+    """Serial spectrum construction with Bloom singleton suppression.
+
+    Every window is first offered to a Bloom filter; only windows whose
+    insertion reports "probably seen before" are counted.  Counting starts
+    at the second occurrence, so each table count underestimates the true
+    count by exactly one — thresholds are adjusted accordingly, and final
+    counts are re-inflated, making the result directly comparable to the
+    exact build (up to Bloom false positives letting a few singletons
+    through with count 1, which thresholding then removes anyway).
+    """
+    shape = config.tile_shape
+    spectra = SpectrumPair(shape=shape)
+    n_windows = max(64, len(block) * max(1, block.max_length))
+    kmer_filter = BloomFilter(expected_items=n_windows, fp_rate=fp_rate)
+    tile_filter = BloomFilter(
+        expected_items=max(64, n_windows // max(1, shape.step)), fp_rate=fp_rate
+    )
+
+    def offer(flat: np.ndarray, bloom: BloomFilter, table) -> int:
+        """Count every occurrence except each key's first; returns the
+        number of suppressed (first) occurrences."""
+        if flat.size == 0:
+            return 0
+        uniq, counts = np.unique(flat, return_counts=True)
+        seen = bloom.add_and_test(uniq)
+        add = counts.astype(np.int64) - (~seen).astype(np.int64)
+        keep = add > 0
+        table.add_counts(uniq[keep], add[keep].astype(np.uint64))
+        return int((~seen).sum())
+
+    kmers_suppressed = 0
+    tiles_suppressed = 0
+    for chunk in block.chunks(config.chunk_size) if len(block) else ():
+        kids, kvalid = block_kmer_ids(chunk, shape)
+        kmers_suppressed += offer(kids[kvalid], kmer_filter, spectra.kmers)
+        tids, tvalid = block_tile_ids(chunk, shape)
+        tiles_suppressed += offer(tids[tvalid], tile_filter, spectra.tiles)
+
+    if apply_threshold:
+        # Counts are (occurrences - 1); shift the thresholds to match.
+        spectra.kmers.filter_below(max(1, config.kmer_threshold - 1))
+        spectra.tiles.filter_below(max(1, config.tile_threshold - 1))
+
+    # Re-inflate counts so lookups agree with the exact build.
+    for table in (spectra.kmers, spectra.tiles):
+        keys, counts = table.items()
+        if keys.size:
+            table.add_counts(keys, np.ones(keys.shape[0], dtype=np.uint64))
+
+    return BloomBuildReport(
+        spectra=spectra,
+        filter_bytes=kmer_filter.nbytes + tile_filter.nbytes,
+        kmers_suppressed=kmers_suppressed,
+        tiles_suppressed=tiles_suppressed,
+    )

@@ -1,0 +1,104 @@
+"""K-mer count histograms and automatic threshold selection.
+
+:func:`derive_thresholds` (the policy module) needs the dataset's coverage
+and error rate up front.  When they are unknown — the situation for real
+files — the classic alternative is to read the threshold off the *count
+histogram*: error k-mers pile up at counts 1-2, genomic k-mers form a
+Poisson-like bump around the effective coverage, and the valley between
+the two is the natural solidity cutoff.  Quake and many later correctors
+pick thresholds exactly this way; Reptile's manual thresholds can be
+reproduced by it.
+
+:func:`count_histogram` builds the histogram from a spectrum table,
+:func:`valley_threshold` finds the valley, and
+:func:`thresholds_from_spectra` applies it to both spectra of a run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spectrum import SpectrumPair
+from repro.errors import SpectrumError
+from repro.hashing.counthash import CountHash
+
+
+def count_histogram(table: CountHash, max_count: int = 256) -> np.ndarray:
+    """Histogram ``h[c]`` = number of distinct keys with count ``c``.
+
+    Counts above ``max_count`` are clamped into the last bin.  ``h[0]`` is
+    always zero (a present key has count >= 1).
+    """
+    if max_count < 2:
+        raise SpectrumError("max_count must be >= 2")
+    _, counts = table.items()
+    hist = np.zeros(max_count + 1, dtype=np.int64)
+    if counts.size:
+        clamped = np.minimum(counts.astype(np.int64), max_count)
+        hist += np.bincount(clamped, minlength=max_count + 1)
+    return hist
+
+
+def valley_threshold(hist: np.ndarray, min_threshold: int = 2) -> int:
+    """The count at the valley between the error and genomic modes.
+
+    Scans for the first local minimum after the initial descent from the
+    error spike; if the histogram decays monotonically (no genomic bump —
+    e.g. coverage too low), falls back to ``min_threshold``.
+    """
+    hist = np.asarray(hist, dtype=np.int64)
+    if hist.shape[0] < 4:
+        raise SpectrumError("histogram too short to analyse")
+    # Skip bin 0; start at the error spike (the global max of the low bins
+    # is normally bin 1).
+    c = 1
+    top = hist.shape[0] - 1
+    # Descend while strictly falling.
+    while c < top and hist[c + 1] < hist[c]:
+        c += 1
+    if c >= top:
+        return min_threshold
+    # c is the first bin where the histogram stops falling: the valley,
+    # provided a genuine bump follows.
+    bump = hist[c + 1 :].max() if c + 1 < hist.shape[0] else 0
+    if bump <= hist[c]:
+        return min_threshold
+    return max(min_threshold, int(c))
+
+
+def thresholds_from_spectra(
+    spectra: SpectrumPair, min_threshold: int = 2, max_count: int = 256
+) -> tuple[int, int]:
+    """(kmer_threshold, tile_threshold) read off the count histograms.
+
+    Must be called on *pre-threshold* spectra (after thresholding the
+    error mode is gone and there is no valley left to find).
+    """
+    kmer_hist = count_histogram(spectra.kmers, max_count=max_count)
+    tile_hist = count_histogram(spectra.tiles, max_count=max_count)
+    return (
+        valley_threshold(kmer_hist, min_threshold=min_threshold),
+        valley_threshold(tile_hist, min_threshold=min_threshold),
+    )
+
+
+def histogram_summary(hist: np.ndarray) -> dict[str, float]:
+    """Descriptive statistics of a count histogram (for QC reports)."""
+    hist = np.asarray(hist, dtype=np.int64)
+    total = int(hist.sum())
+    if total == 0:
+        return {"distinct": 0, "singletons": 0, "singleton_fraction": 0.0,
+                "mode_count": 0, "mean_count": 0.0}
+    counts = np.arange(hist.shape[0])
+    mean = float((counts * hist).sum() / total)
+    # Mode of the non-error region (ignore bins 1-2).
+    tail = hist.copy()
+    tail[:3] = 0
+    mode = int(tail.argmax()) if tail.any() else int(hist.argmax())
+    return {
+        "distinct": total,
+        "singletons": int(hist[1]),
+        "singleton_fraction": float(hist[1] / total),
+        "mode_count": mode,
+        "mean_count": mean,
+    }

@@ -1,0 +1,105 @@
+"""Correction accuracy metrics against simulated ground truth.
+
+The standard error-correction bookkeeping (as in the Yang/Chockalingam/Aluru
+survey the paper cites): each base position falls into
+
+* **TP** — an injected error restored to the true base;
+* **FP** — a correct base changed (an *introduced* error), or an erroneous
+  base changed to a still-wrong base (miscorrection);
+* **FN** — an injected error left (or re-written) wrong.
+
+``gain = (TP - FP) / (TP + FN)`` summarizes net benefit; sensitivity and
+specificity are the usual ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.reads import SimulatedDataset
+from repro.io.records import ReadBlock
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Correction quality relative to ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    total_errors: int
+    bases_changed: int
+
+    @property
+    def gain(self) -> float:
+        """(TP - FP) / total injected errors; 1.0 is perfect correction."""
+        if self.total_errors == 0:
+            return 0.0
+        return (self.true_positives - self.false_positives) / self.total_errors
+
+    @property
+    def sensitivity(self) -> float:
+        """TP / (TP + FN): fraction of injected errors fixed."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP): fraction of changes that were right."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccuracyReport(gain={self.gain:.3f}, "
+            f"sensitivity={self.sensitivity:.3f}, precision={self.precision:.3f}, "
+            f"TP={self.true_positives}, FP={self.false_positives}, "
+            f"FN={self.false_negatives})"
+        )
+
+
+def evaluate_correction(
+    dataset: SimulatedDataset, corrected: ReadBlock
+) -> AccuracyReport:
+    """Score a corrected block against the dataset's ground truth.
+
+    ``corrected`` may be a permutation of the original reads (the
+    load-balancing redistribution reorders them); rows are matched by
+    sequence number.
+    """
+    order = np.argsort(corrected.ids)
+    ids_sorted = corrected.ids[order]
+    expected = dataset.block.ids
+    lookup = order[np.searchsorted(ids_sorted, expected)]
+    if not np.array_equal(corrected.ids[lookup], expected):
+        raise ValueError("corrected block does not cover the dataset's read ids")
+
+    out_codes = corrected.codes[lookup]
+    truth = dataset.true_codes
+    observed = dataset.block.codes
+    err = dataset.error_mask
+
+    if out_codes.shape != truth.shape:
+        raise ValueError(
+            f"corrected code matrix {out_codes.shape} does not match "
+            f"ground truth {truth.shape}"
+        )
+
+    changed = out_codes != observed
+    now_correct = out_codes == truth
+
+    tp = int((err & changed & now_correct).sum())
+    fn = int((err & ~now_correct).sum())
+    # FP covers both corrupting a correct base and rewriting an erroneous
+    # base to a still-wrong base.
+    fp = int((changed & ~now_correct).sum())
+
+    return AccuracyReport(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        total_errors=int(err.sum()),
+        bases_changed=int(changed.sum()),
+    )

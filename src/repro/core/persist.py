@@ -1,0 +1,62 @@
+"""Saving and loading spectra.
+
+Spectrum construction reads the whole dataset; correction may be re-run
+many times (different thresholds were already applied, but quality
+cutoffs, ambiguity ratios or read subsets change between runs).
+Persisting the built spectra — as a compressed ``.npz`` of flat key/count
+arrays plus the tiling geometry — makes the construction a one-time cost.
+
+The on-disk format is deliberately dumb: four numpy arrays and two
+integers.  Anything that can read npz can consume the spectra.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.spectrum import SpectrumPair
+from repro.errors import SpectrumError
+from repro.hashing.counthash import CountHash
+from repro.kmer.tiles import TileShape
+
+#: Format marker stored in the file.
+_FORMAT = "repro.spectra/1"
+
+
+def save_spectra(spectra: SpectrumPair, path: str | os.PathLike) -> None:
+    """Write a spectrum pair as compressed npz."""
+    kmer_keys, kmer_counts = spectra.kmers.items()
+    tile_keys, tile_counts = spectra.tiles.items()
+    np.savez_compressed(
+        path,
+        format=np.array(_FORMAT),
+        k=np.array(spectra.shape.k),
+        overlap=np.array(spectra.shape.overlap),
+        kmer_keys=kmer_keys,
+        kmer_counts=kmer_counts,
+        tile_keys=tile_keys,
+        tile_counts=tile_counts,
+    )
+
+
+def load_spectra(path: str | os.PathLike) -> SpectrumPair:
+    """Read a spectrum pair written by :func:`save_spectra`."""
+    with np.load(path) as data:
+        fmt = str(data["format"])
+        if fmt != _FORMAT:
+            raise SpectrumError(
+                f"{path}: unsupported spectra format {fmt!r} "
+                f"(expected {_FORMAT!r})"
+            )
+        shape = TileShape(int(data["k"]), int(data["overlap"]))
+        kmers = CountHash(capacity=2 * max(1, data["kmer_keys"].shape[0]))
+        kmers.add_counts(
+            data["kmer_keys"], data["kmer_counts"].astype(np.uint64)
+        )
+        tiles = CountHash(capacity=2 * max(1, data["tile_keys"].shape[0]))
+        tiles.add_counts(
+            data["tile_keys"], data["tile_counts"].astype(np.uint64)
+        )
+    return SpectrumPair(shape=shape, kmers=kmers, tiles=tiles)

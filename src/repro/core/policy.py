@@ -1,0 +1,61 @@
+"""Threshold derivation policy.
+
+Spectrum thresholds separate *solid* k-mers/tiles (sampled from the genome
+many times) from error artifacts (each error spawns up to k unique k-mers
+that recur only by coincidence).  With coverage ``c`` and per-base error
+rate ``e``, a genomic k-mer is sampled ``c * (L - k + 1) / L * (1-e)^k``
+times in expectation, while an error k-mer's expected count is below 1 for
+realistic parameters — so any threshold a few standard deviations below the
+genomic mean and above ~2 works.  These helpers pick one automatically so
+examples and benchmarks don't hand-tune per dataset.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_kmer_coverage(
+    coverage: float, read_length: int, k: int, error_rate: float = 0.0
+) -> float:
+    """Expected spectrum count of a genomic k-mer.
+
+    ``coverage * (L - k + 1) / L`` positions sample it, each error-free with
+    probability ``(1 - e)^k``.
+    """
+    if coverage <= 0 or read_length <= 0 or k <= 0:
+        raise ValueError("coverage, read_length and k must be positive")
+    if k > read_length:
+        raise ValueError("k exceeds the read length")
+    if not 0.0 <= error_rate < 1.0:
+        raise ValueError("error_rate must be in [0, 1)")
+    return coverage * (read_length - k + 1) / read_length * (1.0 - error_rate) ** k
+
+
+def derive_thresholds(
+    coverage: float,
+    read_length: int,
+    k: int,
+    tile_length: int,
+    tile_step: int = 1,
+    error_rate: float = 0.01,
+) -> tuple[int, int]:
+    """(kmer_threshold, tile_threshold) for a dataset's parameters.
+
+    Picks the larger of 2 and a quarter of the expected genomic count —
+    conservative enough that Poisson dispersion rarely drops a genomic
+    k-mer below threshold, aggressive enough that error k-mers (expected
+    count << 1) are filtered.
+
+    Tiles are only extracted every ``tile_step`` positions of a read, so a
+    genomic tile is sampled ``1/tile_step`` as often as a genomic k-mer at
+    the same coverage; the tile threshold accounts for that dilution.
+    """
+    if tile_step < 1:
+        raise ValueError("tile_step must be >= 1")
+    kc = expected_kmer_coverage(coverage, read_length, k, error_rate)
+    tc = expected_kmer_coverage(coverage, read_length, tile_length, error_rate)
+    tc /= tile_step
+    kmer_threshold = max(2, int(math.floor(kc / 4)))
+    tile_threshold = max(2, int(math.floor(tc / 4)))
+    return kmer_threshold, tile_threshold

@@ -1,0 +1,167 @@
+"""K-mer and tile spectrum construction, and the spectrum lookup interface.
+
+The *k-mer spectrum* counts every k-mer occurring in the reads; the *tile
+spectrum* counts tiles at the tiling stride.  Both live in
+:class:`~repro.hashing.counthash.CountHash` tables (the paper's hash-table
+layout, replacing the earlier sorted-array + binary-search design).
+
+:class:`SpectrumView` is the lookup interface the corrector programs
+against.  The serial reference uses :class:`LocalSpectrumView`; the
+distributed implementation substitutes a view that consults the owned
+tables first and sends messages for the rest — the corrector does not know
+the difference, which is what makes serial-vs-parallel equivalence testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.hashing.counthash import CountHash
+from repro.io.records import ReadBlock
+from repro.kmer.codec import block_window_ids, reverse_complement_id
+from repro.kmer.tiles import TileShape
+
+
+@dataclass
+class SpectrumPair:
+    """The two spectra of a Reptile run plus their tiling geometry."""
+
+    shape: TileShape
+    kmers: CountHash = field(default_factory=CountHash)
+    tiles: CountHash = field(default_factory=CountHash)
+
+    @property
+    def nbytes(self) -> int:
+        """Combined memory footprint of both tables."""
+        return self.kmers.nbytes + self.tiles.nbytes
+
+    def threshold(self, kmer_threshold: int, tile_threshold: int) -> tuple[int, int]:
+        """Drop sub-threshold entries from both tables (Step III epilogue).
+
+        Returns (#kmers removed, #tiles removed).
+        """
+        return (
+            self.kmers.filter_below(kmer_threshold),
+            self.tiles.filter_below(tile_threshold),
+        )
+
+
+def block_kmer_ids(block: ReadBlock, shape: TileShape) -> tuple[np.ndarray, np.ndarray]:
+    """K-mer ids (every position) for a block: (ids, valid), shape (n, S)."""
+    return block_window_ids(block.codes, block.lengths, shape.k, step=1)
+
+
+def block_tile_ids(block: ReadBlock, shape: TileShape) -> tuple[np.ndarray, np.ndarray]:
+    """Tile ids at the tiling stride for a block: (ids, valid)."""
+    return block_window_ids(
+        block.codes, block.lengths, shape.length, step=shape.step
+    )
+
+
+def block_window_ids_both_strands(
+    ids: np.ndarray, valid: np.ndarray, width: int, reverse_complement: bool
+) -> np.ndarray:
+    """Flatten valid window ids, optionally adding reverse complements.
+
+    Counting both orientations is how Reptile handles reads sampled from
+    either genome strand: a read's windows are then supported by coverage
+    from both strands.
+    """
+    flat = ids[valid]
+    if not reverse_complement or flat.size == 0:
+        return flat
+    rc = reverse_complement_id(flat, width)
+    return np.concatenate([flat, rc])
+
+
+def accumulate_block(
+    spectra: SpectrumPair,
+    block: ReadBlock,
+    count_reverse_complement: bool = False,
+) -> None:
+    """Add one read block's k-mers and tiles into the spectra (Step II core)."""
+    shape = spectra.shape
+    kids, kvalid = block_kmer_ids(block, shape)
+    spectra.kmers.add_counts(
+        block_window_ids_both_strands(kids, kvalid, shape.k,
+                                      count_reverse_complement)
+    )
+    tids, tvalid = block_tile_ids(block, shape)
+    spectra.tiles.add_counts(
+        block_window_ids_both_strands(tids, tvalid, shape.length,
+                                      count_reverse_complement)
+    )
+
+
+def build_spectra(
+    blocks: Iterable[ReadBlock] | ReadBlock,
+    config: ReptileConfig,
+    apply_threshold: bool = True,
+) -> SpectrumPair:
+    """Serial spectrum construction over one or more read blocks."""
+    if isinstance(blocks, ReadBlock):
+        blocks = [blocks]
+    spectra = SpectrumPair(shape=config.tile_shape)
+    for block in blocks:
+        accumulate_block(
+            spectra, block,
+            count_reverse_complement=config.count_reverse_complement,
+        )
+    if apply_threshold:
+        spectra.threshold(config.kmer_threshold, config.tile_threshold)
+    return spectra
+
+
+@runtime_checkable
+class SpectrumView(Protocol):
+    """Batch count lookups against the (possibly distributed) spectra."""
+
+    def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
+        """Global count of each k-mer id (0 when absent anywhere)."""
+        ...
+
+    def tile_counts(self, ids: np.ndarray) -> np.ndarray:
+        """Global count of each tile id (0 when absent anywhere)."""
+        ...
+
+
+@dataclass
+class LookupStats:
+    """Counts of spectrum queries issued through a view."""
+
+    kmer_lookups: int = 0
+    tile_lookups: int = 0
+    kmer_hits: int = 0
+    tile_hits: int = 0
+
+    def merge(self, other: "LookupStats") -> None:
+        self.kmer_lookups += other.kmer_lookups
+        self.tile_lookups += other.tile_lookups
+        self.kmer_hits += other.kmer_hits
+        self.tile_hits += other.tile_hits
+
+
+class LocalSpectrumView:
+    """Serial view: every lookup is a local hash-table probe."""
+
+    def __init__(self, spectra: SpectrumPair) -> None:
+        self._spectra = spectra
+        self.stats = LookupStats()
+
+    def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
+        """Local hash-table lookup of k-mer counts (with stats)."""
+        counts = self._spectra.kmers.lookup(ids)
+        self.stats.kmer_lookups += int(np.asarray(ids).size)
+        self.stats.kmer_hits += int((counts > 0).sum())
+        return counts
+
+    def tile_counts(self, ids: np.ndarray) -> np.ndarray:
+        """Local hash-table lookup of tile counts (with stats)."""
+        counts = self._spectra.tiles.lookup(ids)
+        self.stats.tile_lookups += int(np.asarray(ids).size)
+        self.stats.tile_hits += int((counts > 0).sum())
+        return counts

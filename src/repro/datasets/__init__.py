@@ -1,0 +1,51 @@
+"""Synthetic dataset generation.
+
+The paper evaluates on real E.Coli / Drosophila / Human Illumina datasets
+(Table I).  Those datasets (and a sequencing machine) are not available
+here, so this package synthesizes the closest equivalent: random genomes,
+an Illumina-like read sampler with per-base quality scores, substitution
+errors whose rate rises toward the 3' end, and an optional **localized
+error-burst** mode reproducing the property the paper blames for load
+imbalance ("the errors appear localized in several parts of the file").
+
+:data:`ECOLI`, :data:`DROSOPHILA` and :data:`HUMAN` carry the full-size
+Table I parameters for the performance model; ``scaled(...)`` produces a
+laptop-sized instance with the same coverage/length/error character.
+"""
+
+from repro.datasets.genome import random_genome, mutate_genome
+from repro.datasets.reads import (
+    ReadSimulator,
+    SimulatedDataset,
+    ErrorModel,
+)
+from repro.datasets.qc import (
+    ReadSetReport,
+    base_composition,
+    estimate_error_rate,
+    quality_profile,
+)
+from repro.datasets.profiles import (
+    DatasetProfile,
+    ECOLI,
+    DROSOPHILA,
+    HUMAN,
+    PROFILES,
+)
+
+__all__ = [
+    "random_genome",
+    "mutate_genome",
+    "ReadSimulator",
+    "SimulatedDataset",
+    "ErrorModel",
+    "ReadSetReport",
+    "base_composition",
+    "estimate_error_rate",
+    "quality_profile",
+    "DatasetProfile",
+    "ECOLI",
+    "DROSOPHILA",
+    "HUMAN",
+    "PROFILES",
+]

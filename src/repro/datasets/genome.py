@@ -1,0 +1,53 @@
+"""Random reference genomes.
+
+Genomes are uniform random A/C/G/T strings held as 2-bit code arrays.  A
+uniform random genome of length G has an expected k-mer collision rate of
+G²/4^k, negligible for the k used here, so genuine genomic k-mers are
+(almost surely) distinct from error k-mers — the property spectrum-based
+correction relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kmer.codec import decode_sequence
+
+
+def random_genome(length: int, seed: int | np.random.Generator = 0) -> np.ndarray:
+    """A random genome as a 2-bit code array (uint8 values 0..3)."""
+    if length <= 0:
+        raise ValueError("genome length must be positive")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return rng.integers(0, 4, size=length, dtype=np.uint8)
+
+
+def mutate_genome(
+    genome: np.ndarray,
+    rate: float,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Substitute a fraction ``rate`` of bases; returns (mutant, positions).
+
+    Used to build diploid-like or strain-variant references for robustness
+    tests (true variants must *not* be "corrected" away when coverage
+    supports them).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    out = genome.copy()
+    n = out.shape[0]
+    count = int(round(rate * n))
+    if count == 0:
+        return out, np.empty(0, dtype=np.int64)
+    positions = rng.choice(n, size=count, replace=False)
+    # Shift by 1..3 mod 4 guarantees a different base.
+    out[positions] = (out[positions] + rng.integers(1, 4, size=count, dtype=np.uint8)) % 4
+    positions.sort()
+    return out, positions.astype(np.int64)
+
+
+def genome_to_string(genome: np.ndarray) -> str:
+    """Decode a genome code array to its DNA string."""
+    return decode_sequence(genome)

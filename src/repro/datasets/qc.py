@@ -1,0 +1,122 @@
+"""Dataset quality-control statistics.
+
+Real runs have no ground truth; what they do have is the reads themselves
+and their quality strings.  This module derives the quantities the rest
+of the pipeline wants from those alone:
+
+* :func:`quality_profile` — mean reported quality per read position (the
+  3' degradation Illumina shows and the simulator reproduces);
+* :func:`estimate_error_rate` — the expected substitution rate implied by
+  the Phred scores (``P(err) = 10^(-Q/10)``), which feeds the analytic
+  threshold policy when the true rate is unknown;
+* :func:`base_composition` — A/C/G/T/N fractions (GC content, N
+  contamination);
+* :func:`ReadSetReport` — everything bundled for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.io.records import ReadBlock
+from repro.kmer.codec import INVALID_CODE
+
+
+def _position_mask(block: ReadBlock) -> np.ndarray:
+    """Boolean (n, width) mask of in-read positions."""
+    width = block.max_length
+    return np.arange(width)[None, :] < block.lengths[:, None]
+
+
+def quality_profile(block: ReadBlock) -> np.ndarray:
+    """Mean reported quality at each read position (float64, len=width).
+
+    Positions covered by no read report NaN.
+    """
+    if len(block) == 0:
+        return np.empty(0, dtype=np.float64)
+    mask = _position_mask(block)
+    sums = (block.quals.astype(np.float64) * mask).sum(axis=0)
+    counts = mask.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(counts > 0, sums / counts, np.nan)
+
+
+def estimate_error_rate(block: ReadBlock) -> float:
+    """Expected substitution rate implied by the Phred scores.
+
+    Averages ``10^(-Q/10)`` over every base.  Note this is the rate the
+    *sequencer claims*: real (and this package's simulated) quality
+    strings are routinely miscalibrated — the simulator gives error bases
+    Q~12 (claimed 6% error probability) although they are certainly
+    wrong — so treat the result as an order-of-magnitude input to the
+    threshold policy, not ground truth.
+    """
+    if len(block) == 0:
+        return 0.0
+    mask = _position_mask(block)
+    q = block.quals.astype(np.float64)
+    p_err = np.power(10.0, -q / 10.0)
+    total = mask.sum()
+    return float((p_err * mask).sum() / total) if total else 0.0
+
+
+def base_composition(block: ReadBlock) -> dict[str, float]:
+    """Fractions of A/C/G/T/N over all read bases."""
+    if len(block) == 0:
+        return {b: 0.0 for b in "ACGTN"}
+    mask = _position_mask(block)
+    codes = block.codes
+    total = int(mask.sum())
+    out = {}
+    for i, base in enumerate("ACGT"):
+        out[base] = float(((codes == i) & mask).sum() / total)
+    out["N"] = float(((codes == INVALID_CODE) & mask).sum() / total)
+    return out
+
+
+@dataclass(frozen=True)
+class ReadSetReport:
+    """Summary of a read set's basic properties."""
+
+    n_reads: int
+    min_length: int
+    max_length: int
+    mean_length: float
+    total_bases: int
+    gc_content: float
+    n_fraction: float
+    mean_quality: float
+    estimated_error_rate: float
+
+    @classmethod
+    def from_block(cls, block: ReadBlock) -> "ReadSetReport":
+        if len(block) == 0:
+            return cls(0, 0, 0, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
+        comp = base_composition(block)
+        mask = _position_mask(block)
+        total = int(mask.sum())
+        mean_q = float(
+            (block.quals.astype(np.float64) * mask).sum() / total
+        )
+        return cls(
+            n_reads=len(block),
+            min_length=int(block.lengths.min()),
+            max_length=int(block.lengths.max()),
+            mean_length=float(block.lengths.mean()),
+            total_bases=total,
+            gc_content=comp["C"] + comp["G"],
+            n_fraction=comp["N"],
+            mean_quality=mean_q,
+            estimated_error_rate=estimate_error_rate(block),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_reads} reads, {self.min_length}-{self.max_length} bp "
+            f"(mean {self.mean_length:.1f}), GC {self.gc_content:.2f}, "
+            f"N {self.n_fraction:.4f}, mean Q {self.mean_quality:.1f}, "
+            f"est. error rate {self.estimated_error_rate:.4f}"
+        )

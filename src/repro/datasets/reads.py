@@ -1,0 +1,245 @@
+"""Illumina-like read simulation with substitution errors and qualities.
+
+The simulator reproduces the dataset properties the paper's evaluation
+depends on:
+
+* fixed-length reads at a chosen coverage (Table I: 96X/75X/47X);
+* substitution errors whose probability rises toward the 3' end of a read
+  (the Illumina error profile Reptile targets);
+* per-base Phred-like quality scores that are lower at error positions
+  (what makes Reptile's quality-restricted candidate generation work);
+* an optional **localized-burst** mode in which contiguous stretches of the
+  *file* carry a multiplied error rate — "the errors appear localized in
+  several parts of the file" — which is the cause of the load imbalance
+  Fig. 4 measures.
+
+Ground truth (error positions and error-free bases) is retained so
+correction accuracy (gain/sensitivity) is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.io.records import ReadBlock
+from repro.kmer.codec import INVALID_CODE
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Substitution error and quality model.
+
+    Attributes
+    ----------
+    base_rate:
+        Mean per-base substitution probability across a read.
+    positional_slope:
+        Linear growth of the error rate along the read; the rate at the 3'
+        end is ``(1 + positional_slope)`` times the rate at the 5' end,
+        renormalized to preserve ``base_rate`` as the mean.
+    localized:
+        When True, contiguous spans of the read file have their error rate
+        multiplied by ``burst_multiplier``.
+    burst_fraction:
+        Fraction of reads (by file position) inside bursts.
+    burst_count:
+        Number of distinct burst regions spread across the file.
+    burst_multiplier:
+        Error-rate multiplier inside a burst.
+    q_high / q_low:
+        Mean quality for correct / erroneous bases.
+    q_decay:
+        Linear quality decrease from 5' to 3' end (in Phred units).
+    q_noise:
+        Std-dev of the Gaussian noise added to every quality score.
+    """
+
+    base_rate: float = 0.01
+    positional_slope: float = 1.5
+    localized: bool = False
+    burst_fraction: float = 0.15
+    burst_count: int = 8
+    burst_multiplier: float = 5.0
+    q_high: float = 38.0
+    q_low: float = 12.0
+    q_decay: float = 6.0
+    q_noise: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_rate < 0.5:
+            raise ValueError("base_rate must be in [0, 0.5)")
+        if self.positional_slope < 0:
+            raise ValueError("positional_slope must be non-negative")
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in [0, 1]")
+        if self.burst_count < 1:
+            raise ValueError("burst_count must be >= 1")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1")
+
+    def positional_rates(self, read_length: int) -> np.ndarray:
+        """Per-position error probability vector with mean ``base_rate``."""
+        p = np.arange(read_length, dtype=np.float64)
+        if read_length > 1:
+            shape = 1.0 + self.positional_slope * p / (read_length - 1)
+        else:
+            shape = np.ones(1)
+        shape /= shape.mean()
+        return np.clip(self.base_rate * shape, 0.0, 0.75)
+
+    def read_multipliers(self, n_reads: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-read error multiplier implementing the localized bursts.
+
+        Burst spans are contiguous in *file order* (read index), because
+        that is what makes a contiguous chunk assignment imbalanced.
+        """
+        mult = np.ones(n_reads, dtype=np.float64)
+        if not self.localized or self.burst_fraction == 0.0 or n_reads == 0:
+            return mult
+        burst_total = int(round(self.burst_fraction * n_reads))
+        if burst_total == 0:
+            return mult
+        per_burst = max(1, burst_total // self.burst_count)
+        starts = rng.choice(
+            max(1, n_reads - per_burst), size=self.burst_count, replace=True
+        )
+        for s in starts:
+            mult[s : s + per_burst] = self.burst_multiplier
+        return mult
+
+
+@dataclass
+class SimulatedDataset:
+    """A simulated dataset plus its ground truth.
+
+    ``block`` is what the pipeline sees; ``true_codes`` and ``error_mask``
+    are the oracle used by :mod:`repro.core.metrics`.  ``reverse_strand``
+    marks reads sampled from the reverse genome strand (all-False unless
+    the simulator's ``both_strands`` option is on); read-local coordinates
+    are used throughout, so metrics need no special handling.
+    """
+
+    block: ReadBlock
+    true_codes: np.ndarray
+    error_mask: np.ndarray
+    genome: np.ndarray
+    positions: np.ndarray  # genome start coordinate of each read
+    reverse_strand: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=bool)
+    )
+
+    @property
+    def n_errors(self) -> int:
+        """Total number of substituted bases."""
+        return int(self.error_mask.sum())
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.block)
+
+    @property
+    def coverage(self) -> float:
+        """Read coverage = reads * length / genome size (Table I formula)."""
+        L = self.block.max_length
+        return self.n_reads * L / self.genome.shape[0]
+
+    def errors_per_read(self) -> np.ndarray:
+        """Number of substituted bases in each read."""
+        return self.error_mask.sum(axis=1).astype(np.int64)
+
+
+@dataclass
+class ReadSimulator:
+    """Samples fixed-length reads from a genome and injects errors.
+
+    With ``both_strands`` on, each read independently comes from the
+    forward or reverse strand with equal probability (a reverse read is
+    the reverse complement of its genome window) — matching real
+    sequencing and requiring the corrector's
+    ``count_reverse_complement`` option for full-coverage spectra.
+    """
+
+    genome: np.ndarray
+    read_length: int
+    error_model: ErrorModel = field(default_factory=ErrorModel)
+    seed: int = 0
+    both_strands: bool = False
+
+    def __post_init__(self) -> None:
+        self.genome = np.ascontiguousarray(self.genome, dtype=np.uint8)
+        if self.read_length <= 0:
+            raise ValueError("read_length must be positive")
+        if self.genome.shape[0] < self.read_length:
+            raise ValueError("genome shorter than read length")
+
+    def n_reads_for_coverage(self, coverage: float) -> int:
+        """Read count achieving the requested coverage."""
+        if coverage <= 0:
+            raise ValueError("coverage must be positive")
+        return max(1, int(round(coverage * self.genome.shape[0] / self.read_length)))
+
+    def simulate(
+        self, n_reads: int | None = None, coverage: float | None = None
+    ) -> SimulatedDataset:
+        """Generate the dataset; specify exactly one of n_reads/coverage."""
+        if (n_reads is None) == (coverage is None):
+            raise ValueError("specify exactly one of n_reads or coverage")
+        if n_reads is None:
+            n_reads = self.n_reads_for_coverage(coverage)
+        if n_reads <= 0:
+            raise ValueError("n_reads must be positive")
+        rng = np.random.default_rng(self.seed)
+        G, L = self.genome.shape[0], self.read_length
+
+        positions = rng.integers(0, G - L + 1, size=n_reads, dtype=np.int64)
+        # Gather all reads at once: (n, L) fancy index into the genome.
+        true_codes = self.genome[positions[:, None] + np.arange(L)[None, :]]
+
+        if self.both_strands:
+            reverse = rng.random(n_reads) < 0.5
+            # Reverse complement the chosen rows in read-local coordinates.
+            flipped = true_codes[reverse][:, ::-1]
+            true_codes = true_codes.copy()
+            true_codes[reverse] = (np.uint8(3) - flipped)
+        else:
+            reverse = np.zeros(n_reads, dtype=bool)
+
+        rates = self.error_model.positional_rates(L)
+        mult = self.error_model.read_multipliers(n_reads, rng)
+        prob = np.clip(mult[:, None] * rates[None, :], 0.0, 0.75)
+        error_mask = rng.random((n_reads, L)) < prob
+
+        codes = true_codes.copy()
+        n_err = int(error_mask.sum())
+        if n_err:
+            shift = rng.integers(1, 4, size=n_err, dtype=np.uint8)
+            codes[error_mask] = (codes[error_mask] + shift) % 4
+
+        quals = self._qualities(error_mask, rng)
+
+        block = ReadBlock(
+            ids=np.arange(1, n_reads + 1, dtype=np.int64),
+            codes=codes,
+            lengths=np.full(n_reads, L, dtype=np.int32),
+            quals=quals,
+        )
+        return SimulatedDataset(
+            block=block,
+            true_codes=true_codes,
+            error_mask=error_mask,
+            genome=self.genome,
+            positions=positions,
+            reverse_strand=reverse,
+        )
+
+    def _qualities(
+        self, error_mask: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        m = self.error_model
+        n, L = error_mask.shape
+        pos_drop = m.q_decay * np.arange(L, dtype=np.float64) / max(1, L - 1)
+        q = np.where(error_mask, m.q_low, m.q_high) - pos_drop[None, :]
+        q = q + rng.normal(0.0, m.q_noise, size=(n, L))
+        return np.clip(np.rint(q), 2, 41).astype(np.uint8)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Sub-hierarchies follow the
+package layout: codec / I/O / runtime (message passing) / configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration file or parameter set is invalid or inconsistent."""
+
+
+class CodecError(ReproError):
+    """A sequence cannot be encoded or a code cannot be decoded."""
+
+    def __init__(self, message: str, *, position: int | None = None) -> None:
+        super().__init__(message)
+        #: Offset of the offending character within the input, when known.
+        self.position = position
+
+
+class SpectrumError(ReproError):
+    """Spectrum construction or lookup failed (bad k, empty input, ...)."""
+
+
+class HashTableError(ReproError):
+    """An open-addressing table operation failed (e.g. table is full)."""
+
+
+class FileFormatError(ReproError):
+    """An input file does not conform to its declared format."""
+
+    def __init__(self, message: str, *, path: str | None = None, line: int | None = None) -> None:
+        detail = message
+        if path is not None:
+            detail = f"{path}: {detail}"
+        if line is not None:
+            detail = f"{detail} (line {line})"
+        super().__init__(detail)
+        self.path = path
+        self.line = line
+
+
+class CommunicatorError(ReproError):
+    """A message-passing operation was used incorrectly or failed."""
+
+
+class RankMismatchError(CommunicatorError):
+    """A collective was invoked with inconsistent arguments across ranks."""
+
+
+class DeadlockError(CommunicatorError):
+    """The runtime detected that all live ranks are blocked with no messages
+    in flight, i.e. the SPMD program can never make progress again."""
+
+
+class ModelError(ReproError):
+    """A performance-model query is outside the model's valid domain."""

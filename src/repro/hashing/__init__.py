@@ -1,0 +1,24 @@
+"""Hashing substrate: integer mixers, count hash tables, Bloom filters.
+
+The paper replaces the prior work's sorted-array spectra (binary-search
+lookups) with hash tables; :class:`CountHash` is that structure — an
+open-addressing table over uint64 keys with uint32 counts, fully
+numpy-backed so batch inserts/lookups run vectorized.  The same mixer that
+buckets keys inside the table also defines *ownership*
+(``mix(key) % nranks``), the paper's rank-assignment rule for k-mers, tiles
+and sequences.
+"""
+
+from repro.hashing.inthash import splitmix64, mix_to_rank
+from repro.hashing.counthash import CountHash
+from repro.hashing.bloom import BloomFilter
+from repro.hashing.sortedspectrum import SortedSpectrum, EytzingerSpectrum
+
+__all__ = [
+    "splitmix64",
+    "mix_to_rank",
+    "CountHash",
+    "BloomFilter",
+    "SortedSpectrum",
+    "EytzingerSpectrum",
+]

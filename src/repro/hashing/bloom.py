@@ -1,0 +1,109 @@
+"""Bloom filter over uint64 keys.
+
+The paper notes ("a memory-efficient alternative to this step is usage of a
+Bloom filter") that spectrum thresholding can be approximated with a Bloom
+filter instead of exact count tables.  :class:`BloomFilter` implements a
+counting-free two-pass idiom: insert every key once, and keys whose second
+insertion finds all bits set are "probably repeated" — the standard trick for
+filtering singleton k-mers, which dominate error-induced spectrum noise.
+
+The filter is numpy-backed (a packed bit array) and all operations are
+vectorized over key batches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.inthash import splitmix64
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter for uint64 keys.
+
+    Parameters
+    ----------
+    expected_items:
+        Sizing target; with ``fp_rate`` determines the bit-array size and
+        the number of hash functions by the textbook formulas.
+    fp_rate:
+        Desired false-positive probability at ``expected_items`` insertions.
+    """
+
+    __slots__ = ("_bits", "_nbits", "_k")
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        nbits = max(64, int(-expected_items * math.log(fp_rate) / (math.log(2) ** 2)))
+        self._nbits = nbits
+        self._k = max(1, round(nbits / expected_items * math.log(2)))
+        self._bits = np.zeros((nbits + 7) // 8, dtype=np.uint8)
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash functions in use."""
+        return self._k
+
+    @property
+    def nbits(self) -> int:
+        """Size of the bit array in bits."""
+        return self._nbits
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the bit array."""
+        return self._bits.nbytes
+
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """Bit positions, shape (len(keys), k), via double hashing."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        h1 = splitmix64(keys)
+        h2 = splitmix64(keys ^ _GOLDEN) | np.uint64(1)  # odd => full-period
+        i = np.arange(self._k, dtype=np.uint64)
+        return ((h1[:, None] + i * h2[:, None]) % np.uint64(self._nbits)).astype(
+            np.int64
+        )
+
+    def add(self, keys: np.ndarray) -> None:
+        """Insert a batch of keys."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        if keys.size == 0:
+            return
+        pos = self._positions(keys).ravel()
+        np.bitwise_or.at(self._bits, pos >> 3, (1 << (pos & 7)).astype(np.uint8))
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Probabilistic membership per key (no false negatives)."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        if keys.size == 0:
+            return np.empty(0, dtype=bool)
+        pos = self._positions(keys)
+        bits = (self._bits[pos >> 3] >> (pos & 7).astype(np.uint8)) & 1
+        return bits.all(axis=1)
+
+    def add_and_test(self, keys: np.ndarray) -> np.ndarray:
+        """Insert keys, returning which were (probably) present already.
+
+        Used for two-pass singleton filtering: on the first occurrence the
+        result is False, on the second and later occurrences True.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        if keys.size == 0:
+            return np.empty(0, dtype=bool)
+        pos = self._positions(keys)
+        bits = (self._bits[pos >> 3] >> (pos & 7).astype(np.uint8)) & 1
+        seen = bits.all(axis=1)
+        flat = pos.ravel()
+        np.bitwise_or.at(self._bits, flat >> 3, (1 << (flat & 7)).astype(np.uint8))
+        return seen
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — a saturation diagnostic."""
+        return float(np.unpackbits(self._bits).sum()) / (len(self._bits) * 8)

@@ -1,0 +1,294 @@
+"""Open-addressing count hash table over uint64 keys.
+
+This is the paper's spectrum container: "we store the k-mer and tile spectrum
+in hash tables instead of arrays; this prevents any need for sorting the
+arrays or for repeated binary searches."  The table is numpy-backed — three
+flat arrays (keys, counts, occupancy) — so batch inserts and lookups are
+vectorized across whole reads or whole incoming messages, and the memory
+footprint is exactly measurable (:attr:`CountHash.nbytes`), which the paper's
+per-rank memory figures rely on.
+
+Probing is linear with a splitmix64-mixed home slot.  Batch operations
+resolve collisions round-by-round on the shrinking unresolved subset, so cost
+is O(rounds) numpy passes rather than O(n) Python iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HashTableError
+from repro.hashing.inthash import splitmix64
+
+_MIN_CAPACITY = 64
+_MAX_LOAD = 0.60
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+class CountHash:
+    """Mutable uint64 → uint32 count map with vectorized batch operations.
+
+    Parameters
+    ----------
+    capacity:
+        Initial number of slots (rounded up to a power of two).  The table
+        grows automatically; pre-sizing only avoids rehashes.
+    """
+
+    __slots__ = ("_keys", "_counts", "_used", "_size", "_mask")
+
+    def __init__(self, capacity: int = _MIN_CAPACITY) -> None:
+        cap = _next_pow2(max(int(capacity), _MIN_CAPACITY))
+        self._alloc(cap)
+
+    def _alloc(self, cap: int) -> None:
+        self._keys = np.zeros(cap, dtype=np.uint64)
+        self._counts = np.zeros(cap, dtype=np.uint32)
+        self._used = np.zeros(cap, dtype=bool)
+        self._size = 0
+        self._mask = np.uint64(cap - 1)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current number of slots."""
+        return self._keys.shape[0]
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of slots occupied."""
+        return self._size / self.capacity
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing arrays (the rank memory-footprint unit)."""
+        return self._keys.nbytes + self._counts.nbytes + self._used.nbytes
+
+    def __contains__(self, key: int) -> bool:
+        return self._find_slot(int(key)) is not None
+
+    def _find_slot(self, key: int) -> int | None:
+        """Slot index of ``key`` or None; scalar path for __contains__/get."""
+        mask = int(self._mask)
+        slot = int(splitmix64(np.uint64(key))) & mask
+        for _ in range(self.capacity):
+            if not self._used[slot]:
+                return None
+            if int(self._keys[slot]) == int(key):
+                return slot
+            slot = (slot + 1) & mask
+        return None
+
+    def get(self, key: int, default: int = 0) -> int:
+        """Count stored for ``key`` (``default`` when absent)."""
+        slot = self._find_slot(int(key))
+        if slot is None:
+            return default
+        return int(self._counts[slot])
+
+    # ------------------------------------------------------------------
+    # batch mutation
+    # ------------------------------------------------------------------
+    def add_counts(self, keys: np.ndarray, counts: np.ndarray | int = 1) -> None:
+        """Add ``counts`` to each key (inserting absent keys).
+
+        ``keys`` may contain duplicates; duplicate contributions are summed
+        first so each unique key is probed once.  ``counts`` may be a scalar
+        applied to every occurrence.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        if np.isscalar(counts) or np.asarray(counts).ndim == 0:
+            uniq, inv_counts = np.unique(keys, return_counts=True)
+            add = inv_counts.astype(np.uint64) * np.uint64(int(counts))
+        else:
+            counts = np.ascontiguousarray(counts, dtype=np.uint64)
+            if counts.shape != keys.shape:
+                raise HashTableError(
+                    f"counts shape {counts.shape} != keys shape {keys.shape}"
+                )
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            add = np.zeros(uniq.shape[0], dtype=np.uint64)
+            np.add.at(add, inverse, counts)
+        self._reserve(self._size + uniq.shape[0])
+        slots = self._locate_for_insert(uniq)
+        # Saturating add into uint32 counts.
+        total = self._counts[slots].astype(np.uint64) + add
+        np.minimum(total, np.uint64(np.iinfo(np.uint32).max), out=total)
+        self._counts[slots] = total.astype(np.uint32)
+
+    def increment(self, keys: np.ndarray) -> None:
+        """Shorthand for ``add_counts(keys, 1)``."""
+        self.add_counts(keys, 1)
+
+    def _reserve(self, projected_size: int) -> None:
+        needed = int(projected_size / _MAX_LOAD) + 1
+        if needed > self.capacity:
+            self._grow(_next_pow2(needed))
+
+    def _grow(self, new_cap: int) -> None:
+        old_keys = self._keys[self._used]
+        old_counts = self._counts[self._used]
+        self._alloc(new_cap)
+        if old_keys.size:
+            slots = self._locate_for_insert(old_keys)
+            self._counts[slots] = old_counts
+
+    def _locate_for_insert(self, uniq: np.ndarray) -> np.ndarray:
+        """Slot for each unique key, claiming free slots for new keys.
+
+        Distinct new keys racing for the same free slot are arbitrated per
+        probing round: the first claims it, the rest advance.
+        """
+        n = uniq.shape[0]
+        result = np.empty(n, dtype=np.int64)
+        slots = (splitmix64(uniq) & self._mask).astype(np.int64)
+        pending = np.arange(n, dtype=np.int64)
+        mask = int(self._mask)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise HashTableError("probe loop exceeded capacity (table full)")
+            s = slots[pending]
+            occ = self._used[s]
+            matched = np.zeros(pending.shape[0], dtype=bool)
+            occ_idx = np.nonzero(occ)[0]
+            if occ_idx.size:
+                matched[occ_idx] = self._keys[s[occ_idx]] == uniq[pending[occ_idx]]
+            resolved = matched.copy()
+            result[pending[matched]] = s[matched]
+            free_idx = np.nonzero(~occ)[0]
+            if free_idx.size:
+                fslots = s[free_idx]
+                _, first = np.unique(fslots, return_index=True)
+                winners = free_idx[first]
+                wslots = s[winners]
+                self._used[wslots] = True
+                self._keys[wslots] = uniq[pending[winners]]
+                self._counts[wslots] = 0
+                self._size += winners.shape[0]
+                result[pending[winners]] = wslots
+                resolved[winners] = True
+            rem = ~resolved
+            slots[pending[rem]] = (s[rem] + 1) & mask
+            pending = pending[rem]
+        return result
+
+    # ------------------------------------------------------------------
+    # batch queries
+    # ------------------------------------------------------------------
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Counts for each key (0 for absent keys); duplicates allowed.
+
+        This is the operation the error-correction phase performs millions of
+        times — locally for owned keys, over the wire otherwise.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.shape[0], dtype=np.uint32)
+        if keys.size == 0 or self._size == 0:
+            return out
+        slots = (splitmix64(keys) & self._mask).astype(np.int64)
+        pending = np.arange(keys.shape[0], dtype=np.int64)
+        mask = int(self._mask)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise HashTableError("lookup probe loop exceeded capacity")
+            s = slots[pending]
+            occ = self._used[s]
+            matched = np.zeros(pending.shape[0], dtype=bool)
+            occ_idx = np.nonzero(occ)[0]
+            if occ_idx.size:
+                matched[occ_idx] = self._keys[s[occ_idx]] == keys[pending[occ_idx]]
+            out[pending[matched]] = self._counts[s[matched]]
+            # Absent: hit a free slot -> resolved with count 0.
+            resolved = matched | ~occ
+            rem = ~resolved
+            slots[pending[rem]] = (s[rem] + 1) & mask
+            pending = pending[rem]
+        return out
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership per key (count may legitimately be 0 only for
+        keys never inserted, so membership equals lookup > 0 except for keys
+        inserted with zero count — which :meth:`add_counts` never produces)."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.shape[0], dtype=bool)
+        if keys.size == 0 or self._size == 0:
+            return out
+        slots = (splitmix64(keys) & self._mask).astype(np.int64)
+        pending = np.arange(keys.shape[0], dtype=np.int64)
+        mask = int(self._mask)
+        while pending.size:
+            s = slots[pending]
+            occ = self._used[s]
+            matched = np.zeros(pending.shape[0], dtype=bool)
+            occ_idx = np.nonzero(occ)[0]
+            if occ_idx.size:
+                matched[occ_idx] = self._keys[s[occ_idx]] == keys[pending[occ_idx]]
+            out[pending[matched]] = True
+            resolved = matched | ~occ
+            rem = ~resolved
+            slots[pending[rem]] = (s[rem] + 1) & mask
+            pending = pending[rem]
+        return out
+
+    # ------------------------------------------------------------------
+    # bulk access / maintenance
+    # ------------------------------------------------------------------
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of all (keys, counts), in unspecified order."""
+        used = self._used
+        return self._keys[used].copy(), self._counts[used].copy()
+
+    def filter_below(self, threshold: int) -> int:
+        """Drop every entry with count < ``threshold``; returns #removed.
+
+        This is the paper's spectrum thresholding step ("k-mers and tiles
+        below a threshold are subsequently removed").  The table is rebuilt
+        compactly, shrinking the footprint.
+        """
+        keys, counts = self.items()
+        keep = counts >= np.uint32(threshold)
+        removed = int((~keep).sum())
+        if removed == 0:
+            return 0
+        kept_keys, kept_counts = keys[keep], counts[keep]
+        self._alloc(_next_pow2(max(_MIN_CAPACITY, int(kept_keys.size / _MAX_LOAD) + 1)))
+        if kept_keys.size:
+            slots = self._locate_for_insert(kept_keys)
+            self._counts[slots] = kept_counts
+        return removed
+
+    def clear(self) -> None:
+        """Remove all entries, shrinking back to the minimum capacity."""
+        self._alloc(_MIN_CAPACITY)
+
+    def merge_from(self, other: "CountHash") -> None:
+        """Add every (key, count) of ``other`` into this table."""
+        keys, counts = other.items()
+        self.add_counts(keys, counts.astype(np.uint64))
+
+    def copy(self) -> "CountHash":
+        """Deep copy preserving layout."""
+        dup = CountHash.__new__(CountHash)
+        dup._keys = self._keys.copy()
+        dup._counts = self._counts.copy()
+        dup._used = self._used.copy()
+        dup._size = self._size
+        dup._mask = self._mask
+        return dup

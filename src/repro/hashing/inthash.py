@@ -1,0 +1,49 @@
+"""Integer hash mixers.
+
+K-mer and tile ids are highly structured (low entropy in low bits for
+repetitive genomes), so both table bucketing and rank ownership pass ids
+through a finalizing mixer first.  We use the splitmix64 finalizer — the same
+construction used by ``std::hash``-quality implementations — vectorized over
+uint64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_C1 = np.uint64(0xBF58476D1CE4E5B9)
+_C2 = np.uint64(0x94D049BB133111EB)
+_ADD = np.uint64(0x9E3779B97F4A7C15)
+
+
+def splitmix64(x: int | np.ndarray) -> np.ndarray | int:
+    """splitmix64 finalizer; accepts a scalar or a uint64 array.
+
+    Bijective on uint64, so distinct ids never collide at this stage; all
+    collisions come from the subsequent modulo, which the mixer randomizes.
+    """
+    scalar = np.isscalar(x) or np.asarray(x).ndim == 0
+    # Wrap-around multiplication is the point; silence numpy's scalar
+    # overflow warning (the array path never warns).
+    with np.errstate(over="ignore"):
+        z = (np.asarray(x, dtype=np.uint64) + _ADD)
+        z = (z ^ (z >> np.uint64(30))) * _C1
+        z = (z ^ (z >> np.uint64(27))) * _C2
+        z = z ^ (z >> np.uint64(31))
+    if scalar:
+        return int(z)
+    return z
+
+
+def mix_to_rank(keys: int | np.ndarray, nranks: int) -> np.ndarray | int:
+    """Owning rank of each key: ``hashFunction(key) % nranks``.
+
+    This single function defines ownership for k-mers, tiles *and* sequences
+    (the load-balancing redistribution), exactly as in the paper.
+    """
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    mixed = splitmix64(keys)
+    if np.isscalar(mixed):
+        return int(mixed % nranks)
+    return (mixed % np.uint64(nranks)).astype(np.int64)

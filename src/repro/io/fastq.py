@@ -1,0 +1,118 @@
+"""fastq reading and the fastq → fasta + quality preprocessing step.
+
+The paper: "Reptile is not capable of reading the fastq format. ... the names
+have been pre-processed to be sequence numbers (in ascending order beginning
+with number 1)."  :func:`fastq_to_fasta_qual` performs exactly that
+conversion, renumbering records and splitting the bases and the (decoded
+Phred) scores into the two files Step I expects.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FileFormatError
+from repro.io.fasta import write_fasta
+from repro.io.quality import write_quality
+
+#: Sanger/Illumina-1.8 Phred ASCII offset.
+PHRED_OFFSET = 33
+
+
+def read_fastq(path: str | os.PathLike) -> Iterator[tuple[str, str, np.ndarray]]:
+    """Iterate (name, sequence, phred_scores) over a fastq file."""
+    with open(path, "r", encoding="ascii") as fh:
+        lineno = 0
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            lineno += 1
+            header = header.rstrip("\r\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise FileFormatError(
+                    f"expected '@' header, got {header[:20]!r}",
+                    path=str(path), line=lineno,
+                )
+            seq = fh.readline().rstrip("\r\n")
+            plus = fh.readline().rstrip("\r\n")
+            qual = fh.readline().rstrip("\r\n")
+            lineno += 3
+            if not plus.startswith("+"):
+                raise FileFormatError(
+                    "expected '+' separator line", path=str(path), line=lineno - 1
+                )
+            if len(qual) != len(seq):
+                raise FileFormatError(
+                    f"quality length {len(qual)} != sequence length {len(seq)}",
+                    path=str(path), line=lineno,
+                )
+            scores = (
+                np.frombuffer(qual.encode("ascii"), dtype=np.uint8).astype(np.int16)
+                - PHRED_OFFSET
+            )
+            if scores.size and scores.min() < 0:
+                raise FileFormatError(
+                    "quality characters below Phred offset 33",
+                    path=str(path), line=lineno,
+                )
+            yield header[1:].split()[0] if len(header) > 1 else "", seq, scores.astype(
+                np.uint8
+            )
+
+
+def write_fastq(
+    path: str | os.PathLike,
+    records: "Iterator[tuple[str, str, np.ndarray]] | list",
+) -> int:
+    """Write (name, sequence, phred_scores) records as fastq.
+
+    The inverse of :func:`read_fastq`; scores are re-encoded with the
+    Sanger offset.  Returns the number of records written.
+    """
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for name, seq, scores in records:
+            scores = np.asarray(scores, dtype=np.int16)
+            if scores.shape[0] != len(seq):
+                raise FileFormatError(
+                    f"record {name!r}: {scores.shape[0]} scores for "
+                    f"{len(seq)} bases",
+                    path=str(path),
+                )
+            if scores.size and (scores.min() < 0 or scores.max() > 93):
+                raise FileFormatError(
+                    f"record {name!r}: Phred scores outside [0, 93]",
+                    path=str(path),
+                )
+            qual = (scores + PHRED_OFFSET).astype(np.uint8).tobytes().decode(
+                "ascii"
+            )
+            fh.write(f"@{name}\n{seq}\n+\n{qual}\n")
+            n += 1
+    return n
+
+
+def fastq_to_fasta_qual(
+    fastq_path: str | os.PathLike,
+    fasta_path: str | os.PathLike,
+    qual_path: str | os.PathLike,
+) -> int:
+    """Convert fastq to the fasta + quality pair Reptile consumes.
+
+    Records are renumbered 1..n in file order (original names discarded, as
+    in the paper's dataset preparation).  Returns the number of reads.
+    """
+    seqs: list[str] = []
+    quals: list[np.ndarray] = []
+    for _name, seq, scores in read_fastq(fastq_path):
+        seqs.append(seq)
+        quals.append(scores)
+    write_fasta(fasta_path, seqs)
+    write_quality(qual_path, quals)
+    return len(seqs)

@@ -1,0 +1,190 @@
+"""2-bit DNA codec and vectorized window-id extraction.
+
+A base maps to two bits (A=0, C=1, G=2, T=3); a window of ``w`` bases maps to
+an unsigned 64-bit id with the leftmost base in the most significant position,
+exactly like Reptile's integer k-mer IDs.  ``w`` may be at most 32
+(:data:`MAX_K`).
+
+Ambiguous bases (``N`` and any other IUPAC code) are tolerated on input:
+:func:`encode_sequence` marks them with :data:`INVALID_CODE` and
+:func:`window_ids` reports a validity mask so windows touching an ambiguous
+base can be skipped, which is what Reptile does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+#: Largest window length whose 2-bit code fits in a uint64.
+MAX_K = 32
+
+#: Sentinel code for a base that is not one of A/C/G/T.
+INVALID_CODE = np.uint8(0xFF)
+
+_BASES = "ACGT"
+
+# ASCII lookup table: both cases of ACGT map to 0..3, everything else to 0xFF.
+_ENCODE_LUT = np.full(256, INVALID_CODE, dtype=np.uint8)
+for _i, _b in enumerate(_BASES):
+    _ENCODE_LUT[ord(_b)] = _i
+    _ENCODE_LUT[ord(_b.lower())] = _i
+
+
+def encode_sequence(seq: str | bytes | np.ndarray) -> np.ndarray:
+    """Encode a DNA sequence into an array of 2-bit codes (dtype uint8).
+
+    Ambiguous bases become :data:`INVALID_CODE`; no exception is raised so
+    callers can decide window-by-window (see :func:`window_ids`).
+
+    Parameters
+    ----------
+    seq:
+        A ``str``, ``bytes``, or uint8 array of ASCII codes.
+    """
+    if isinstance(seq, str):
+        raw = np.frombuffer(seq.encode("ascii", errors="replace"), dtype=np.uint8)
+    elif isinstance(seq, (bytes, bytearray, memoryview)):
+        raw = np.frombuffer(bytes(seq), dtype=np.uint8)
+    else:
+        raw = np.asarray(seq, dtype=np.uint8)
+    return _ENCODE_LUT[raw]
+
+
+def is_valid_sequence(seq: str | bytes) -> bool:
+    """True when every base of ``seq`` is one of A/C/G/T (any case)."""
+    codes = encode_sequence(seq)
+    return bool((codes != INVALID_CODE).all())
+
+
+def _check_window(w: int) -> None:
+    if not 1 <= w <= MAX_K:
+        raise CodecError(f"window length must be in [1, {MAX_K}], got {w}")
+
+
+def window_ids(codes: np.ndarray, w: int) -> tuple[np.ndarray, np.ndarray]:
+    """All length-``w`` window ids of a 2-bit code array, plus validity.
+
+    Returns ``(ids, valid)`` where ``ids`` has dtype uint64 and length
+    ``len(codes) - w + 1`` and ``valid[i]`` is False when window ``i``
+    contains an ambiguous base (its id is meaningless and must be skipped).
+
+    The computation is a vectorized polynomial evaluation over a sliding
+    window view — no Python-level per-base loop.
+    """
+    _check_window(w)
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    n = codes.shape[0]
+    if n < w:
+        return (
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=bool),
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(codes, w)
+    valid = ~(windows == INVALID_CODE).any(axis=1)
+    # Shift weights: leftmost base is most significant.
+    shifts = np.arange(w - 1, -1, -1, dtype=np.uint64) * np.uint64(2)
+    # 0xFF codes would corrupt the ids; zero them first (masked out anyway).
+    clean = np.where(windows == INVALID_CODE, np.uint8(0), windows)
+    ids = (clean.astype(np.uint64) << shifts).sum(axis=1, dtype=np.uint64)
+    return ids, valid
+
+
+def kmer_ids(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Alias of :func:`window_ids` named for the k-mer use case."""
+    return window_ids(codes, k)
+
+
+def decode_kmer(kid: int, k: int) -> str:
+    """Decode a window id back to its DNA string (inverse of encoding)."""
+    _check_window(k)
+    kid = int(kid)
+    if kid < 0 or kid >= 1 << (2 * k):
+        raise CodecError(f"id {kid} out of range for k={k}")
+    out = []
+    for shift in range(2 * (k - 1), -1, -2):
+        out.append(_BASES[(kid >> shift) & 3])
+    return "".join(out)
+
+
+def reverse_complement_id(kid: int | np.ndarray, k: int) -> int | np.ndarray:
+    """Reverse-complement of a window id (or array of ids).
+
+    Complementing a 2-bit base is ``3 - code`` (A<->T, C<->G); reversal swaps
+    base positions end for end.
+    """
+    _check_window(k)
+    ids = np.asarray(kid, dtype=np.uint64)
+    out = np.zeros_like(ids)
+    work = ids.copy()
+    for _ in range(k):
+        out = (out << np.uint64(2)) | (np.uint64(3) - (work & np.uint64(3)))
+        work >>= np.uint64(2)
+    if np.isscalar(kid) or np.asarray(kid).ndim == 0:
+        return int(out)
+    return out
+
+
+def canonical_id(kid: int | np.ndarray, k: int) -> int | np.ndarray:
+    """The lexicographically smaller of a window id and its reverse
+    complement — the strand-independent representative."""
+    rc = reverse_complement_id(kid, k)
+    if np.isscalar(kid) or np.asarray(kid).ndim == 0:
+        return min(int(kid), int(rc))
+    ids = np.asarray(kid, dtype=np.uint64)
+    return np.minimum(ids, rc)
+
+
+def block_window_ids(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    w: int,
+    step: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Window ids for a whole batch of reads at once.
+
+    ``codes`` is a (n_reads, width) 2-bit code matrix (padded rows hold
+    :data:`INVALID_CODE`); ``lengths`` gives each read's true length.
+    Returns ``(ids, valid)``, both shaped (n_reads, n_starts) where starts
+    are ``0, step, 2*step, ...`` up to ``width - w``.  ``valid`` is False for
+    windows extending past a read's length or touching an ambiguous base.
+
+    The id computation is a rolling polynomial over ``w`` shifted column
+    slices — O(w) vectorized passes, no per-read Python loop and no
+    (n, starts, w) uint64 materialization.
+    """
+    _check_window(w)
+    if step < 1:
+        raise CodecError(f"step must be >= 1, got {step}")
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n, width = codes.shape
+    if width < w:
+        return (
+            np.empty((n, 0), dtype=np.uint64),
+            np.empty((n, 0), dtype=bool),
+        )
+    starts = np.arange(0, width - w + 1, step, dtype=np.int64)
+    s = starts.shape[0]
+    ids = np.zeros((n, s), dtype=np.uint64)
+    bad = np.zeros((n, s), dtype=bool)
+    clean = np.where(codes == INVALID_CODE, np.uint8(0), codes)
+    invalid = codes == INVALID_CODE
+    for j in range(w):
+        cols = starts + j
+        ids <<= np.uint64(2)
+        ids |= clean[:, cols].astype(np.uint64)
+        bad |= invalid[:, cols]
+    within = (starts[None, :] + w) <= lengths[:, None]
+    return ids, within & ~bad
+
+
+def decode_sequence(codes: np.ndarray) -> str:
+    """Decode a 2-bit code array back to a DNA string ('N' for invalid)."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    lut = np.frombuffer(b"ACGT", dtype=np.uint8)
+    out = np.full(codes.shape, ord("N"), dtype=np.uint8)
+    ok = codes < 4
+    out[ok] = lut[codes[ok]]
+    return out.tobytes().decode("ascii")

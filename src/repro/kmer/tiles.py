@@ -1,0 +1,121 @@
+"""Tile extraction.
+
+A *tile* in Reptile is the concatenation of two k-mers that overlap by a
+fixed number of bases, i.e. a window of ``2k - overlap`` bases.  Because a
+tile has almost twice the characters of a k-mer, correcting at the tile level
+has far fewer Hamming-neighbour candidates, which is the source of Reptile's
+accuracy.  Tile ids are 2-bit codes like k-mer ids, and the paper notes the
+tile id needs a wide integer ("up to 2k characters"); with uint64 ids this
+bounds ``2k - overlap`` at 32 bases.
+
+Consecutive tiles of a read advance by ``k - overlap`` bases so that the
+second k-mer of tile *i* is the first k-mer of tile *i+1* — the "adjoining
+k-mers" structure the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.kmer.codec import MAX_K, window_ids
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Geometry of the tiling: k-mer length and intra-tile overlap.
+
+    ``step`` is the distance between the start positions of the two k-mers
+    forming a tile, and equally the stride between consecutive tiles.
+    """
+
+    k: int
+    overlap: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= MAX_K:
+            raise CodecError(f"k must be in [1, {MAX_K}], got {self.k}")
+        if not 0 <= self.overlap < self.k:
+            raise CodecError(
+                f"overlap must be in [0, k), got {self.overlap} for k={self.k}"
+            )
+        if self.length > MAX_K:
+            raise CodecError(
+                f"tile length 2k - overlap = {self.length} exceeds {MAX_K}; "
+                "use a smaller k or a larger overlap"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of bases in a tile: ``2k - overlap``."""
+        return 2 * self.k - self.overlap
+
+    @property
+    def step(self) -> int:
+        """Stride between consecutive tile (and k-mer) start positions."""
+        return self.k - self.overlap
+
+    def tile_starts(self, read_length: int) -> np.ndarray:
+        """Start offsets of every whole tile within a read of given length."""
+        last = read_length - self.length
+        if last < 0:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(0, last + 1, self.step, dtype=np.int64)
+
+    def kmer_starts(self, read_length: int) -> np.ndarray:
+        """Start offsets of the k-mers participating in the tiling."""
+        last = read_length - self.k
+        if last < 0:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(0, last + 1, self.step, dtype=np.int64)
+
+
+def tile_length(k: int, overlap: int) -> int:
+    """Convenience accessor for ``TileShape(k, overlap).length``."""
+    return TileShape(k, overlap).length
+
+
+def tile_ids(codes: np.ndarray, shape: TileShape) -> tuple[np.ndarray, np.ndarray]:
+    """All tile ids of a read (2-bit code array), plus a validity mask.
+
+    Tiles start every ``shape.step`` bases; a tile containing an ambiguous
+    base is reported invalid.  Implemented by slicing the full window-id
+    array with the tile stride — a view-based subsample, no recompute.
+    """
+    all_ids, all_valid = window_ids(codes, shape.length)
+    return all_ids[:: shape.step], all_valid[:: shape.step]
+
+
+def tile_id_from_kmers(first: int, second: int, shape: TileShape) -> int:
+    """Compose a tile id from its two overlapping k-mer ids.
+
+    The low ``2*overlap`` bits of ``first`` must equal the high ``2*overlap``
+    bits of ``second`` (they encode the same bases); a mismatch raises
+    :class:`~repro.errors.CodecError`.
+    """
+    k, o = shape.k, shape.overlap
+    first = int(first)
+    second = int(second)
+    if o > 0:
+        first_tail = first & ((1 << (2 * o)) - 1)
+        second_head = second >> (2 * (k - o))
+        if first_tail != second_head:
+            raise CodecError(
+                "k-mers do not overlap consistently: "
+                f"suffix {first_tail:#x} != prefix {second_head:#x}"
+            )
+    suffix_len = k - o  # bases contributed by the second k-mer
+    suffix = second & ((1 << (2 * suffix_len)) - 1)
+    return (first << (2 * suffix_len)) | suffix
+
+
+def split_tile_id(tile: int, shape: TileShape) -> tuple[int, int]:
+    """Inverse of :func:`tile_id_from_kmers`: the two k-mer ids of a tile."""
+    k = shape.k
+    suffix_len = k - shape.overlap
+    tile = int(tile)
+    first = tile >> (2 * suffix_len)
+    second = tile & ((1 << (2 * k)) - 1)
+    return first, second

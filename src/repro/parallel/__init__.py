@@ -1,0 +1,50 @@
+"""Distributed-memory Reptile: the paper's contribution.
+
+Both spectra are *distributed* across ranks — every k-mer, tile and (for
+load balancing) read has an owning rank ``hashFunction(x) % nranks`` — and
+error correction relies on message passing for counts the local rank does
+not hold:
+
+* Step I   — partitioned parallel reading (:mod:`repro.io.partition`),
+* Step II  — local spectrum construction split into owned (``hashKmer``)
+  and non-owned (``readsKmer``) tables (:mod:`repro.parallel.build`),
+* Step III — ``MPI_Alltoallv`` count exchange so owners hold true global
+  counts, then thresholding (:mod:`repro.parallel.exchange`),
+* Step IV  — correction with a request/response protocol for remote
+  lookups (:mod:`repro.parallel.correct`, :mod:`repro.parallel.server`),
+* static load balancing by hashing whole reads to ranks
+  (:mod:`repro.parallel.loadbalance`),
+* the paper's heuristics — universal messages, read-kmer/tile retention,
+  allgather replication, remote-lookup caching, batched reads tables,
+  and the future-work partial replication
+  (:mod:`repro.parallel.heuristics`, :mod:`repro.parallel.replication`).
+"""
+
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.ownership import kmer_owner, tile_owner, sequence_owner
+from repro.parallel.build import RankSpectra, build_rank_spectra
+from repro.parallel.loadbalance import redistribute_reads
+from repro.parallel.correct import DistributedSpectrumView, correct_distributed
+from repro.parallel.dynamicbalance import correct_dynamic
+from repro.parallel.memory import RankMemoryReport
+from repro.parallel.report import run_report, write_run_report
+from repro.parallel.driver import ParallelReptile, ParallelRunResult, RankReport
+
+__all__ = [
+    "HeuristicConfig",
+    "kmer_owner",
+    "tile_owner",
+    "sequence_owner",
+    "RankSpectra",
+    "build_rank_spectra",
+    "redistribute_reads",
+    "DistributedSpectrumView",
+    "correct_distributed",
+    "correct_dynamic",
+    "RankMemoryReport",
+    "run_report",
+    "write_run_report",
+    "ParallelReptile",
+    "ParallelRunResult",
+    "RankReport",
+]

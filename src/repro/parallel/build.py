@@ -1,0 +1,284 @@
+"""Steps II–III: distributed construction of the k-mer and tile spectra.
+
+Each rank splits the k-mers (tiles) of its reads by ownership: owned ones
+go straight into ``hashKmer`` (``hashTile``); the rest accumulate locally
+in ``readsKmer`` (``readsTile``).  An ``MPI_Alltoallv`` then routes every
+non-owned count to its owner, after which owners hold true global counts
+and apply the threshold.  In *batch reads table* mode the exchange runs
+after every chunk of reads — the reads tables never hold more than one
+chunk's keys, which is what fits the human dataset in 512 MB/rank — with an
+``MPI_Reduce``-style maximum so every rank participates in the same number
+of collective rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.core.spectrum import (
+    block_kmer_ids,
+    block_tile_ids,
+    block_window_ids_both_strands,
+)
+from repro.hashing.counthash import CountHash
+from repro.hashing.inthash import mix_to_rank
+from repro.io.records import ReadBlock
+from repro.kmer.tiles import TileShape
+from repro.parallel.exchange import exchange_counts, fetch_global_counts
+from repro.parallel.heuristics import HeuristicConfig
+from repro.simmpi.communicator import Communicator
+from repro.util.timer import PhaseTimer
+
+
+@dataclass
+class RankSpectra:
+    """One rank's share of the distributed spectra.
+
+    ``kmers``/``tiles`` are the owned tables (true global counts after
+    Step III).  ``reads_kmers``/``reads_tiles`` exist only under the *read
+    k-mers/tiles* heuristics (global-count caches for this rank's own
+    reads; also the target of *add remote lookups*).  Under allgather
+    replication the owned tables simply hold the whole spectrum.
+    """
+
+    shape: TileShape
+    rank: int
+    nranks: int
+    kmers: CountHash = field(default_factory=CountHash)
+    tiles: CountHash = field(default_factory=CountHash)
+    reads_kmers: CountHash | None = None
+    reads_tiles: CountHash | None = None
+    #: True when `kmers`/`tiles` hold the full spectrum (replicated).
+    kmers_replicated: bool = False
+    tiles_replicated: bool = False
+    #: Partial replication: owners covered by the local group tables.
+    group_ranks: tuple[int, ...] = ()
+    group_kmers: CountHash | None = None
+    group_tiles: CountHash | None = None
+    #: Largest total table footprint observed *during* construction —
+    #: includes the transient reads tables, which is exactly what the
+    #: batch-reads heuristic bounds.
+    peak_construction_bytes: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all tables this rank holds."""
+        total = self.kmers.nbytes + self.tiles.nbytes
+        for t in (self.reads_kmers, self.reads_tiles,
+                  self.group_kmers, self.group_tiles):
+            if t is not None:
+                total += t.nbytes
+        return total
+
+    @property
+    def table_sizes(self) -> dict[str, int]:
+        """Entry counts per table (for the Fig. 3 uniformity measurement)."""
+        sizes = {"kmers": len(self.kmers), "tiles": len(self.tiles)}
+        if self.reads_kmers is not None:
+            sizes["reads_kmers"] = len(self.reads_kmers)
+        if self.reads_tiles is not None:
+            sizes["reads_tiles"] = len(self.reads_tiles)
+        if self.group_kmers is not None:
+            sizes["group_kmers"] = len(self.group_kmers)
+        if self.group_tiles is not None:
+            sizes["group_tiles"] = len(self.group_tiles)
+        return sizes
+
+
+def _split_flat_by_ownership(
+    flat: np.ndarray,
+    rank: int,
+    nranks: int,
+    owned: CountHash,
+    reads: CountHash,
+) -> None:
+    """Step II core: owned ids into the hash table, the rest into reads."""
+    if flat.size == 0:
+        return
+    owners = mix_to_rank(flat, nranks)
+    mine = owners == rank
+    owned.add_counts(flat[mine])
+    reads.add_counts(flat[~mine])
+
+
+def build_rank_spectra(
+    comm: Communicator,
+    block: ReadBlock,
+    config: ReptileConfig,
+    heuristics: HeuristicConfig,
+    timer: PhaseTimer | None = None,
+) -> RankSpectra:
+    """Steps II-III for one rank's reads; returns its share of the spectra.
+
+    Collective: every rank must call this with its own block.  The
+    heuristics control batching, reads-table retention and replication.
+    """
+    timer = timer or PhaseTimer()
+    shape = config.tile_shape
+    spectra = RankSpectra(shape=shape, rank=comm.rank, nranks=comm.size)
+    reads_kmers = CountHash()
+    reads_tiles = CountHash()
+
+    with timer.phase("kmer_construction"):
+        def note_peak() -> None:
+            footprint = spectra.nbytes + reads_kmers.nbytes + reads_tiles.nbytes
+            if footprint > spectra.peak_construction_bytes:
+                spectra.peak_construction_bytes = footprint
+
+        if heuristics.batch_reads:
+            n_batches = _n_batches(len(block), config.chunk_size)
+            max_batches = comm.allreduce(n_batches, op=max)
+            chunk_iter = list(block.chunks(config.chunk_size))
+            for b in range(max_batches):
+                chunk = chunk_iter[b] if b < len(chunk_iter) else ReadBlock.empty()
+                _accumulate(chunk, shape, comm.rank, comm.size,
+                            spectra, reads_kmers, reads_tiles,
+                            config.count_reverse_complement)
+                note_peak()
+                # Every rank joins every round's exchange even when out of
+                # reads, because alltoallv is collective.
+                exchange_counts(comm, reads_kmers, spectra.kmers)
+                exchange_counts(comm, reads_tiles, spectra.tiles)
+                reads_kmers.clear()
+                reads_tiles.clear()
+        else:
+            _accumulate(block, shape, comm.rank, comm.size,
+                        spectra, reads_kmers, reads_tiles,
+                        config.count_reverse_complement)
+            note_peak()
+            exchange_counts(comm, reads_kmers, spectra.kmers)
+            exchange_counts(comm, reads_tiles, spectra.tiles)
+            reads_kmers.clear()
+            reads_tiles.clear()
+        note_peak()
+
+        # Owners now hold true global counts; apply the thresholds.
+        spectra.kmers.filter_below(config.kmer_threshold)
+        spectra.tiles.filter_below(config.tile_threshold)
+
+        _apply_read_tables(comm, block, config, heuristics, spectra)
+        _apply_replication(comm, heuristics, spectra)
+
+    return spectra
+
+
+def _n_batches(n_reads: int, chunk_size: int) -> int:
+    return (n_reads + chunk_size - 1) // chunk_size if n_reads else 0
+
+
+def _accumulate(
+    block: ReadBlock,
+    shape: TileShape,
+    rank: int,
+    nranks: int,
+    spectra: RankSpectra,
+    reads_kmers: CountHash,
+    reads_tiles: CountHash,
+    count_reverse_complement: bool = False,
+) -> None:
+    if len(block) == 0:
+        return
+    kids, kvalid = block_kmer_ids(block, shape)
+    flat_k = block_window_ids_both_strands(
+        kids, kvalid, shape.k, count_reverse_complement
+    )
+    _split_flat_by_ownership(flat_k, rank, nranks, spectra.kmers, reads_kmers)
+    tids, tvalid = block_tile_ids(block, shape)
+    flat_t = block_window_ids_both_strands(
+        tids, tvalid, shape.length, count_reverse_complement
+    )
+    _split_flat_by_ownership(flat_t, rank, nranks, spectra.tiles, reads_tiles)
+
+
+def _apply_read_tables(
+    comm: Communicator,
+    block: ReadBlock,
+    config: ReptileConfig,
+    heuristics: HeuristicConfig,
+    spectra: RankSpectra,
+) -> None:
+    """Read k-mers/tiles heuristic: fetch global counts for my reads' keys.
+
+    "an additional collective communication step is needed where each rank
+    sends the k-mers it does not own to the owning rank, requesting the
+    global count" — globally absent (sub-threshold) keys are cached with
+    count 0, so correction-time lookups can answer *absent* locally too.
+    """
+    shape = config.tile_shape
+    if heuristics.read_kmers:
+        kids, kvalid = block_kmer_ids(block, shape)
+        flat = np.unique(kids[kvalid]) if len(block) else np.empty(0, np.uint64)
+        not_mine = flat[mix_to_rank(flat, comm.size) != comm.rank] if flat.size else flat
+        keys, counts = fetch_global_counts(comm, not_mine, spectra.kmers)
+        cache = CountHash(capacity=max(64, 2 * keys.size))
+        cache.add_counts(keys, counts)
+        spectra.reads_kmers = cache
+    if heuristics.read_tiles:
+        tids, tvalid = block_tile_ids(block, shape)
+        flat = np.unique(tids[tvalid]) if len(block) else np.empty(0, np.uint64)
+        not_mine = flat[mix_to_rank(flat, comm.size) != comm.rank] if flat.size else flat
+        keys, counts = fetch_global_counts(comm, not_mine, spectra.tiles)
+        cache = CountHash(capacity=max(64, 2 * keys.size))
+        cache.add_counts(keys, counts)
+        spectra.reads_tiles = cache
+
+
+def _apply_replication(
+    comm: Communicator,
+    heuristics: HeuristicConfig,
+    spectra: RankSpectra,
+) -> None:
+    """Allgather (full) and group (partial) spectrum replication."""
+    if heuristics.allgather_kmers:
+        _allgather_into(comm, spectra.kmers)
+        spectra.kmers_replicated = True
+    if heuristics.allgather_tiles:
+        _allgather_into(comm, spectra.tiles)
+        spectra.tiles_replicated = True
+
+    g = heuristics.replication_group
+    if g > 1:
+        if comm.size % g != 0:
+            raise ValueError(
+                f"replication_group {g} must divide the rank count {comm.size}"
+            )
+        group = tuple(range((comm.rank // g) * g, (comm.rank // g) * g + g))
+        spectra.group_ranks = group
+        # A sub-communicator keeps the replication exchange inside the
+        # group — the structure a production MPI code would use.
+        group_comm = comm.split(comm.rank // g)
+        if not heuristics.allgather_kmers:
+            spectra.group_kmers = _group_gather(group_comm, spectra.kmers)
+        if not heuristics.allgather_tiles:
+            spectra.group_tiles = _group_gather(group_comm, spectra.tiles)
+
+
+def _allgather_into(comm: Communicator, table: CountHash) -> None:
+    """Replace ``table``'s contents with the union over all ranks."""
+    keys, counts = table.items()
+    payload = np.concatenate([keys, counts.astype(np.uint64)])
+    everyone = comm.allgather(payload)
+    for source, buf in enumerate(everyone):
+        if source == comm.rank:
+            continue
+        m = buf.shape[0] // 2
+        table.add_counts(buf[:m], buf[m:])
+
+
+def _group_gather(group_comm, table: CountHash) -> CountHash:
+    """Union of the owned tables across a replication group.
+
+    ``group_comm`` is the group's sub-communicator, so the allgather's
+    traffic never leaves the group.
+    """
+    keys, counts = table.items()
+    payload = np.concatenate([keys, counts.astype(np.uint64)])
+    gathered = group_comm.allgather(payload)
+    merged = CountHash()
+    for buf in gathered:
+        m = buf.shape[0] // 2
+        merged.add_counts(buf[:m], buf[m:])
+    return merged

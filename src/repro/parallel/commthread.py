@@ -1,0 +1,191 @@
+"""Step IV with a genuine per-rank communication thread.
+
+"Each rank at the beginning of this step forks two separate threads — one
+thread is responsible for the error correction of the reads in its part of
+the file, while the other thread acts as a communication thread.  The
+communication thread of each rank probes any incoming messages ... looks
+up the corresponding hash table ... and sends the appropriate response."
+
+:class:`CommThreadProtocol` is that design taken literally: a daemon
+thread per rank blocks on ``recv(ANY, ANY)``, serves k-mer/tile requests
+from the owned tables, routes count responses to the worker thread through
+a queue, and participates in the DONE/SHUTDOWN handshake.  It exposes the
+same ``request_counts``/``finish`` surface as the pump-based
+:class:`~repro.parallel.server.CorrectionProtocol`, so the distributed
+spectrum view works unchanged on top of either.
+
+Only the free-running :class:`~repro.simmpi.engine.ThreadedEngine` can
+host it — the cooperative engine's determinism depends on one thread per
+rank — and the driver enforces that.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.hashing.counthash import CountHash
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
+from repro.parallel.server import KIND_KMER, KIND_TILE
+
+#: How long the worker waits for a single response before concluding the
+#: run is wedged (seconds).
+RESPONSE_TIMEOUT = 120.0
+
+
+class CommThreadProtocol:
+    """Two-thread Step IV endpoint (see module docstring)."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        owned_kmers: CountHash,
+        owned_tiles: CountHash,
+        universal: bool = False,
+    ) -> None:
+        self.comm = comm
+        self.owned_kmers = owned_kmers
+        self.owned_tiles = owned_tiles
+        self.universal = universal
+        self._responses: "queue.Queue[Message]" = queue.Queue()
+        self._shutdown = threading.Event()
+        self._failure: BaseException | None = None
+        self._done_seen = 0  # rank 0's comm thread only
+        self._done_sent = False
+        self._thread = threading.Thread(
+            target=self._serve_loop,
+            name=f"comm-thread-{comm.rank}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def request_counts(
+        self, kind: int, ids: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        """Global counts for foreign ids; blocks on the response queue
+        while the communication thread keeps serving."""
+        ids = np.ascontiguousarray(ids, dtype=np.uint64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        if self._done_sent:
+            raise CommunicatorError("request_counts after finish()")
+        order = np.argsort(owners, kind="stable")
+        sorted_ids = ids[order]
+        sorted_owners = owners[order]
+        boundaries = np.searchsorted(sorted_owners, np.arange(self.comm.size + 1))
+        pending: set[int] = set()
+        for dest in range(self.comm.size):
+            lo, hi = boundaries[dest], boundaries[dest + 1]
+            if lo == hi:
+                continue
+            if dest == self.comm.rank:
+                raise CommunicatorError("request_counts given locally-owned ids")
+            chunk = sorted_ids[lo:hi]
+            if self.universal:
+                payload = np.concatenate(
+                    [np.array([kind], dtype=np.uint64), chunk]
+                )
+                self.comm.send(dest, payload, tag=Tags.UNIVERSAL_REQUEST)
+            else:
+                tag = Tags.KMER_REQUEST if kind == KIND_KMER else Tags.TILE_REQUEST
+                self.comm.send(dest, chunk, tag=tag)
+            pending.add(dest)
+
+        received: dict[int, np.ndarray] = {}
+        while pending:
+            self._check_failure()
+            try:
+                msg = self._responses.get(timeout=RESPONSE_TIMEOUT)
+            except queue.Empty:
+                raise CommunicatorError(
+                    f"rank {self.comm.rank} waited more than "
+                    f"{RESPONSE_TIMEOUT}s for count responses from {pending}"
+                ) from None
+            received[msg.source] = np.asarray(msg.payload, np.uint32)
+            pending.discard(msg.source)
+
+        assembled = np.empty(ids.shape[0], dtype=np.uint32)
+        at = 0
+        for dest in sorted(received):
+            resp = received[dest]
+            assembled[at : at + resp.shape[0]] = resp
+            at += resp.shape[0]
+        if at != ids.shape[0]:
+            raise CommunicatorError("response length mismatch")
+        out = np.empty_like(assembled)
+        out[order] = assembled
+        return out
+
+    def finish(self) -> None:
+        """Announce completion; wait for the communication thread to see
+        the global shutdown, then reap it."""
+        if self._done_sent:
+            return
+        self._done_sent = True
+        self.comm.send(0, None, tag=Tags.WORKER_DONE)
+        self._thread.join(timeout=RESPONSE_TIMEOUT)
+        self._check_failure()
+        if self._thread.is_alive():
+            raise CommunicatorError(
+                f"rank {self.comm.rank}'s communication thread did not shut down"
+            )
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
+    # ------------------------------------------------------------------
+    # communication thread
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        try:
+            while not self._shutdown.is_set():
+                msg = self.comm.recv(ANY_SOURCE, ANY_TAG)
+                self._dispatch(msg)
+        except BaseException as exc:  # noqa: BLE001 - handed to the worker
+            self._failure = exc
+            self._shutdown.set()
+
+    def _dispatch(self, msg: Message) -> None:
+        tag = msg.tag
+        if tag == Tags.UNIVERSAL_REQUEST:
+            payload = np.asarray(msg.payload, dtype=np.uint64)
+            self._serve(msg.source, int(payload[0]), payload[1:])
+        elif tag == Tags.KMER_REQUEST:
+            self._serve(msg.source, KIND_KMER, np.asarray(msg.payload, np.uint64))
+        elif tag == Tags.TILE_REQUEST:
+            self._serve(msg.source, KIND_TILE, np.asarray(msg.payload, np.uint64))
+        elif tag == Tags.COUNT_RESPONSE:
+            self._responses.put(msg)
+        elif tag == Tags.WORKER_DONE:
+            if self.comm.rank != 0:
+                raise CommunicatorError("WORKER_DONE delivered to a non-root rank")
+            self._done_seen += 1
+            if self._done_seen == self.comm.size:
+                for dest in range(self.comm.size):
+                    if dest != 0:
+                        self.comm.send(dest, None, tag=Tags.SHUTDOWN)
+                self._shutdown.set()
+        elif tag == Tags.SHUTDOWN:
+            self._shutdown.set()
+        else:
+            raise CommunicatorError(
+                f"unexpected tag {tag} on the communication thread"
+            )
+
+    def _serve(self, source: int, kind: int, ids: np.ndarray) -> None:
+        table = self.owned_kmers if kind == KIND_KMER else self.owned_tiles
+        counts = table.lookup(ids)
+        self.comm.send(source, counts, tag=Tags.COUNT_RESPONSE)
+        self.comm.stats.bump("requests_served")
+        self.comm.stats.bump(
+            "kmer_ids_served" if kind == KIND_KMER else "tile_ids_served",
+            int(ids.shape[0]),
+        )

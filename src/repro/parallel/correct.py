@@ -1,0 +1,216 @@
+"""Step IV: distributed error correction.
+
+:class:`DistributedSpectrumView` implements the corrector's
+:class:`~repro.core.spectrum.SpectrumView` interface with the paper's
+lookup ladder:
+
+1. the rank's **owned** table — authoritative (an absent owned key does
+   not exist anywhere);
+2. the **replicated** table when an allgather heuristic is on (also
+   authoritative);
+3. the **group** table under partial replication (authoritative for keys
+   owned inside the group);
+4. the **reads** table when the read-kmers/tiles heuristic is on — a
+   global-count cache for keys occurring in this rank's reads;
+5. a **message to the owning rank** for everything left, with the counts
+   optionally cached back (*add remote lookups*).
+
+The same :class:`~repro.core.corrector.ReptileCorrector` used serially
+drives correction, so the distributed result is bit-identical to the
+serial reference on the same spectra.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.core.corrector import CorrectionResult, ReptileCorrector
+from repro.hashing.inthash import mix_to_rank
+from repro.io.records import ReadBlock
+from repro.parallel.build import RankSpectra
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.server import KIND_KMER, KIND_TILE, CorrectionProtocol
+from repro.simmpi.communicator import Communicator
+from repro.util.timer import PhaseTimer
+
+
+class DistributedSpectrumView:
+    """Spectrum lookups backed by local tables plus remote requests."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        spectra: RankSpectra,
+        heuristics: HeuristicConfig,
+        protocol: CorrectionProtocol,
+        timer: PhaseTimer | None = None,
+    ) -> None:
+        self.comm = comm
+        self.spectra = spectra
+        self.heuristics = heuristics
+        self.protocol = protocol
+        self.timer = timer or PhaseTimer()
+
+    # ------------------------------------------------------------------
+    def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
+        """Global k-mer counts via the lookup ladder (see class doc)."""
+        return self._counts(
+            ids,
+            kind=KIND_KMER,
+            owned=self.spectra.kmers,
+            replicated=self.spectra.kmers_replicated,
+            group_table=self.spectra.group_kmers,
+            reads_table=self.spectra.reads_kmers,
+            counter="kmer",
+        )
+
+    def tile_counts(self, ids: np.ndarray) -> np.ndarray:
+        """Global tile counts via the lookup ladder (see class doc)."""
+        return self._counts(
+            ids,
+            kind=KIND_TILE,
+            owned=self.spectra.tiles,
+            replicated=self.spectra.tiles_replicated,
+            group_table=self.spectra.group_tiles,
+            reads_table=self.spectra.reads_tiles,
+            counter="tile",
+        )
+
+    # ------------------------------------------------------------------
+    def _counts(
+        self,
+        ids: np.ndarray,
+        kind: int,
+        owned,
+        replicated: bool,
+        group_table,
+        reads_table,
+        counter: str,
+    ) -> np.ndarray:
+        ids = np.ascontiguousarray(ids, dtype=np.uint64)
+        stats = self.comm.stats
+        stats.bump(f"{counter}_lookups", int(ids.size))
+        if ids.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        if replicated:
+            # Whole spectrum local: no messaging at all for this kind.
+            stats.bump(f"local_{counter}_lookups", int(ids.size))
+            return owned.lookup(ids)
+
+        counts = np.zeros(ids.shape[0], dtype=np.uint32)
+        owners = np.asarray(mix_to_rank(ids, self.comm.size), dtype=np.int64)
+        unresolved = np.ones(ids.shape[0], dtype=bool)
+
+        mine = owners == self.comm.rank
+        if mine.any():
+            counts[mine] = owned.lookup(ids[mine])
+            unresolved &= ~mine
+            stats.bump(f"local_{counter}_lookups", int(mine.sum()))
+
+        if group_table is not None and unresolved.any():
+            in_group = unresolved & np.isin(owners, self.spectra.group_ranks)
+            if in_group.any():
+                counts[in_group] = group_table.lookup(ids[in_group])
+                unresolved &= ~in_group
+                stats.bump(f"group_{counter}_lookups", int(in_group.sum()))
+
+        if reads_table is not None and unresolved.any():
+            idx = np.nonzero(unresolved)[0]
+            cached = reads_table.contains(ids[idx])
+            hit = idx[cached]
+            if hit.size:
+                counts[hit] = reads_table.lookup(ids[hit])
+                unresolved[hit] = False
+                stats.bump(f"reads_table_{counter}_hits", int(hit.size))
+
+        if unresolved.any():
+            idx = np.nonzero(unresolved)[0]
+            remote_ids = ids[idx]
+            stats.bump(f"remote_{counter}_lookups", int(remote_ids.size))
+            start = time.perf_counter()
+            fetched = self.protocol.request_counts(kind, remote_ids, owners[idx])
+            self.timer.add(f"comm_{counter}", time.perf_counter() - start)
+            counts[idx] = fetched
+            if self.heuristics.add_remote_lookups and reads_table is not None:
+                # Cache what we learned (including global absence as 0).
+                uniq, first = np.unique(remote_ids, return_index=True)
+                fresh = ~reads_table.contains(uniq)
+                if fresh.any():
+                    reads_table.add_counts(
+                        uniq[fresh], fetched[first][fresh].astype(np.uint64)
+                    )
+        return counts
+
+
+def correct_distributed(
+    comm: Communicator,
+    block: ReadBlock,
+    config: ReptileConfig,
+    heuristics: HeuristicConfig,
+    spectra: RankSpectra,
+    timer: PhaseTimer | None = None,
+    comm_thread: bool = False,
+) -> CorrectionResult:
+    """Correct one rank's reads against the distributed spectra.
+
+    Collective: all ranks must call it (the protocol's DONE/SHUTDOWN
+    handshake ends the phase globally).  Returns this rank's corrected
+    block and counters.
+
+    ``comm_thread=True`` forks the paper's literal per-rank communication
+    thread (requires the free-threaded engine); the default services
+    requests at communication points instead, which behaves identically
+    and also runs on the deterministic engine.
+    """
+    timer = timer or PhaseTimer()
+    if comm_thread:
+        from repro.parallel.commthread import CommThreadProtocol
+
+        protocol = CommThreadProtocol(
+            comm,
+            owned_kmers=spectra.kmers,
+            owned_tiles=spectra.tiles,
+            universal=heuristics.universal,
+        )
+    else:
+        protocol = CorrectionProtocol(
+            comm,
+            owned_kmers=spectra.kmers,
+            owned_tiles=spectra.tiles,
+            universal=heuristics.universal,
+        )
+    view = DistributedSpectrumView(comm, spectra, heuristics, protocol, timer)
+    corrector = ReptileCorrector(config, view)
+
+    results: list[CorrectionResult] = []
+    with timer.phase("error_correction"):
+        for chunk in block.chunks(config.chunk_size) if len(block) else ():
+            results.append(corrector.correct_block(chunk))
+            if not comm_thread:
+                # Give the "communication thread" a turn between chunks
+                # even if this chunk needed no remote lookups.
+                while protocol.pump(block=False):
+                    pass
+        protocol.finish()
+
+    if not results:
+        empty = ReadBlock.empty(block.max_length)
+        return CorrectionResult(
+            block=empty,
+            corrections_per_read=np.empty(0, dtype=np.int64),
+            reads_reverted=np.empty(0, dtype=bool),
+            tiles_examined=0,
+            tiles_below_threshold=0,
+        )
+    return CorrectionResult(
+        block=ReadBlock.concat([r.block for r in results]),
+        corrections_per_read=np.concatenate(
+            [r.corrections_per_read for r in results]
+        ),
+        reads_reverted=np.concatenate([r.reads_reverted for r in results]),
+        tiles_examined=sum(r.tiles_examined for r in results),
+        tiles_below_threshold=sum(r.tiles_below_threshold for r in results),
+    )

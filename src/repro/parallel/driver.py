@@ -1,0 +1,330 @@
+"""Top-level distributed Reptile driver.
+
+:class:`ParallelReptile` assembles the whole pipeline — Step I partitioned
+input, optional static load balancing, Steps II-III distributed spectrum
+construction, Step IV messaging correction — into one SPMD program and
+runs it on the chosen engine.  The result bundles everything the paper's
+figures measure: per-rank corrected reads, errors corrected, table sizes,
+memory footprints, phase timings and communication counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.core.metrics import AccuracyReport, evaluate_correction
+from repro.datasets.reads import SimulatedDataset
+from repro.io.partition import load_rank_block
+from repro.io.records import ReadBlock
+from repro.parallel.build import build_rank_spectra
+from repro.parallel.correct import correct_distributed
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.loadbalance import redistribute_reads
+from repro.parallel.memory import RankMemoryReport
+from repro.simmpi.engine import Engine, run_spmd
+from repro.simmpi.instrument import CommStats
+from repro.util.timer import PhaseTimer
+
+
+@dataclass
+class RankReport:
+    """Everything one rank reports back from an SPMD run."""
+
+    rank: int
+    block: ReadBlock
+    corrections_per_read: np.ndarray
+    reads_reverted: int
+    tiles_examined: int
+    tiles_below_threshold: int
+    timings: dict[str, float]
+    memory: RankMemoryReport
+    table_sizes: dict[str, int]
+
+    @property
+    def errors_corrected(self) -> int:
+        """Substitutions applied by this rank (Fig. 4's per-rank series)."""
+        return int(self.corrections_per_read.sum())
+
+
+@dataclass
+class ParallelRunResult:
+    """Combined outcome of a distributed run."""
+
+    reports: list[RankReport]
+    stats: list[CommStats]
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    _corrected: ReadBlock | None = field(default=None, repr=False)
+
+    @property
+    def nranks(self) -> int:
+        return len(self.reports)
+
+    @property
+    def corrected_block(self) -> ReadBlock:
+        """All corrected reads, re-sorted by sequence number."""
+        if self._corrected is None:
+            merged = ReadBlock.concat([r.block for r in self.reports])
+            order = np.argsort(merged.ids, kind="stable")
+            self._corrected = merged.select(order)
+        return self._corrected
+
+    @property
+    def total_corrections(self) -> int:
+        return sum(r.errors_corrected for r in self.reports)
+
+    def corrections_per_rank(self) -> np.ndarray:
+        """Errors corrected by each rank (the Fig. 4 imbalance signal)."""
+        return np.array([r.errors_corrected for r in self.reports], dtype=np.int64)
+
+    def reads_per_rank(self) -> np.ndarray:
+        """Number of reads each rank corrected."""
+        return np.array([len(r.block) for r in self.reports], dtype=np.int64)
+
+    def table_sizes_per_rank(self, table: str = "kmers") -> np.ndarray:
+        """Entries in a named table on each rank (the Fig. 3 series)."""
+        return np.array(
+            [r.table_sizes.get(table, 0) for r in self.reports], dtype=np.int64
+        )
+
+    def memory_per_rank(self) -> np.ndarray:
+        """Peak table bytes on each rank (Fig. 5's footprint metric)."""
+        return np.array([r.memory.peak for r in self.reports], dtype=np.int64)
+
+    def counter_per_rank(self, name: str) -> np.ndarray:
+        """A protocol counter (e.g. 'remote_tile_lookups') on each rank."""
+        return np.array([s.get(name) for s in self.stats], dtype=np.int64)
+
+    def timing_per_rank(self, phase: str) -> np.ndarray:
+        """Measured wall seconds of a phase on each rank."""
+        return np.array(
+            [r.timings.get(phase, 0.0) for r in self.reports], dtype=np.float64
+        )
+
+    def accuracy(self, dataset: SimulatedDataset) -> AccuracyReport:
+        """Score against a simulated dataset's ground truth."""
+        return evaluate_correction(dataset, self.corrected_block)
+
+    def write_outputs(self, fasta_path: str, quality_path: str | None = None) -> int:
+        """Write the corrected reads (and optionally their qualities).
+
+        Sequence numbers are preserved from the input, so the output lines
+        up record-for-record with the original files.  Returns the number
+        of reads written.
+        """
+        from repro.io.fasta import write_fasta
+        from repro.io.quality import write_quality
+
+        block = self.corrected_block
+        start = int(block.ids[0]) if len(block) else 1
+        n = write_fasta(fasta_path, block.to_strings(), start_id=start)
+        if quality_path is not None:
+            write_quality(
+                quality_path,
+                [
+                    block.quals[i, : block.lengths[i]].tolist()
+                    for i in range(len(block))
+                ],
+                start_id=start,
+            )
+        return n
+
+
+class ParallelReptile:
+    """Distributed Reptile, configurable like the paper's runs.
+
+    Parameters
+    ----------
+    config:
+        Algorithm parameters (shared with the serial reference).
+    heuristics:
+        Which of the paper's modes to enable.
+    nranks:
+        Number of simulated MPI ranks.
+    engine:
+        ``"cooperative"`` (deterministic; default) or ``"threaded"``, or an
+        :class:`~repro.simmpi.engine.Engine` instance.
+    """
+
+    def __init__(
+        self,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig | None = None,
+        nranks: int = 4,
+        engine: Engine | str = "cooperative",
+        comm_thread: bool = False,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if comm_thread:
+            from repro.simmpi.engine import ThreadedEngine
+
+            if not (engine == "threaded" or isinstance(engine, ThreadedEngine)):
+                raise ValueError(
+                    "comm_thread=True (the paper's two-thread Step IV) "
+                    "requires the threaded engine"
+                )
+        self.config = config
+        self.heuristics = heuristics or HeuristicConfig()
+        self.nranks = nranks
+        self.engine = engine
+        self.comm_thread = comm_thread
+
+    # ------------------------------------------------------------------
+    def run(self, block: ReadBlock) -> ParallelRunResult:
+        """Correct an in-memory dataset.
+
+        The block is split into contiguous per-rank chunks first —
+        equivalent to the paper's byte partitioning of the input file, and
+        what makes localized error bursts land on few ranks unless load
+        balancing is on.
+        """
+        n = len(block)
+        bounds = [n * r // self.nranks for r in range(self.nranks + 1)]
+
+        def rank_fn(comm):
+            timer = PhaseTimer()
+            with timer.phase("read_input"):
+                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
+            return self._pipeline(comm, mine, timer)
+
+        return self._execute(rank_fn)
+
+    def run_dynamic(self, block: ReadBlock) -> ParallelRunResult:
+        """Correct with the prior work's dynamic master-worker allocation.
+
+        Spectrum construction proceeds as usual over contiguous chunks;
+        the correction phase is coordinated by rank 0, which holds the
+        whole read set and hands out chunks on demand (and corrects
+        nothing itself).  Exists for the ablation against the paper's
+        static scheme; requires ``nranks >= 2`` to be meaningful.
+        """
+        from repro.parallel.dynamicbalance import correct_dynamic
+
+        n = len(block)
+        bounds = [n * r // self.nranks for r in range(self.nranks + 1)]
+
+        def rank_fn(comm):
+            timer = PhaseTimer()
+            with timer.phase("read_input"):
+                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
+            spectra = build_rank_spectra(
+                comm, mine, self.config, self.heuristics, timer
+            )
+            memory = RankMemoryReport.capture(
+                comm.rank, spectra, mine, phase="construction"
+            )
+            with timer.phase("error_correction"):
+                result = correct_dynamic(
+                    comm,
+                    block if comm.rank == 0 else None,
+                    self.config,
+                    self.heuristics,
+                    spectra,
+                )
+            RankMemoryReport.capture(
+                comm.rank, spectra, mine, phase="correction", into=memory
+            )
+            return RankReport(
+                rank=comm.rank,
+                block=result.block,
+                corrections_per_read=result.corrections_per_read,
+                reads_reverted=int(result.reads_reverted.sum()),
+                tiles_examined=result.tiles_examined,
+                tiles_below_threshold=result.tiles_below_threshold,
+                timings=timer.as_dict(),
+                memory=memory,
+                table_sizes=spectra.table_sizes,
+            )
+
+        return self._execute(rank_fn)
+
+    def build_only(self, block: ReadBlock) -> ParallelRunResult:
+        """Run Steps I-III only (no correction) — for spectrum studies.
+
+        Each rank's returned block is its (possibly redistributed) input,
+        uncorrected; table sizes and memory reports reflect the built
+        spectra.  Used by the Fig. 3 uniformity measurement.
+        """
+        n = len(block)
+        bounds = [n * r // self.nranks for r in range(self.nranks + 1)]
+
+        def rank_fn(comm):
+            timer = PhaseTimer()
+            with timer.phase("read_input"):
+                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
+            if self.heuristics.load_balance:
+                with timer.phase("load_balance"):
+                    mine = redistribute_reads(comm, mine)
+            spectra = build_rank_spectra(
+                comm, mine, self.config, self.heuristics, timer
+            )
+            memory = RankMemoryReport.capture(
+                comm.rank, spectra, mine, phase="construction"
+            )
+            return RankReport(
+                rank=comm.rank,
+                block=mine,
+                corrections_per_read=np.zeros(len(mine), dtype=np.int64),
+                reads_reverted=0,
+                tiles_examined=0,
+                tiles_below_threshold=0,
+                timings=timer.as_dict(),
+                memory=memory,
+                table_sizes=spectra.table_sizes,
+            )
+
+        return self._execute(rank_fn)
+
+    def run_files(self, fasta_path: str, quality_path: str | None) -> ParallelRunResult:
+        """Correct a dataset from a fasta (+ quality) file pair (Step I)."""
+
+        def rank_fn(comm):
+            timer = PhaseTimer()
+            with timer.phase("read_input"):
+                mine = load_rank_block(
+                    fasta_path, quality_path, comm.size, comm.rank
+                )
+            return self._pipeline(comm, mine, timer)
+
+        return self._execute(rank_fn)
+
+    # ------------------------------------------------------------------
+    def _pipeline(self, comm, mine: ReadBlock, timer: PhaseTimer) -> RankReport:
+        if self.heuristics.load_balance:
+            with timer.phase("load_balance"):
+                mine = redistribute_reads(comm, mine)
+        spectra = build_rank_spectra(comm, mine, self.config, self.heuristics, timer)
+        memory = RankMemoryReport.capture(
+            comm.rank, spectra, mine, phase="construction"
+        )
+        result = correct_distributed(
+            comm, mine, self.config, self.heuristics, spectra, timer,
+            comm_thread=self.comm_thread,
+        )
+        RankMemoryReport.capture(
+            comm.rank, spectra, mine, phase="correction", into=memory
+        )
+        return RankReport(
+            rank=comm.rank,
+            block=result.block,
+            corrections_per_read=result.corrections_per_read,
+            reads_reverted=int(result.reads_reverted.sum()),
+            tiles_examined=result.tiles_examined,
+            tiles_below_threshold=result.tiles_below_threshold,
+            timings=timer.as_dict(),
+            memory=memory,
+            table_sizes=spectra.table_sizes,
+        )
+
+    def _execute(self, rank_fn) -> ParallelRunResult:
+        spmd = run_spmd(rank_fn, self.nranks, engine=self.engine)
+        return ParallelRunResult(
+            reports=list(spmd.results),
+            stats=spmd.stats,
+            config=self.config,
+            heuristics=self.heuristics,
+        )

@@ -1,0 +1,95 @@
+"""Owner-directed collective exchanges (the Step III machinery).
+
+Keys+counts headed for the same owner are packed into one contiguous
+uint64 array per destination (keys in the first half, counts in the
+second) — the buffer-per-destination discipline of ``MPI_Alltoallv`` —
+then exchanged and merged into the owners' tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.counthash import CountHash
+from repro.hashing.inthash import mix_to_rank
+from repro.simmpi.communicator import Communicator
+
+
+def bucket_by_owner(
+    keys: np.ndarray, counts: np.ndarray, nranks: int
+) -> list[np.ndarray]:
+    """Pack (keys, counts) into one send buffer per owning rank.
+
+    Buffer layout: ``[k0..k_{m-1}, c0..c_{m-1}]`` as uint64 — a single
+    contiguous array per destination, cheap to concatenate and split.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    counts = np.ascontiguousarray(counts, dtype=np.uint64)
+    if keys.shape != counts.shape:
+        raise ValueError("keys and counts must have equal shapes")
+    owners = mix_to_rank(keys, nranks)
+    order = np.argsort(owners, kind="stable")
+    sorted_keys = keys[order]
+    sorted_counts = counts[order]
+    boundaries = np.searchsorted(owners[order], np.arange(nranks + 1))
+    out: list[np.ndarray] = []
+    for d in range(nranks):
+        lo, hi = boundaries[d], boundaries[d + 1]
+        out.append(np.concatenate([sorted_keys[lo:hi], sorted_counts[lo:hi]]))
+    return out
+
+
+def unpack_pairs(buf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of the per-destination packing: (keys, counts)."""
+    buf = np.asarray(buf, dtype=np.uint64)
+    m = buf.shape[0] // 2
+    return buf[:m], buf[m:]
+
+
+def exchange_counts(
+    comm: Communicator, table: CountHash, target: CountHash
+) -> int:
+    """Send every (key, count) of ``table`` to its owner; merge arrivals.
+
+    This is the Step III ``MPI_Alltoallv``: afterwards ``target`` (the
+    rank's owned table) holds contributions from every rank for the keys
+    this rank owns.  Returns the number of key/count pairs received.
+    """
+    keys, counts = table.items()
+    sendbufs = bucket_by_owner(keys, counts.astype(np.uint64), comm.size)
+    received = comm.alltoallv(sendbufs)
+    total = 0
+    for buf in received:
+        rkeys, rcounts = unpack_pairs(buf)
+        target.add_counts(rkeys, rcounts)
+        total += rkeys.shape[0]
+    return total
+
+
+def fetch_global_counts(
+    comm: Communicator, wanted: np.ndarray, owned: CountHash
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collective lookup: global counts of ``wanted`` keys from their owners.
+
+    Implements the *read k-mers/tiles* heuristic's extra exchange: every
+    rank sends the keys it wants to their owners (alltoallv), answers the
+    queries it receives from its own ``owned`` table, and gets its answers
+    back (second alltoallv).  Returns ``(keys, counts)`` aligned arrays
+    (counts are 0 for globally absent keys).
+    """
+    wanted = np.unique(np.ascontiguousarray(wanted, dtype=np.uint64))
+    owners = mix_to_rank(wanted, comm.size)
+    order = np.argsort(owners, kind="stable")
+    sorted_keys = wanted[order]
+    boundaries = np.searchsorted(owners[order], np.arange(comm.size + 1))
+    queries = [
+        sorted_keys[boundaries[d] : boundaries[d + 1]] for d in range(comm.size)
+    ]
+    incoming = comm.alltoallv(queries)
+    answers = [owned.lookup(q).astype(np.uint64) for q in incoming]
+    replies = comm.alltoallv(answers)
+    counts_sorted = np.concatenate(replies) if replies else np.empty(0, np.uint64)
+    # Undo the owner sort to align with `wanted`.
+    counts = np.empty_like(counts_sorted)
+    counts[order] = counts_sorted
+    return wanted, counts

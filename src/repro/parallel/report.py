@@ -1,0 +1,89 @@
+"""Machine-readable run reports.
+
+``repro correct --report run.json`` (and
+:func:`run_report`) serializes everything a run measured — per-rank reads,
+corrections, lookups, traffic, memory, timings, plus the configuration
+that produced them — so pipelines can archive and compare runs without
+parsing console output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Any
+
+from repro.parallel.driver import ParallelRunResult
+
+
+def run_report(result: ParallelRunResult) -> dict[str, Any]:
+    """A JSON-serializable summary of a distributed run."""
+    heur = result.heuristics
+    cfg = result.config
+    per_rank = []
+    for r, report in enumerate(result.reports):
+        stats = result.stats[r]
+        per_rank.append(
+            {
+                "rank": r,
+                "reads": len(report.block),
+                "errors_corrected": report.errors_corrected,
+                "reads_reverted": report.reads_reverted,
+                "tiles_examined": report.tiles_examined,
+                "tiles_below_threshold": report.tiles_below_threshold,
+                "table_sizes": dict(report.table_sizes),
+                "memory": {
+                    "after_construction": report.memory.after_construction,
+                    "construction_peak": report.memory.construction_peak,
+                    "after_correction": report.memory.after_correction,
+                    "peak": report.memory.peak,
+                },
+                "timings_s": {
+                    k: round(v, 6) for k, v in report.timings.items()
+                },
+                "messages_sent": stats.messages_sent,
+                "bytes_sent": stats.bytes_sent,
+                "counters": dict(stats.counters),
+            }
+        )
+    total = result.stats[0].__class__()
+    for s in result.stats:
+        total.merge(s)
+    return {
+        "schema": "repro.run_report/1",
+        "nranks": result.nranks,
+        "config": {
+            "kmer_length": cfg.kmer_length,
+            "tile_overlap": cfg.tile_overlap,
+            "kmer_threshold": cfg.kmer_threshold,
+            "tile_threshold": cfg.tile_threshold,
+            "quality_threshold": cfg.quality_threshold,
+            "max_distance": cfg.max_distance,
+            "ambiguity_ratio": cfg.ambiguity_ratio,
+            "chunk_size": cfg.chunk_size,
+            "count_reverse_complement": cfg.count_reverse_complement,
+        },
+        "heuristics": heur.describe(),
+        "totals": {
+            "reads": int(result.reads_per_rank().sum()),
+            "errors_corrected": result.total_corrections,
+            "messages": total.messages_sent,
+            "bytes": total.bytes_sent,
+            "remote_kmer_lookups": int(
+                result.counter_per_rank("remote_kmer_lookups").sum()
+            ),
+            "remote_tile_lookups": int(
+                result.counter_per_rank("remote_tile_lookups").sum()
+            ),
+            "max_rank_memory_bytes": int(result.memory_per_rank().max()),
+        },
+        "per_rank": per_rank,
+    }
+
+
+def write_run_report(result: ParallelRunResult, path: str | os.PathLike) -> None:
+    """Write :func:`run_report` as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(run_report(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,216 @@
+"""The Step IV request/response protocol.
+
+"If a rank during error correction does not have a k-mer (or tile) ... it
+sends a message to the owning rank, requesting the count of the k-mer or
+tile.  The communication thread of each rank probes any incoming messages;
+based on the probe, it first finds out the nature of the request (if it is
+a k-mer or a tile lookup) ... and sends the appropriate response."
+
+The paper's per-rank *communication thread* is realized here as a message
+pump every rank runs at its communication points: while a rank awaits
+responses it serves whatever requests arrive, so request/response cycles
+between ranks can never deadlock (a rank blocked on a response always has
+its peer's request sitting in some mailbox).  Under the free-threaded
+engine the pump can also be run on a genuine second thread
+(:class:`repro.parallel.driver.ParallelReptile` with ``comm_thread=True``
+on the threaded engine), matching the paper's structure literally.
+
+Termination follows the paper: each rank reports DONE to rank 0 when its
+own reads are finished and keeps serving; rank 0 broadcasts SHUTDOWN once
+every rank has reported, and only then do ranks stop their pumps.
+
+In **universal** mode a request carries its kind (k-mer vs tile) inside
+the payload under a single tag, so the receiver never probes for the tag
+("makes the call to MPI_Probe unwarranted"); in the base mode the receiver
+probes first, then receives by the probed tag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.hashing.counthash import CountHash
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
+
+#: Request kinds carried in universal payloads.
+KIND_KMER = 0
+KIND_TILE = 1
+
+
+class CorrectionProtocol:
+    """One rank's endpoint in the correction-phase messaging."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        owned_kmers: CountHash,
+        owned_tiles: CountHash,
+        universal: bool = False,
+    ) -> None:
+        self.comm = comm
+        self.owned_kmers = owned_kmers
+        self.owned_tiles = owned_tiles
+        self.universal = universal
+        #: Extra tag -> handler(Message) hooks; lets higher layers (e.g.
+        #: the dynamic work-allocation ablation) ride the same pump.
+        self.handlers: dict[int, "callable"] = {}
+        self._responses: dict[int, np.ndarray] = {}
+        self._done_seen = 0      # rank 0 only
+        self._shutdown = False
+        self._done_sent = False
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def request_counts(
+        self, kind: int, ids: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        """Global counts for ids owned by other ranks.
+
+        ``owners[i]`` must be the owning rank of ``ids[i]`` (none equal to
+        this rank).  One request message goes to each distinct owner; the
+        caller's "communication thread" (the pump) serves incoming
+        requests while the responses are in flight.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.uint64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        if self._done_sent:
+            raise CommunicatorError("request_counts after finish()")
+        order = np.argsort(owners, kind="stable")
+        sorted_ids = ids[order]
+        sorted_owners = owners[order]
+        boundaries = np.searchsorted(
+            sorted_owners, np.arange(self.comm.size + 1)
+        )
+        pending: set[int] = set()
+        for dest in range(self.comm.size):
+            lo, hi = boundaries[dest], boundaries[dest + 1]
+            if lo == hi:
+                continue
+            if dest == self.comm.rank:
+                raise CommunicatorError("request_counts given locally-owned ids")
+            chunk = sorted_ids[lo:hi]
+            if self.universal:
+                payload = np.concatenate(
+                    [np.array([kind], dtype=np.uint64), chunk]
+                )
+                self.comm.send(dest, payload, tag=Tags.UNIVERSAL_REQUEST)
+            else:
+                tag = Tags.KMER_REQUEST if kind == KIND_KMER else Tags.TILE_REQUEST
+                self.comm.send(dest, chunk, tag=tag)
+            pending.add(dest)
+
+        self._responses.clear()
+        while pending:
+            self.pump(block=True)
+            pending -= set(self._responses)
+
+        # Responses arrive per owner; reassemble in sorted-owner order,
+        # then undo the sort.
+        assembled = np.empty(ids.shape[0], dtype=np.uint32)
+        at = 0
+        for dest in sorted(self._responses):
+            resp = self._responses[dest]
+            assembled[at : at + resp.shape[0]] = resp
+            at += resp.shape[0]
+        if at != ids.shape[0]:
+            raise CommunicatorError(
+                f"response length mismatch: got {at}, wanted {ids.shape[0]}"
+            )
+        out = np.empty_like(assembled)
+        out[order] = assembled
+        self._responses.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # server side (the "communication thread")
+    # ------------------------------------------------------------------
+    def pump(self, block: bool = False) -> bool:
+        """Receive and dispatch at most one message; True if one arrived.
+
+        In base mode an ``iprobe`` precedes the receive (the paper's
+        ``MPI_Probe`` pattern); in universal mode the message is received
+        directly and its kind read from the payload.
+        """
+        if self.universal:
+            if block:
+                msg = self.comm.recv(ANY_SOURCE, ANY_TAG)
+            else:
+                probed = self.comm.iprobe(ANY_SOURCE, ANY_TAG)
+                if probed is None:
+                    return False
+                msg = self.comm.recv(probed.source, probed.tag)
+        else:
+            self.comm.stats.bump("probe_calls")
+            probed = self.comm.iprobe(ANY_SOURCE, ANY_TAG)
+            if probed is None:
+                if not block:
+                    return False
+                msg = self.comm.recv(ANY_SOURCE, ANY_TAG)
+            else:
+                msg = self.comm.recv(probed.source, probed.tag)
+        self._dispatch(msg)
+        return True
+
+    def _dispatch(self, msg: Message) -> None:
+        tag = msg.tag
+        if tag == Tags.UNIVERSAL_REQUEST:
+            payload = np.asarray(msg.payload, dtype=np.uint64)
+            kind = int(payload[0])
+            self._serve(msg.source, kind, payload[1:])
+        elif tag == Tags.KMER_REQUEST:
+            self._serve(msg.source, KIND_KMER, np.asarray(msg.payload, np.uint64))
+        elif tag == Tags.TILE_REQUEST:
+            self._serve(msg.source, KIND_TILE, np.asarray(msg.payload, np.uint64))
+        elif tag == Tags.COUNT_RESPONSE:
+            self._responses[msg.source] = np.asarray(msg.payload, np.uint32)
+        elif tag == Tags.WORKER_DONE:
+            self._done_seen += 1
+        elif tag == Tags.SHUTDOWN:
+            self._shutdown = True
+        elif tag in self.handlers:
+            self.handlers[tag](msg)
+        else:
+            raise CommunicatorError(f"unexpected tag {tag} in correction phase")
+
+    def _serve(self, source: int, kind: int, ids: np.ndarray) -> None:
+        """Answer one count request from the owned tables.
+
+        A count of 0 means the key does not exist anywhere — "If a k-mer or
+        tile does not exist at its owning rank, it can be inferred that the
+        k-mer or tile does not exist at all" (the paper's -1 response).
+        """
+        table = self.owned_kmers if kind == KIND_KMER else self.owned_tiles
+        counts = table.lookup(ids)
+        self.comm.send(source, counts, tag=Tags.COUNT_RESPONSE)
+        self.comm.stats.bump("requests_served")
+        self.comm.stats.bump(
+            "kmer_ids_served" if kind == KIND_KMER else "tile_ids_served",
+            int(ids.shape[0]),
+        )
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Report completion and serve until the global shutdown.
+
+        Collective in effect: every rank must eventually call it.
+        """
+        if self._done_sent:
+            return
+        self._done_sent = True
+        if self.comm.rank == 0:
+            self._done_seen += 1  # rank 0's own completion
+        else:
+            self.comm.send(0, None, tag=Tags.WORKER_DONE)
+        while not self._shutdown:
+            if self.comm.rank == 0 and self._done_seen == self.comm.size:
+                for dest in range(1, self.comm.size):
+                    self.comm.send(dest, None, tag=Tags.SHUTDOWN)
+                self._shutdown = True
+                break
+            self.pump(block=True)

@@ -1,0 +1,64 @@
+"""BlueGene/Q performance model.
+
+The paper's evaluation ran on up to 1024 BlueGene/Q nodes (32768 ranks);
+this environment has neither the machine nor the full datasets.  The model
+bridges the gap:
+
+* :mod:`repro.perfmodel.machine` — the BG/Q node (16 cores, 4-way SMT,
+  16 GB) and effective communication/computation cost primitives;
+* :mod:`repro.perfmodel.workload` — per-dataset workload statistics
+  (lookup rates, spectrum sizes, imbalance), either *measured* from an
+  instrumented small-scale run of the real implementation
+  (:func:`~repro.perfmodel.workload.DatasetWorkload.from_trace`) or
+  calibrated to the full-size Table I profiles;
+* :mod:`repro.perfmodel.predict` — per-phase time and memory predictions
+  for a rank count / ranks-per-node / heuristic combination;
+* :mod:`repro.perfmodel.scaling` — the strong-scaling sweeps behind
+  Figs. 6-8;
+* :mod:`repro.perfmodel.calibrate` — the calibration constants and the
+  paper anchor values they were fitted against (documented derivations).
+
+The model's *inputs* are counts produced by the reproduced algorithm
+(remote lookups, exchange volumes, table sizes), so the scaling shapes are
+earned, not asserted; only the absolute cost primitives are fitted.
+"""
+
+from repro.perfmodel.machine import BGQMachine
+from repro.perfmodel.workload import DatasetWorkload
+from repro.perfmodel.predict import PerformancePredictor, PhaseBreakdown
+from repro.perfmodel.scaling import ScalingStudy, ScalingPoint
+from repro.perfmodel.calibrate import (
+    PAPER_ANCHORS,
+    anchor_model_value,
+    anchor_run_config,
+    workload_for_profile,
+)
+from repro.perfmodel.whatif import ConfigPoint, cheapest_config, minimum_ranks
+from repro.perfmodel.sensitivity import (
+    SensitivityRow,
+    sensitivity_analysis,
+)
+from repro.perfmodel.distribution import (
+    errors_corrected_distribution,
+    rank_time_distribution,
+)
+
+__all__ = [
+    "BGQMachine",
+    "DatasetWorkload",
+    "PerformancePredictor",
+    "PhaseBreakdown",
+    "ScalingStudy",
+    "ScalingPoint",
+    "PAPER_ANCHORS",
+    "anchor_model_value",
+    "anchor_run_config",
+    "workload_for_profile",
+    "ConfigPoint",
+    "cheapest_config",
+    "minimum_ranks",
+    "errors_corrected_distribution",
+    "rank_time_distribution",
+    "SensitivityRow",
+    "sensitivity_analysis",
+]

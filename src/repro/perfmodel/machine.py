@@ -1,0 +1,122 @@
+"""The BlueGene/Q machine model.
+
+Geometry follows Section IV: a BG/Q node has 16 user cores (plus a system
+core), 4 hardware threads per core, 16 GB of memory; 32 ranks per node with
+2 threads per rank fills all 64 hardware threads.  Communication between
+ranks on the same node moves through shared memory; off-node traffic
+crosses the 5D torus.
+
+Cost primitives are *effective* per-operation times — they fold in the MPI
+software stack, the comm-thread handoff and the in-order core's execution
+of the Reptile code path — fitted to the paper's own measurements (see
+:mod:`repro.perfmodel.calibrate`).  Oversubscribing hardware threads
+penalizes both classes of work, communication hardest ("most of the
+increase comes from slowdown in communication", Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+GiB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class BGQMachine:
+    """Cost and geometry model of a BlueGene/Q partition.
+
+    The default effective costs reproduce the paper's anchor measurements
+    (Fig. 4/5/6 E.Coli numbers); see ``calibrate.py`` for the fits.
+    """
+
+    cores_per_node: int = 16
+    hw_threads_per_core: int = 4
+    memory_per_node: int = 16 * GiB
+
+    #: Remote lookup round-trip seen by the requesting rank at 1 software
+    #: thread per core (seconds): request pack + MPI p2p both ways.
+    #: Fitted: 44 microseconds (Fig. 4 communication anchor).
+    lookup_rtt: float = 44e-6
+    #: Time the *serving* rank spends per incoming lookup (probe, hash
+    #: lookup, response send); on the paper's comm thread this competes
+    #: with the worker thread for the core, so it adds to wall time.
+    #: Fitted so Fig. 4's non-communication residue and the Fig. 5
+    #: replication speedups hold simultaneously: 36 microseconds.
+    serve_cost: float = 36e-6
+    #: On-node (shared memory) lookups cost this fraction of the RTT.
+    onnode_discount: float = 0.55
+    #: Per-hardware-thread-of-oversubscription multiplier on communication
+    #: (fitted so 32 ranks/node is ~30% slower than 8, Fig. 2).
+    smt_comm_penalty: float = 0.067
+    #: Same, for computation (in-order cores tolerate SMT somewhat better).
+    smt_compute_penalty: float = 0.02
+
+    #: Collective (alltoallv) per-destination message latency (seconds).
+    coll_alpha: float = 8e-4
+    #: Collective per-byte cost (seconds/byte) ~ 1/ (0.7 GB/s effective).
+    coll_byte: float = 1.4e-9
+
+    #: Correction compute per read (base pass over tiles), seconds at 1
+    #: thread/core.  Fitted to the Fig. 5 full-replication run (58 s for
+    #: 277 k reads/rank, communication-free): ~0.21 ms/read total.
+    compute_per_read: float = 1.2e-4
+    #: Compute per candidate tile examined, seconds.
+    compute_per_candidate: float = 1.0e-7
+    #: Spectrum construction cost per base of input, seconds.
+    construct_per_base: float = 4.0e-8
+    #: Fixed per-run overhead (job launch, file opens, shutdown), seconds.
+    fixed_overhead: float = 25.0
+
+    #: Effective bytes per spectrum entry (a C++ unordered_map node plus
+    #: bucket array and allocator slack); fitted to the Fig. 5 base
+    #: footprint of 119 MB/rank at 1024 ranks, where the transient
+    #: readsKmer/readsTile tables dominate.
+    bytes_per_entry: float = 100.0
+    #: Fixed per-rank memory (MPI buffers, code, stacks), bytes.
+    fixed_rank_bytes: int = 20 * 1024 * 1024
+
+    # ------------------------------------------------------------------
+    def threads_per_core(self, ranks_per_node: int, threads_per_rank: int = 2) -> float:
+        """Software threads per physical core for a node configuration."""
+        if ranks_per_node < 1:
+            raise ModelError("ranks_per_node must be >= 1")
+        return ranks_per_node * threads_per_rank / self.cores_per_node
+
+    def comm_multiplier(self, ranks_per_node: int, threads_per_rank: int = 2) -> float:
+        """Communication slowdown for SMT oversubscription (>=1)."""
+        over = max(0.0, self.threads_per_core(ranks_per_node, threads_per_rank) - 1.0)
+        return 1.0 + self.smt_comm_penalty * over * self.hw_threads_per_core / 2
+
+    def compute_multiplier(self, ranks_per_node: int, threads_per_rank: int = 2) -> float:
+        """Computation slowdown for SMT oversubscription (>=1)."""
+        over = max(0.0, self.threads_per_core(ranks_per_node, threads_per_rank) - 1.0)
+        return 1.0 + self.smt_compute_penalty * over * self.hw_threads_per_core / 2
+
+    def onnode_fraction(self, nranks: int, ranks_per_node: int) -> float:
+        """Probability a uniformly random peer lives on the same node."""
+        if nranks <= 1:
+            return 1.0
+        same = min(ranks_per_node, nranks) - 1
+        return same / (nranks - 1)
+
+    def effective_lookup_rtt(self, nranks: int, ranks_per_node: int) -> float:
+        """Mean remote-lookup round trip for a run's geometry."""
+        f_on = self.onnode_fraction(nranks, ranks_per_node)
+        base = self.lookup_rtt * (f_on * self.onnode_discount + (1.0 - f_on))
+        return base * self.comm_multiplier(ranks_per_node)
+
+    def effective_serve_cost(self, ranks_per_node: int) -> float:
+        """Per-incoming-lookup serving time for a node configuration."""
+        return self.serve_cost * self.comm_multiplier(ranks_per_node)
+
+    def nodes_for(self, nranks: int, ranks_per_node: int) -> int:
+        """Node count for a rank count (ceil division)."""
+        if ranks_per_node < 1:
+            raise ModelError("ranks_per_node must be >= 1")
+        return -(-nranks // ranks_per_node)
+
+    def memory_per_rank_budget(self, ranks_per_node: int) -> float:
+        """Bytes available to each rank (the paper's 512 MB at 32/node)."""
+        return self.memory_per_node / ranks_per_node

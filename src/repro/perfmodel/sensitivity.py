@@ -1,0 +1,110 @@
+"""Sensitivity analysis of the calibrated performance model.
+
+The model's credibility rests on its fitted constants; this module
+answers "how fragile is the fit?" by perturbing each cost primitive and
+re-checking every paper anchor.  A constant whose ±20% perturbation
+breaks anchors is load-bearing (the fit is genuinely constrained by the
+paper's numbers); one that can swing freely contributes little and its
+fitted value should not be over-interpreted.  EXPERIMENTS.md's honesty
+section and the model tests both build on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.perfmodel.calibrate import PAPER_ANCHORS, Anchor
+from repro.perfmodel.machine import BGQMachine
+
+#: The fitted cost primitives subject to perturbation.
+TUNABLE_FIELDS: tuple[str, ...] = (
+    "lookup_rtt",
+    "serve_cost",
+    "smt_comm_penalty",
+    "compute_per_read",
+    "coll_alpha",
+    "bytes_per_entry",
+    "fixed_rank_bytes",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Anchor-compliance outcome for one perturbed constant."""
+
+    field: str
+    factor: float
+    anchors_broken: int
+    worst_anchor: str
+    worst_ratio: float  # deviation / tolerance for the worst anchor
+
+    @property
+    def robust(self) -> bool:
+        """True when every anchor still passes under the perturbation."""
+        return self.anchors_broken == 0
+
+
+def _anchors_under(machine: BGQMachine) -> tuple[int, str, float]:
+    """(broken count, worst anchor label, worst deviation/tolerance)."""
+    from repro.datasets.profiles import PROFILES
+    from repro.perfmodel.calibrate import anchor_run_config, workload_for_profile
+    from repro.perfmodel.predict import PerformancePredictor
+
+    broken = 0
+    worst_label = ""
+    worst_ratio = 0.0
+    for anchor in PAPER_ANCHORS:
+        heuristics, chunk = anchor_run_config(anchor)
+        pred = PerformancePredictor(
+            machine, workload_for_profile(PROFILES[anchor.dataset]),
+            heuristics, ranks_per_node=anchor.ranks_per_node,
+            chunk_size=chunk,
+        )
+        pb = pred.predict(anchor.nranks, load_balanced=True)
+        if anchor.quantity == "total_s":
+            value = pb.total
+        elif anchor.quantity == "correction_s":
+            value = pb.correction_total
+        elif anchor.quantity == "construction_s":
+            value = pb.construction_total
+        elif anchor.quantity == "comm_s":
+            value = pb.comm_total
+        elif anchor.quantity == "memory_mb":
+            value = pb.memory_peak / 2**20
+        else:  # efficiency
+            base = pred.predict(1024, load_balanced=True)
+            value = (base.total * 1024) / (pb.total * pb.nranks)
+        rel = abs(value - anchor.paper_value) / anchor.paper_value
+        ratio = rel / anchor.tolerance
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst_label = f"{anchor.figure} {anchor.description}"
+        if rel > anchor.tolerance:
+            broken += 1
+    return broken, worst_label, worst_ratio
+
+
+def sensitivity_analysis(
+    factors: tuple[float, ...] = (0.8, 1.2),
+) -> list[SensitivityRow]:
+    """Perturb each tunable constant by each factor; report anchor impact."""
+    base = BGQMachine()
+    rows: list[SensitivityRow] = []
+    for field in TUNABLE_FIELDS:
+        for factor in factors:
+            value = getattr(base, field)
+            perturbed = replace(
+                base,
+                **{field: type(value)(value * factor)},
+            )
+            broken, worst_label, worst_ratio = _anchors_under(perturbed)
+            rows.append(
+                SensitivityRow(
+                    field=field,
+                    factor=factor,
+                    anchors_broken=broken,
+                    worst_anchor=worst_label,
+                    worst_ratio=worst_ratio,
+                )
+            )
+    return rows

@@ -1,0 +1,107 @@
+"""What-if sizing queries on top of the performance model.
+
+The paper's deployment rule: "The only requirement is that a minimum
+number of nodes is needed such that the combined memory of all the nodes
+exceeds the storage of the entire k-mer and tile spectrum."  These helpers
+answer the operational questions that follow from it:
+
+* :func:`minimum_ranks` — the smallest rank count whose per-rank peak
+  footprint fits a memory budget (the paper's 512 MB at 32 ranks/node);
+* :func:`cheapest_config` — scan rank counts and report, for each node
+  count, whether it fits and what it costs, so "fewest nodes" and
+  "fastest run" can be traded off explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.perfmodel.predict import PerformancePredictor
+
+
+def minimum_ranks(
+    predictor: PerformancePredictor,
+    budget_bytes: float | None = None,
+    max_ranks: int = 1 << 20,
+) -> int:
+    """Smallest rank count whose peak footprint fits ``budget_bytes``.
+
+    ``budget_bytes`` defaults to the machine's per-rank share of node
+    memory at the predictor's ranks-per-node (512 MB for 32/node).  The
+    footprint is monotonically non-increasing in the rank count, so a
+    binary search applies.  Raises :class:`~repro.errors.ModelError` when
+    even ``max_ranks`` does not fit.
+    """
+    if budget_bytes is None:
+        budget_bytes = predictor.machine.memory_per_rank_budget(
+            predictor.ranks_per_node
+        )
+    if budget_bytes <= 0:
+        raise ModelError("budget must be positive")
+
+    def fits(nranks: int) -> bool:
+        return predictor.predict(nranks).memory_peak <= budget_bytes
+
+    if fits(1):
+        return 1
+    if not fits(max_ranks):
+        raise ModelError(
+            f"even {max_ranks} ranks exceed the {budget_bytes / 2**20:.0f} MB "
+            "per-rank budget"
+        )
+    lo, hi = 1, max_ranks  # lo fails, hi fits
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One candidate deployment in a what-if scan."""
+
+    nranks: int
+    nodes: int
+    fits: bool
+    memory_per_rank: float
+    total_seconds: float
+
+    @property
+    def node_hours(self) -> float:
+        """Machine cost of the run."""
+        return self.nodes * self.total_seconds / 3600.0
+
+
+def cheapest_config(
+    predictor: PerformancePredictor,
+    rank_counts: list[int],
+    budget_bytes: float | None = None,
+) -> list[ConfigPoint]:
+    """Evaluate candidate rank counts against a memory budget.
+
+    Returns one :class:`ConfigPoint` per candidate (sorted ascending); the
+    caller picks by fewest nodes, fastest run or lowest node-hours.
+    """
+    if not rank_counts:
+        raise ModelError("rank_counts must be non-empty")
+    if budget_bytes is None:
+        budget_bytes = predictor.machine.memory_per_rank_budget(
+            predictor.ranks_per_node
+        )
+    points = []
+    for nranks in sorted(rank_counts):
+        pb = predictor.predict(nranks)
+        points.append(
+            ConfigPoint(
+                nranks=nranks,
+                nodes=pb.nodes,
+                fits=pb.memory_peak <= budget_bytes,
+                memory_per_rank=pb.memory_peak,
+                total_seconds=pb.total,
+            )
+        )
+    return points

@@ -1,0 +1,47 @@
+"""A from-scratch message-passing runtime with MPI semantics.
+
+The paper's algorithm is written against MPI: tagged point-to-point
+send/recv, ``MPI_Iprobe``, ``MPI_Alltoallv``, ``MPI_Allgatherv``,
+``MPI_Reduce`` and barriers.  mpi4py is not available in this environment,
+so this package implements those semantics over Python threads:
+
+* :class:`~repro.simmpi.engine.CooperativeEngine` — ranks take
+  deterministic turns, switching only at communication points.  Runs are
+  exactly reproducible (used by tests and by the instrumented runs that
+  feed the performance model).
+* :class:`~repro.simmpi.engine.ThreadedEngine` — ranks run as free
+  concurrent threads (used to exercise the paper's
+  correction-thread/communication-thread structure under real
+  concurrency).
+
+Payloads are numpy arrays or small immutable Python values; sends copy
+array payloads (MPI buffer semantics).  Every rank's traffic is counted by
+:class:`~repro.simmpi.instrument.CommStats`, which the performance model
+consumes.
+"""
+
+from repro.simmpi.message import Message, ANY_SOURCE, ANY_TAG, Tags
+from repro.simmpi.instrument import CommStats
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.request import Request, RecvRequest, SendRequest, waitall
+from repro.simmpi.engine import (
+    CooperativeEngine,
+    ThreadedEngine,
+    run_spmd,
+)
+
+__all__ = [
+    "Message",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Tags",
+    "CommStats",
+    "Communicator",
+    "Request",
+    "RecvRequest",
+    "SendRequest",
+    "waitall",
+    "CooperativeEngine",
+    "ThreadedEngine",
+    "run_spmd",
+]

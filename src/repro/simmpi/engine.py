@@ -1,0 +1,363 @@
+"""Execution engines: how SPMD ranks are scheduled.
+
+Both engines run each rank's function on its own Python thread and share
+per-rank mailboxes; they differ in scheduling:
+
+* :class:`CooperativeEngine` — exactly one rank runs at a time, and control
+  switches only at communication points (blocking receive, probe-yield,
+  rank completion).  Given the same program and inputs, every run executes
+  the same interleaving: fully deterministic, and Python objects shared
+  between ranks need no locking.  Deadlocks are *detected* (no runnable
+  rank, someone waiting) and reported as :class:`DeadlockError` instead of
+  hanging.
+
+* :class:`ThreadedEngine` — ranks run freely and block on condition
+  variables; this exercises the paper's two-threads-per-rank correction
+  design under real concurrency.  Blocking receives take a timeout so an
+  accidental deadlock surfaces as an error.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommunicatorError, DeadlockError
+from repro.simmpi.instrument import CommStats
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+
+
+class _World:
+    """State shared by all ranks of one SPMD run."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.mailboxes: list[deque[Message]] = [deque() for _ in range(nranks)]
+        self.stats: list[CommStats] = [CommStats() for _ in range(nranks)]
+        self.error: BaseException | None = None
+        self.lock = threading.RLock()
+
+    def find_message(self, rank: int, source: int, tag: int, remove: bool) -> Message | None:
+        """First matching message in ``rank``'s mailbox (caller holds lock)."""
+        box = self.mailboxes[rank]
+        for i, msg in enumerate(box):
+            if msg.matches(source, tag):
+                if remove:
+                    del box[i]
+                return msg
+        return None
+
+
+class Engine:
+    """Interface both engines implement (see module docstring)."""
+
+    def create_world(self, nranks: int) -> _World:
+        raise NotImplementedError
+
+    def deposit(self, world: _World, rank: int, dest: int, msg: Message) -> None:
+        """Deliver ``msg`` into ``dest``'s mailbox (called by ``rank``)."""
+        raise NotImplementedError
+
+    def wait_message(self, world: _World, rank: int, source: int, tag: int) -> Message:
+        """Block ``rank`` until a matching message arrives; remove it."""
+        raise NotImplementedError
+
+    def probe(self, world: _World, rank: int, source: int, tag: int) -> Message | None:
+        """Non-blocking peek; may yield control to let senders progress."""
+        raise NotImplementedError
+
+    def run(self, fn: Callable[[Any], Any], world: _World,
+            make_comm: Callable[[_World, int], Any]) -> list[Any]:
+        """Execute ``fn(comm)`` on every rank; returns per-rank results."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Cooperative (deterministic) engine
+# ----------------------------------------------------------------------
+class _CoopState:
+    """Scheduler bookkeeping attached to a cooperative world."""
+
+    def __init__(self, nranks: int) -> None:
+        self.events = [threading.Event() for _ in range(nranks)]
+        self.runnable: deque[int] = deque()
+        # rank -> (source, tag) it blocks on; only set while waiting.
+        self.waiting: dict[int, tuple[int, int]] = {}
+        self.finished: set[int] = set()
+        self.current: int | None = None
+
+
+class CooperativeEngine(Engine):
+    """Deterministic turn-taking engine (the default for tests/benchmarks)."""
+
+    def create_world(self, nranks: int) -> _World:
+        """World plus the cooperative scheduler state."""
+        world = _World(nranks)
+        world.coop = _CoopState(nranks)  # type: ignore[attr-defined]
+        return world
+
+    # -- scheduling core (callers hold world.lock) ----------------------
+    def _schedule_next(self, world: _World) -> None:
+        st: _CoopState = world.coop  # type: ignore[attr-defined]
+        if st.runnable:
+            nxt = st.runnable.popleft()
+            st.current = nxt
+            st.events[nxt].set()
+            return
+        st.current = None
+        live_waiting = set(st.waiting) - st.finished
+        if live_waiting:
+            # Nobody can run and someone is blocked: deadlock.  Keep the
+            # first diagnosis — teardown re-entries would otherwise
+            # overwrite it with a shrinking rank list.
+            if world.error is None:
+                world.error = DeadlockError(
+                    f"all runnable ranks exhausted; ranks "
+                    f"{sorted(live_waiting)} are blocked in recv with no "
+                    "matching messages in flight"
+                )
+            for r in live_waiting:
+                st.events[r].set()
+
+    def _yield_and_wait(self, world: _World, rank: int) -> None:
+        """Give up the CPU; return when scheduled again (lock held on entry
+        and re-acquired before returning)."""
+        st: _CoopState = world.coop  # type: ignore[attr-defined]
+        st.events[rank].clear()
+        self._schedule_next(world)
+        world.lock.release()
+        try:
+            st.events[rank].wait()
+        finally:
+            world.lock.acquire()
+        if world.error is not None:
+            raise world.error
+
+    # -- Engine interface ----------------------------------------------
+    def deposit(self, world: _World, rank: int, dest: int, msg: Message) -> None:
+        """Deliver a message; re-arm the destination if it was waiting."""
+        with world.lock:
+            if world.error is not None:
+                raise world.error
+            world.mailboxes[dest].append(msg)
+            st: _CoopState = world.coop  # type: ignore[attr-defined]
+            pattern = st.waiting.get(dest)
+            if pattern is not None and msg.matches(*pattern):
+                del st.waiting[dest]
+                st.runnable.append(dest)
+
+    def wait_message(self, world: _World, rank: int, source: int, tag: int) -> Message:
+        """Blocking receive: park the rank and hand the CPU over."""
+        with world.lock:
+            while True:
+                if world.error is not None:
+                    raise world.error
+                msg = world.find_message(rank, source, tag, remove=True)
+                if msg is not None:
+                    return msg
+                st: _CoopState = world.coop  # type: ignore[attr-defined]
+                st.waiting[rank] = (source, tag)
+                st.events[rank].clear()
+                self._schedule_next(world)
+                world.lock.release()
+                try:
+                    st.events[rank].wait()
+                finally:
+                    world.lock.acquire()
+                st.current = rank
+                if world.error is not None:
+                    raise world.error
+
+    def probe(self, world: _World, rank: int, source: int, tag: int) -> Message | None:
+        """Non-blocking peek; yields one turn on a miss (progress)."""
+        with world.lock:
+            if world.error is not None:
+                raise world.error
+            msg = world.find_message(rank, source, tag, remove=False)
+            if msg is not None:
+                return msg
+            # Nothing there: yield one turn so producers can run, then
+            # re-check once.  Spin loops thus make progress round-robin.
+            st: _CoopState = world.coop  # type: ignore[attr-defined]
+            st.runnable.append(rank)
+            self._yield_and_wait(world, rank)
+            st.current = rank
+            return world.find_message(rank, source, tag, remove=False)
+
+    def run(self, fn, world: _World, make_comm) -> list[Any]:
+        """Launch all rank threads; rank 0 runs first; join and report."""
+        st: _CoopState = world.coop  # type: ignore[attr-defined]
+        n = world.nranks
+        results: list[Any] = [None] * n
+        threads: list[threading.Thread] = []
+
+        def body(rank: int) -> None:
+            st.events[rank].wait()
+            if world.error is not None:
+                return
+            try:
+                results[rank] = fn(make_comm(world, rank))
+            except BaseException as exc:  # noqa: BLE001 - repropagated below
+                with world.lock:
+                    if world.error is None or isinstance(world.error, DeadlockError):
+                        world.error = exc
+                    for r in range(n):
+                        st.events[r].set()
+            finally:
+                with world.lock:
+                    st.finished.add(rank)
+                    st.waiting.pop(rank, None)
+                    if st.current == rank:
+                        self._schedule_next(world)
+
+        for rank in range(n):
+            t = threading.Thread(
+                target=body, args=(rank,), name=f"coop-rank-{rank}", daemon=True
+            )
+            threads.append(t)
+            t.start()
+        with world.lock:
+            st.runnable.extend(range(1, n))
+            st.current = 0
+            st.events[0].set()
+        for t in threads:
+            t.join()
+        if world.error is not None:
+            raise world.error
+        return results
+
+
+# ----------------------------------------------------------------------
+# Free-running threaded engine
+# ----------------------------------------------------------------------
+class ThreadedEngine(Engine):
+    """Concurrent engine: ranks are ordinary threads blocking on conditions.
+
+    ``timeout`` bounds every blocking receive; expiry raises
+    :class:`DeadlockError` (a real MPI job would hang instead).
+    """
+
+    def __init__(self, timeout: float = 120.0) -> None:
+        if timeout <= 0:
+            raise CommunicatorError("timeout must be positive")
+        self.timeout = timeout
+
+    def create_world(self, nranks: int) -> _World:
+        """World plus one condition variable per rank mailbox."""
+        world = _World(nranks)
+        world.conds = [  # type: ignore[attr-defined]
+            threading.Condition(world.lock) for _ in range(nranks)
+        ]
+        return world
+
+    def deposit(self, world: _World, rank: int, dest: int, msg: Message) -> None:
+        """Deliver a message and wake any blocked receiver."""
+        with world.lock:
+            if world.error is not None:
+                raise world.error
+            world.mailboxes[dest].append(msg)
+            world.conds[dest].notify_all()  # type: ignore[attr-defined]
+
+    def wait_message(self, world: _World, rank: int, source: int, tag: int) -> Message:
+        """Blocking receive on a condition variable (with timeout)."""
+        cond = world.conds[rank]  # type: ignore[attr-defined]
+        with world.lock:
+            while True:
+                if world.error is not None:
+                    raise world.error
+                msg = world.find_message(rank, source, tag, remove=True)
+                if msg is not None:
+                    return msg
+                if not cond.wait(timeout=self.timeout):
+                    err = DeadlockError(
+                        f"rank {rank} waited more than {self.timeout}s for a "
+                        f"message (source={source}, tag={tag})"
+                    )
+                    world.error = err
+                    for c in world.conds:  # type: ignore[attr-defined]
+                        c.notify_all()
+                    raise err
+
+    def probe(self, world: _World, rank: int, source: int, tag: int) -> Message | None:
+        """Non-blocking peek at the mailbox."""
+        with world.lock:
+            if world.error is not None:
+                raise world.error
+            return world.find_message(rank, source, tag, remove=False)
+
+    def run(self, fn, world: _World, make_comm) -> list[Any]:
+        """Launch all ranks as free threads; join and report."""
+        n = world.nranks
+        results: list[Any] = [None] * n
+        threads: list[threading.Thread] = []
+
+        def body(rank: int) -> None:
+            try:
+                results[rank] = fn(make_comm(world, rank))
+            except BaseException as exc:  # noqa: BLE001 - repropagated below
+                with world.lock:
+                    if world.error is None or isinstance(world.error, DeadlockError):
+                        world.error = exc
+                    for c in world.conds:  # type: ignore[attr-defined]
+                        c.notify_all()
+
+        for rank in range(n):
+            t = threading.Thread(
+                target=body, args=(rank,), name=f"rank-{rank}", daemon=True
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join()
+        if world.error is not None:
+            raise world.error
+        return results
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class SpmdResult:
+    """Return bundle of :func:`run_spmd`."""
+
+    results: list[Any]
+    stats: list[CommStats] = field(default_factory=list)
+
+    def total_stats(self) -> CommStats:
+        """All ranks' traffic folded together."""
+        total = CommStats()
+        for s in self.stats:
+            total.merge(s)
+        return total
+
+
+def run_spmd(
+    fn: Callable[[Any], Any],
+    nranks: int,
+    engine: Engine | str = "cooperative",
+) -> SpmdResult:
+    """Run ``fn(comm)`` as an SPMD program on ``nranks`` ranks.
+
+    ``engine`` may be an :class:`Engine` instance or one of the names
+    ``"cooperative"`` / ``"threaded"``.  Returns per-rank results and the
+    per-rank communication statistics.
+    """
+    from repro.simmpi.communicator import Communicator
+
+    if nranks < 1:
+        raise CommunicatorError("nranks must be >= 1")
+    if isinstance(engine, str):
+        if engine == "cooperative":
+            engine = CooperativeEngine()
+        elif engine == "threaded":
+            engine = ThreadedEngine()
+        else:
+            raise CommunicatorError(f"unknown engine {engine!r}")
+    world = engine.create_world(nranks)
+
+    def make_comm(w: _World, rank: int) -> Communicator:
+        return Communicator(w, rank, engine)
+
+    results = engine.run(fn, world, make_comm)
+    return SpmdResult(results=results, stats=world.stats)

@@ -1,0 +1,105 @@
+"""Per-rank communication accounting.
+
+The performance model projects BlueGene/Q times from *measured* traffic:
+how many point-to-point messages each rank sent, how many bytes, how many
+remote k-mer/tile lookups it issued, and how much collective volume moved.
+:class:`CommStats` is that ledger; every send increments it, and the
+distributed driver adds protocol-level counters (lookups by kind).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _payload_nbytes(payload) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_nbytes(p) for p in payload)
+    # Scalars / None: count a machine word.
+    return 8
+
+
+@dataclass
+class CommStats:
+    """Traffic counters for one rank."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_by_tag: dict[int, int] = field(default_factory=dict)
+    bytes_by_tag: dict[int, int] = field(default_factory=dict)
+    #: Destination rank -> messages sent there; lets analyses classify
+    #: traffic as on-node vs off-node for a given ranks-per-node mapping.
+    messages_by_peer: dict[int, int] = field(default_factory=dict)
+    bytes_by_peer: dict[int, int] = field(default_factory=dict)
+    #: Protocol-level counters maintained by the Reptile driver, e.g.
+    #: "remote_tile_lookups", "remote_kmer_lookups", "served_requests".
+    counters: dict[str, int] = field(default_factory=dict)
+    #: A rank's worker and communication threads both account traffic
+    #: (the two-thread Step IV mode), so updates are locked.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_send(self, tag: int, payload, dest: int | None = None) -> None:
+        """Account one outgoing message (thread-safe)."""
+        nbytes = _payload_nbytes(payload)
+        with self._lock:
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+            self.messages_by_tag[tag] = self.messages_by_tag.get(tag, 0) + 1
+            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + nbytes
+            if dest is not None:
+                self.messages_by_peer[dest] = (
+                    self.messages_by_peer.get(dest, 0) + 1
+                )
+                self.bytes_by_peer[dest] = (
+                    self.bytes_by_peer.get(dest, 0) + nbytes
+                )
+
+    def onnode_fraction(self, rank: int, ranks_per_node: int) -> float:
+        """Fraction of this rank's messages that would stay on-node if
+        ranks were packed ``ranks_per_node`` to a node in rank order.
+
+        This is the *measured* counterpart of the machine model's
+        analytic on-node fraction.
+        """
+        if ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        node = rank // ranks_per_node
+        on = off = 0
+        for peer, n in self.messages_by_peer.items():
+            if peer // ranks_per_node == node:
+                on += n
+            else:
+                off += n
+        total = on + off
+        return on / total if total else 0.0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named protocol counter (thread-safe)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Read a named protocol counter (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold another rank's counters into this one (for totals)."""
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        for tag, n in other.messages_by_tag.items():
+            self.messages_by_tag[tag] = self.messages_by_tag.get(tag, 0) + n
+        for tag, n in other.bytes_by_tag.items():
+            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + n
+        for peer, n in other.messages_by_peer.items():
+            self.messages_by_peer[peer] = self.messages_by_peer.get(peer, 0) + n
+        for peer, n in other.bytes_by_peer.items():
+            self.bytes_by_peer[peer] = self.bytes_by_peer.get(peer, 0) + n
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n

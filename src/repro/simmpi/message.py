@@ -1,0 +1,52 @@
+"""Message envelope and tag space.
+
+User code may use any tag in ``[0, Tags.COLLECTIVE_BASE)``; tags at and
+above ``COLLECTIVE_BASE`` are reserved for the collectives implemented in
+:mod:`repro.simmpi.communicator` (each collective call consumes one
+generation number so concurrent-in-flight collectives never cross-match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Wildcard source for recv/iprobe (matches MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag for recv/iprobe (matches MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+class Tags:
+    """Well-known tags used by the distributed Reptile protocol."""
+
+    #: Request for k-mer counts (payload: uint64 ids).
+    KMER_REQUEST = 1
+    #: Request for tile counts (payload: uint64 ids).
+    TILE_REQUEST = 2
+    #: Response to a count request (payload: uint32 counts).
+    COUNT_RESPONSE = 3
+    #: Universal-mode request; the kind is encoded in the payload.
+    UNIVERSAL_REQUEST = 4
+    #: A rank announcing it finished its own reads (to rank 0).
+    WORKER_DONE = 5
+    #: Rank 0 announcing the whole correction phase is over.
+    SHUTDOWN = 6
+
+    #: First tag reserved for collectives; user tags must stay below.
+    COLLECTIVE_BASE = 1 << 20
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message."""
+
+    source: int
+    tag: int
+    payload: Any
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Does this message match a (source, tag) pattern with wildcards?"""
+        return (source in (ANY_SOURCE, self.source)) and (
+            tag in (ANY_TAG, self.tag)
+        )

@@ -1,0 +1,113 @@
+"""Nonblocking point-to-point operations (``MPI_Isend``/``MPI_Irecv``).
+
+The runtime's sends are already asynchronous, so :meth:`Communicator.isend`
+is satisfaction-at-issue; :meth:`Communicator.irecv` returns a
+:class:`RecvRequest` that can be tested without blocking and waited on
+later — the idiom overlapping communication with computation, which the
+paper's correction loop relies on implicitly and explicit SPMD programs
+can now use directly.
+
+``waitall`` completes a batch in the order messages arrive, so a program
+can post many receives and drain them as they land.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import CommunicatorError
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+
+
+class Request:
+    """Handle for a nonblocking operation."""
+
+    def test(self) -> Message | None:
+        """Complete without blocking if possible; None when not ready."""
+        raise NotImplementedError
+
+    def wait(self) -> Message | None:
+        """Block until the operation completes."""
+        raise NotImplementedError
+
+    @property
+    def completed(self) -> bool:
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """A send: complete at issue (the runtime buffers every message)."""
+
+    __slots__ = ()
+
+    def test(self) -> None:
+        """Already complete; sends carry no message."""
+        return None
+
+    def wait(self) -> None:
+        """Already complete; sends carry no message."""
+        return None
+
+    @property
+    def completed(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """A posted receive for a (source, tag) pattern."""
+
+    __slots__ = ("_comm", "_source", "_tag", "_message")
+
+    def __init__(self, comm, source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._message: Message | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self._message is not None
+
+    def test(self) -> Message | None:
+        """Try to complete: non-blocking probe + receive on a match."""
+        if self._message is not None:
+            return self._message
+        probed = self._comm.iprobe(self._source, self._tag)
+        if probed is None:
+            return None
+        self._message = self._comm.recv(probed.source, probed.tag)
+        return self._message
+
+    def wait(self) -> Message:
+        """Blocking completion."""
+        if self._message is None:
+            self._message = self._comm.recv(self._source, self._tag)
+        return self._message
+
+
+def waitall(requests: Iterable[Request]) -> list[Any]:
+    """Complete every request; returns their messages (None for sends).
+
+    Receives complete in arrival order: pending ones are polled round
+    robin, falling back to a blocking wait on the first still-pending
+    request when a full polling pass makes no progress (which cannot
+    deadlock: its message is already owed).
+    """
+    requests = list(requests)
+    results: list[Any] = [None] * len(requests)
+    pending = [i for i, r in enumerate(requests) if not r.completed]
+    for i, r in enumerate(requests):
+        if r.completed:
+            results[i] = r.test()
+    while pending:
+        progressed = False
+        for i in list(pending):
+            msg = requests[i].test()
+            if msg is not None or requests[i].completed:
+                results[i] = msg
+                pending.remove(i)
+                progressed = True
+        if pending and not progressed:
+            i = pending.pop(0)
+            results[i] = requests[i].wait()
+    return results

@@ -1,0 +1,14 @@
+"""Small shared utilities: phase timers, logging, summary statistics."""
+
+from repro.util.timer import PhaseTimer, Timing
+from repro.util.stats import Summary, summarize, relative_spread
+from repro.util.logging import get_logger
+
+__all__ = [
+    "PhaseTimer",
+    "Timing",
+    "Summary",
+    "summarize",
+    "relative_spread",
+    "get_logger",
+]

@@ -1,0 +1,43 @@
+"""Logger factory with a library-safe default configuration.
+
+The library never configures the root logger.  ``get_logger`` returns a child
+of the ``repro`` logger with a ``NullHandler`` attached at the package root so
+importing the library stays silent unless the application opts in.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` may be a bare suffix (``"parallel.driver"``) or a fully
+    qualified module name (``"repro.parallel.driver"``); both map to the
+    same logger.
+    """
+    if name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the package logger (for examples/CLIs)."""
+    logger = logging.getLogger(_ROOT_NAME)
+    if any(isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+           for h in logger.handlers):
+        logger.setLevel(level)
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,65 @@
+"""Summary statistics used throughout the result reporting.
+
+The paper repeatedly reports *spreads* across ranks — e.g. "the variation
+between the ranks having the highest and the lowest number of k-mers is less
+than 1%" (Fig. 3) — so :func:`relative_spread` implements exactly that
+(max-min)/min ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a per-rank quantity."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / min; 0 for constant data, inf if min == 0 < max."""
+        if self.minimum == 0:
+            return 0.0 if self.maximum == 0 else float("inf")
+        return (self.maximum - self.minimum) / self.minimum
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Summarize a non-empty sequence of per-rank values."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return Summary(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+    )
+
+
+def relative_spread(values: Sequence[float] | np.ndarray) -> float:
+    """The paper's rank-imbalance metric: (max - min) / min."""
+    return summarize(values).spread
+
+
+def parallel_efficiency(
+    base_time: float, base_procs: int, time: float, procs: int
+) -> float:
+    """Classic strong-scaling efficiency: speedup / (procs ratio).
+
+    The paper quotes 0.81 (E.Coli) and 0.64 (Drosophila) at 8192 ranks
+    relative to the 1024-rank runs.
+    """
+    if base_time <= 0 or time <= 0 or base_procs <= 0 or procs <= 0:
+        raise ValueError("times and processor counts must be positive")
+    speedup = base_time / time
+    return speedup / (procs / base_procs)

@@ -1,0 +1,90 @@
+"""Phase timing for the parallel driver and the benchmark harness.
+
+The paper reports per-phase wall-clock times (k-mer construction time vs
+error-correction time, and within correction the communication time).  The
+:class:`PhaseTimer` accumulates named phases so drivers can report the same
+breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Timing:
+    """A single accumulated phase measurement."""
+
+    name: str
+    seconds: float
+    calls: int
+
+    @property
+    def per_call(self) -> float:
+        """Mean seconds per enter/exit of the phase."""
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Phases may nest; nested time is attributed to every open phase, matching
+    how the paper attributes communication time both to "communication" and
+    to the enclosing "error correction" phase.
+
+    Example
+    -------
+    >>> t = PhaseTimer()
+    >>> with t.phase("kmer_construction"):
+    ...     pass
+    >>> t.seconds("kmer_construction") >= 0.0
+    True
+    """
+
+    _seconds: dict[str, float] = field(default_factory=dict)
+    _calls: dict[str, int] = field(default_factory=dict)
+    clock: "object" = time.perf_counter
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating elapsed time into ``name``."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - start
+            self.add(name, elapsed)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to phase ``name`` directly (for modelled time)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Total accumulated seconds for ``name`` (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Number of times phase ``name`` was entered."""
+        return self._calls.get(name, 0)
+
+    def timings(self) -> list[Timing]:
+        """All phases as immutable records, in insertion order."""
+        return [
+            Timing(name=n, seconds=s, calls=self._calls[n])
+            for n, s in self._seconds.items()
+        ]
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's phases into this one (for per-rank merge)."""
+        for name, secs in other._seconds.items():
+            self._seconds[name] = self._seconds.get(name, 0.0) + secs
+            self._calls[name] = self._calls.get(name, 0) + other._calls[name]
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase name to total seconds, a copy safe to mutate."""
+        return dict(self._seconds)

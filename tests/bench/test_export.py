@@ -1,0 +1,59 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.bench.export import export_all, slug, write_csv
+from repro.bench.harness import ExperimentResult
+
+
+@pytest.fixture
+def sample():
+    r = ExperimentResult("Fig. 9", "demo", ["a", "b"])
+    r.add(1, 2.5)
+    r.add(3, 4.0)
+    r.note("hello")
+    return r
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "fig9.csv"
+        write_csv(sample, path)
+        text = path.read_text()
+        assert text.startswith("# Fig. 9: demo")
+        assert "# note: hello" in text
+        with open(path) as fh:
+            rows = [r for r in csv.reader(fh) if not r[0].startswith("#")]
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_creates_directories(self, sample, tmp_path):
+        path = tmp_path / "deep" / "dir" / "x.csv"
+        write_csv(sample, path)
+        assert path.exists()
+
+
+class TestSlug:
+    def test_examples(self):
+        assert slug("Fig. 6") == "fig_6"
+        assert slug("Table I") == "table_i"
+
+
+class TestExportAll:
+    def test_subset_export(self, tmp_path):
+        # Use the fast, model-only experiments.
+        paths = export_all(tmp_path, only=["table1", "fig2", "fig6"])
+        names = sorted(p.name for p in paths)
+        assert names == ["fig2.csv", "fig6.csv", "table1.csv"]
+        for p in paths:
+            assert p.stat().st_size > 0
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_all(tmp_path, only=["fig99"])
+
+    def test_custom_registry(self, tmp_path, sample):
+        paths = export_all(tmp_path, experiments={"demo": lambda: sample})
+        assert paths[0].name == "demo.csv"

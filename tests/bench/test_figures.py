@@ -1,0 +1,194 @@
+"""Shape tests for every reproduced exhibit.
+
+These verify the *qualitative claims* of each figure — who wins, what
+dominates, which way trends point — not absolute values (those live in the
+anchor tests and EXPERIMENTS.md).  Measured components run at reduced
+scale to stay fast.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import small_scale
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return small_scale(genome_size=6_000, chunk_size=150)
+
+
+@pytest.fixture(scope="module")
+def tiny_bursty():
+    return small_scale(genome_size=8_000, localized_errors=True, chunk_size=150)
+
+
+class TestTable1:
+    def test_rows(self):
+        out = figures.table1()
+        assert len(out.rows) == 3
+        names = [r[0] for r in out.rows]
+        assert names == ["E.Coli", "Drosophila", "Human"]
+        coverages = [r[4] for r in out.rows]
+        assert coverages == ["96X", "75X", "47X"]
+
+
+class TestFig2:
+    def test_32rpn_slower_mostly_comm(self):
+        out = figures.fig2()
+        rows = {r[0]: r for r in out.rows}
+        t8, t32 = rows[8][-1], rows[32][-1]
+        assert 1.2 < t32 / t8 < 1.5  # ~30% slower
+        # Communication grows more than construction.
+        comm8 = rows[8][4] + rows[8][5]
+        comm32 = rows[32][4] + rows[32][5]
+        assert comm32 - comm8 > rows[32][2] - rows[8][2]
+
+    def test_construction_negligible(self):
+        out = figures.fig2()
+        for row in out.rows:
+            assert row[2] < 0.05 * row[3]
+
+    def test_tiles_dominate(self):
+        out = figures.fig2()
+        for row in out.rows:
+            assert row[5] > row[4]  # comm_tile > comm_kmer
+
+
+class TestFig3:
+    def test_full_scale_spread_matches_paper(self, tiny_scale):
+        out = figures.fig3(scale=tiny_scale, measured_ranks=8)
+        rows = {r[0]: r for r in out.rows}
+        assert rows["full-scale kmers"][-1] < 1.0   # < 1%
+        assert rows["full-scale tiles"][-1] < 2.0   # < 2%
+
+    def test_measured_rows_present(self, tiny_scale):
+        out = figures.fig3(scale=tiny_scale, measured_ranks=8)
+        labels = [r[0] for r in out.rows]
+        assert "measured kmers" in labels
+        assert "measured tiles" in labels
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_bursty):
+        return figures.fig4(nranks=8, scale=tiny_bursty)
+
+    def test_balancing_flattens_errors(self, out):
+        rows = {r[0]: r for r in out.rows}
+        imb = rows["imbalanced"]
+        bal = rows["balanced"]
+        spread_imb = imb[2] / max(1, imb[1])
+        spread_bal = bal[2] / max(1, bal[1])
+        assert spread_bal < spread_imb
+
+    def test_projected_times_shape(self, out):
+        rows = {r[0]: r for r in out.rows}
+        # Imbalanced slowest is several times its fastest; balanced ranks
+        # are nearly uniform (paper: 4948 vs 16000+ / ~8886 uniform).
+        assert rows["imbalanced"][6] > 2.5 * rows["imbalanced"][5]
+        assert rows["balanced"][6] < 1.1 * rows["balanced"][5]
+        # Balancing cuts the end-to-end (slowest-rank) time.
+        assert rows["balanced"][6] < rows["imbalanced"][6]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_scale):
+        return figures.fig5(scale=tiny_scale)
+
+    def _rows(self, out):
+        return {r[0]: r for r in out.rows}
+
+    def test_universal_faster_same_memory(self, out):
+        rows = self._rows(out)
+        assert rows["universal"][3] < rows["base"][3]
+        assert rows["universal"][4] == rows["base"][4]
+
+    def test_kmer_replication_hurts(self, out):
+        rows = self._rows(out)
+        # Run at 256 ranks: slower than base (at 1024) and heavier.
+        assert rows["allgather kmers"][3] > rows["base"][3]
+        assert rows["allgather kmers"][4] > rows["base"][4]
+
+    def test_tile_replication_helps_time(self, out):
+        rows = self._rows(out)
+        assert rows["allgather tiles"][3] < rows["base"][3]
+
+    def test_batch_reads_cuts_memory(self, out):
+        rows = self._rows(out)
+        assert rows["batch reads table"][4] < rows["base"][4]
+
+    def test_full_replication_fastest_heaviest(self, out):
+        rows = self._rows(out)
+        times = [r[3] for r in out.rows]
+        mems = [r[4] for r in out.rows]
+        assert rows["allgather both"][3] == min(times)
+        assert rows["allgather both"][4] == max(mems)
+
+    def test_add_remote_more_memory_no_speedup(self, out):
+        rows = self._rows(out)
+        assert rows["add remote lookups"][4] > rows["read kmers/tiles"][4]
+        assert rows["add remote lookups"][3] == pytest.approx(
+            rows["read kmers/tiles"][3]
+        )
+
+    def test_measured_lookup_columns(self, out):
+        rows = self._rows(out)
+        assert rows["allgather both"][5] == 0
+        assert rows["allgather both"][6] == 0
+        assert rows["base"][6] > 0
+
+
+class TestScalingFigures:
+    def test_fig6_shape(self):
+        out = figures.fig6()
+        totals = [r[4] for r in out.rows]
+        assert totals == sorted(totals, reverse=True)
+        # <= ~200 s at 256 nodes, efficiency in the paper band.
+        last = out.rows[-1]
+        assert last[1] == 256
+        assert last[4] < 250
+        assert 0.65 < last[6] <= 1.0
+
+    def test_fig7_shape(self):
+        out = figures.fig7()
+        first, last = out.rows[0], out.rows[-1]
+        # Batch-mode construction ~1000 s at 1024 ranks, shrinking.
+        assert 700 < first[2] < 1200
+        assert last[2] < first[2]
+        # Imbalanced runs DNF at the low rank counts.
+        assert first[5] == "DNF"
+
+    def test_fig8_shape(self):
+        out = figures.fig8()
+        last = out.rows[-1]
+        assert last[0] == 32768
+        assert last[1] == 1024
+        # ~2-2.5 h on one rack.
+        assert 6000 < last[4] < 10_000
+
+    def test_memory_exhibit(self):
+        out = figures.memory_footprints()
+        assert all(r[-1] == "yes" for r in out.rows)
+        ecoli = out.rows[0]
+        assert ecoli[3] < 60  # <~50 MB at 256 nodes
+
+
+def test_registry_complete():
+    assert set(figures.ALL_EXPERIMENTS) == {
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "memory", "anchors", "sensitivity",
+    }
+
+
+class TestAnchorsExhibit:
+    def test_all_within_tolerance(self):
+        out = figures.anchors()
+        assert len(out.rows) == 15
+        assert all(row[-1] == "yes" for row in out.rows)
+
+    def test_sensitivity_exhibit_shape(self):
+        out = figures.sensitivity()
+        fields = {row[0] for row in out.rows}
+        assert "lookup_rtt" in fields
+        assert all(row[3] > 0 for row in out.rows)

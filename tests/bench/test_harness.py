@@ -1,0 +1,59 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_table, small_scale
+
+
+class TestExperimentResult:
+    def test_add_row_width_checked(self):
+        r = ExperimentResult("X", "t", ["a", "b"])
+        r.add(1, 2)
+        with pytest.raises(ValueError):
+            r.add(1)
+
+    def test_format_contains_everything(self):
+        r = ExperimentResult("Fig. 9", "demo", ["col_a", "col_b"])
+        r.add("x", 1234.5678)
+        r.add("y", 12)
+        r.note("a note")
+        text = format_table(r)
+        assert "Fig. 9" in text
+        assert "col_a" in text
+        assert "1,235" in text  # thousands formatting
+        assert "note: a note" in text
+
+    def test_str_and_empty(self):
+        r = ExperimentResult("E", "empty", ["only"])
+        assert "only" in str(r)
+
+    def test_float_formatting_bands(self):
+        r = ExperimentResult("F", "fmt", ["v"])
+        r.add(0.123456)
+        r.add(42.42)
+        r.add(0)
+        text = format_table(r)
+        assert "0.123" in text
+        assert "42.4" in text
+
+
+class TestSmallScale:
+    def test_default_ecoli(self):
+        s = small_scale(genome_size=5_000)
+        assert s.profile.name == "E.Coli"
+        assert s.dataset.block.max_length == 102
+        assert s.config.kmer_threshold >= 2
+        assert s.config.tile_threshold >= 2
+
+    def test_other_profile(self):
+        s = small_scale("Drosophila", genome_size=5_000)
+        assert s.dataset.block.max_length == 96
+
+    def test_localized_errors_flag(self):
+        quiet = small_scale(genome_size=5_000, localized_errors=False)
+        bursty = small_scale(genome_size=5_000, localized_errors=True)
+        assert bursty.dataset.n_errors > quiet.dataset.n_errors
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            small_scale("Yeast")

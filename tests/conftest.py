@@ -1,0 +1,57 @@
+"""Shared fixtures: small synthetic datasets and matching configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.policy import derive_thresholds
+from repro.datasets.genome import random_genome
+from repro.datasets.reads import ErrorModel, ReadSimulator
+
+
+@pytest.fixture(scope="session")
+def tiny_genome() -> np.ndarray:
+    return random_genome(6_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_genome):
+    """~1.8 k reads, 1% errors: big enough for real correction, fast."""
+    sim = ReadSimulator(
+        genome=tiny_genome,
+        read_length=102,
+        error_model=ErrorModel(base_rate=0.01),
+        seed=5,
+    )
+    return sim.simulate(coverage=30)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_dataset) -> ReptileConfig:
+    kt, tt = derive_thresholds(
+        tiny_dataset.coverage, 102, 12, 20, tile_step=8, error_rate=0.01
+    )
+    return ReptileConfig(
+        kmer_length=12,
+        tile_overlap=4,
+        kmer_threshold=kt,
+        tile_threshold=tt,
+        chunk_size=250,
+    )
+
+
+@pytest.fixture(scope="session")
+def bursty_dataset(tiny_genome):
+    """Same genome but with localized error bursts (load-balance tests)."""
+    sim = ReadSimulator(
+        genome=tiny_genome,
+        read_length=102,
+        error_model=ErrorModel(
+            base_rate=0.008, localized=True, burst_fraction=0.2,
+            burst_count=3, burst_multiplier=6.0,
+        ),
+        seed=6,
+    )
+    return sim.simulate(coverage=25)

@@ -1,0 +1,73 @@
+"""Tests for the Bloom-prefiltered spectrum construction."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.bloomfilter_build import build_spectra_bloom
+from repro.core.spectrum import build_spectra
+from repro.datasets.genome import random_genome
+from repro.datasets.reads import ErrorModel, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    sim = ReadSimulator(
+        genome=random_genome(4_000, seed=51), read_length=80,
+        error_model=ErrorModel(base_rate=0.01), seed=52,
+    )
+    return sim.simulate(coverage=25)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ReptileConfig(
+        kmer_length=12, tile_overlap=4, kmer_threshold=4,
+        tile_threshold=2, chunk_size=200,
+    )
+
+
+class TestAgainstExactBuild:
+    def test_surviving_counts_match_exact(self, dataset, cfg):
+        """Post-threshold, the Bloom build's spectra agree with the exact
+        build on (almost) every key."""
+        exact = build_spectra(dataset.block, cfg)
+        bloom = build_spectra_bloom(dataset.block, cfg, fp_rate=0.001)
+        keys, counts = exact.kmers.items()
+        got = bloom.spectra.kmers.lookup(keys)
+        agree = (got == counts).mean()
+        assert agree > 0.995
+        # And the Bloom build holds (almost) nothing the exact one lacks.
+        bkeys, _ = bloom.spectra.kmers.items()
+        extra = (~exact.kmers.contains(bkeys)).mean() if bkeys.size else 0
+        assert extra < 0.01
+
+    def test_singletons_suppressed(self, dataset, cfg):
+        bloom = build_spectra_bloom(dataset.block, cfg)
+        assert bloom.kmers_suppressed > 0
+        assert bloom.tiles_suppressed > 0
+        # Suppressed first-occurrences = number of distinct windows.
+        exact = build_spectra(dataset.block, cfg, apply_threshold=False)
+        assert bloom.kmers_suppressed == pytest.approx(
+            len(exact.kmers), rel=0.02
+        )
+
+    def test_memory_accounting(self, dataset, cfg):
+        bloom = build_spectra_bloom(dataset.block, cfg)
+        assert bloom.filter_bytes > 0
+        assert bloom.total_bytes == bloom.table_bytes + bloom.filter_bytes
+
+    def test_peak_table_smaller_than_exact(self, dataset, cfg):
+        """The point of the heuristic: error singletons never enter the
+        tables, so the table footprint undercuts the exact pre-threshold
+        peak."""
+        exact_pre = build_spectra(dataset.block, cfg, apply_threshold=False)
+        bloom = build_spectra_bloom(dataset.block, cfg)
+        assert len(bloom.spectra.kmers) < len(exact_pre.kmers)
+
+    def test_empty_block(self, cfg):
+        from repro.io.records import ReadBlock
+
+        bloom = build_spectra_bloom(ReadBlock.empty(), cfg)
+        assert len(bloom.spectra.kmers) == 0
+        assert bloom.kmers_suppressed == 0

@@ -1,0 +1,217 @@
+"""Tests for the serial Reptile corrector."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.corrector import ReptileCorrector
+from repro.core.metrics import evaluate_correction
+from repro.core.spectrum import LocalSpectrumView, build_spectra
+from repro.datasets.genome import random_genome
+from repro.datasets.reads import ErrorModel, ReadSimulator
+from repro.io.records import ReadBlock
+
+
+@pytest.fixture(scope="module")
+def corrected(tiny_dataset_module, tiny_config_module):
+    spectra = build_spectra(tiny_dataset_module.block, tiny_config_module)
+    view = LocalSpectrumView(spectra)
+    corrector = ReptileCorrector(tiny_config_module, view)
+    return corrector.correct_block(tiny_dataset_module.block), view
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_module():
+    genome = random_genome(6_000, seed=11)
+    sim = ReadSimulator(
+        genome=genome, read_length=102,
+        error_model=ErrorModel(base_rate=0.01), seed=5,
+    )
+    return sim.simulate(coverage=30)
+
+
+@pytest.fixture(scope="module")
+def tiny_config_module(tiny_dataset_module):
+    from repro.core.policy import derive_thresholds
+
+    kt, tt = derive_thresholds(
+        tiny_dataset_module.coverage, 102, 12, 20, tile_step=8, error_rate=0.01
+    )
+    return ReptileConfig(
+        kmer_length=12, tile_overlap=4, kmer_threshold=kt, tile_threshold=tt
+    )
+
+
+class TestCorrectionQuality:
+    def test_fixes_most_errors(self, corrected, tiny_dataset_module):
+        result, _ = corrected
+        report = evaluate_correction(tiny_dataset_module, result.block)
+        assert report.gain > 0.6
+        assert report.sensitivity > 0.6
+
+    def test_rarely_corrupts(self, corrected, tiny_dataset_module):
+        result, _ = corrected
+        report = evaluate_correction(tiny_dataset_module, result.block)
+        assert report.precision > 0.95
+
+    def test_input_not_mutated(self, tiny_dataset_module, tiny_config_module):
+        block = tiny_dataset_module.block
+        snapshot = block.codes.copy()
+        spectra = build_spectra(block, tiny_config_module)
+        ReptileCorrector(
+            tiny_config_module, LocalSpectrumView(spectra)
+        ).correct_block(block)
+        assert np.array_equal(block.codes, snapshot)
+
+    def test_counts_consistent(self, corrected):
+        result, _ = corrected
+        assert result.total_corrections == result.corrections_per_read.sum()
+        assert result.reads_modified == (result.corrections_per_read > 0).sum()
+        assert result.tiles_below_threshold <= result.tiles_examined
+
+    def test_lookups_issued(self, corrected):
+        _, view = corrected
+        assert view.stats.tile_lookups > 0
+        assert view.stats.kmer_lookups > 0
+
+
+class TestErrorFreeData:
+    def test_no_changes_on_clean_reads(self):
+        genome = random_genome(4_000, seed=3)
+        sim = ReadSimulator(
+            genome=genome, read_length=80,
+            error_model=ErrorModel(base_rate=0.0), seed=4,
+        )
+        ds = sim.simulate(coverage=25)
+        cfg = ReptileConfig(
+            kmer_length=12, tile_overlap=4, kmer_threshold=4, tile_threshold=2
+        )
+        spectra = build_spectra(ds.block, cfg)
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            ds.block
+        )
+        assert result.total_corrections == 0
+        assert np.array_equal(result.block.codes, ds.block.codes)
+
+
+class TestEdgeCases:
+    def _cfg(self, **kw):
+        base = dict(kmer_length=4, tile_overlap=2,
+                    kmer_threshold=2, tile_threshold=2)
+        base.update(kw)
+        return ReptileConfig(**base)
+
+    def test_read_shorter_than_tile(self):
+        cfg = self._cfg()
+        block = ReadBlock.from_strings(["ACGT"])  # shorter than tile (6)
+        spectra = build_spectra(block, cfg, apply_threshold=False)
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            block
+        )
+        assert result.total_corrections == 0
+        assert result.tiles_examined == 0
+
+    def test_empty_block(self):
+        cfg = self._cfg()
+        block = ReadBlock.empty(10)
+        spectra = build_spectra(block, cfg, apply_threshold=False)
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            block
+        )
+        assert len(result.block) == 0
+
+    def test_ambiguous_base_tiles_skipped(self):
+        cfg = self._cfg()
+        block = ReadBlock.from_strings(["ACGNACGTAC"])
+        spectra = build_spectra(block, cfg, apply_threshold=False)
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            block
+        )
+        # Tiles touching the N are not examined or corrected.
+        assert result.total_corrections == 0
+
+    def test_reverted_read_restored(self):
+        """A read needing more corrections than the cap reverts wholesale."""
+        genome = random_genome(4_000, seed=9)
+        sim = ReadSimulator(
+            genome=genome, read_length=102,
+            error_model=ErrorModel(base_rate=0.06, q_low=5), seed=10,
+        )
+        ds = sim.simulate(coverage=30)
+        from repro.core.policy import derive_thresholds
+
+        kt, tt = derive_thresholds(30, 102, 12, 20, tile_step=8, error_rate=0.06)
+        cfg = ReptileConfig(
+            kmer_length=12, tile_overlap=4, kmer_threshold=kt,
+            tile_threshold=tt, max_corrections_per_read=1,
+        )
+        spectra = build_spectra(ds.block, cfg)
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            ds.block
+        )
+        reverted = result.reads_reverted
+        assert reverted.any()
+        # Reverted reads are byte-identical to their input.
+        assert np.array_equal(
+            result.block.codes[reverted], ds.block.codes[reverted]
+        )
+        assert (result.corrections_per_read[reverted] == 0).all()
+
+
+class TestSingleErrorRecovery:
+    def test_deterministic_single_substitution(self):
+        """A single low-quality error in abundant context is corrected."""
+        genome = random_genome(2_000, seed=21)
+        sim = ReadSimulator(
+            genome=genome, read_length=60,
+            error_model=ErrorModel(base_rate=0.0), seed=22,
+        )
+        ds = sim.simulate(coverage=40)
+        cfg = ReptileConfig(
+            kmer_length=12, tile_overlap=4, kmer_threshold=3, tile_threshold=2
+        )
+        spectra = build_spectra(ds.block, cfg)
+        # Corrupt one base of read 0 and drop its quality.
+        block = ds.block
+        codes = block.codes.copy()
+        quals = block.quals.copy()
+        truth = codes[0, 30]
+        codes[0, 30] = (truth + 1) % 4
+        quals[0, 30] = 5
+        broken = ReadBlock(
+            ids=block.ids, codes=codes, lengths=block.lengths, quals=quals
+        )
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            broken
+        )
+        assert result.block.codes[0, 30] == truth
+        assert result.corrections_per_read[0] == 1
+
+    def test_distance2_candidates_enabled(self):
+        """max_distance=2 fixes two nearby errors in the same tile."""
+        genome = random_genome(2_000, seed=31)
+        sim = ReadSimulator(
+            genome=genome, read_length=60,
+            error_model=ErrorModel(base_rate=0.0), seed=32,
+        )
+        ds = sim.simulate(coverage=50)
+        cfg = ReptileConfig(
+            kmer_length=12, tile_overlap=4, kmer_threshold=3,
+            tile_threshold=2, max_distance=2,
+        )
+        spectra = build_spectra(ds.block, cfg)
+        block = ds.block
+        codes = block.codes.copy()
+        quals = block.quals.copy()
+        t0, t1 = codes[0, 24], codes[0, 27]
+        codes[0, 24] = (t0 + 1) % 4
+        codes[0, 27] = (t1 + 2) % 4
+        quals[0, 24] = quals[0, 27] = 5
+        broken = ReadBlock(
+            ids=block.ids, codes=codes, lengths=block.lengths, quals=quals
+        )
+        result = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            broken
+        )
+        assert result.block.codes[0, 24] == t0
+        assert result.block.codes[0, 27] == t1

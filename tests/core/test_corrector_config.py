@@ -1,0 +1,131 @@
+"""Config-sensitivity tests for the corrector: each knob does its job."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.corrector import ReptileCorrector
+from repro.core.metrics import evaluate_correction
+from repro.core.policy import derive_thresholds
+from repro.core.spectrum import LocalSpectrumView, build_spectra
+from repro.datasets.genome import random_genome
+from repro.datasets.reads import ErrorModel, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    sim = ReadSimulator(
+        genome=random_genome(6_000, seed=91), read_length=102,
+        error_model=ErrorModel(base_rate=0.015), seed=92,
+    )
+    return sim.simulate(coverage=35)
+
+
+@pytest.fixture(scope="module")
+def base_cfg(dataset):
+    kt, tt = derive_thresholds(
+        dataset.coverage, 102, 12, 20, tile_step=8, error_rate=0.015
+    )
+    return ReptileConfig(
+        kmer_length=12, tile_overlap=4, kmer_threshold=kt, tile_threshold=tt
+    )
+
+
+def _run(dataset, cfg):
+    spectra = build_spectra(dataset.block, cfg)
+    view = LocalSpectrumView(spectra)
+    result = ReptileCorrector(cfg, view).correct_block(dataset.block)
+    return result, evaluate_correction(dataset, result.block), view
+
+
+class TestQualityThreshold:
+    def test_zero_threshold_blocks_all_corrections(self, dataset, base_cfg):
+        """With no base below quality 0, no candidate positions exist."""
+        result, report, _ = _run(
+            dataset, base_cfg.with_updates(quality_threshold=0)
+        )
+        assert result.total_corrections == 0
+
+    def test_higher_threshold_finds_more_candidates(self, dataset, base_cfg):
+        low, low_rep, _ = _run(
+            dataset, base_cfg.with_updates(quality_threshold=8)
+        )
+        high, high_rep, _ = _run(
+            dataset, base_cfg.with_updates(quality_threshold=30)
+        )
+        assert high_rep.sensitivity >= low_rep.sensitivity
+
+
+class TestAmbiguityRatio:
+    def test_stricter_ratio_corrects_no_more(self, dataset, base_cfg):
+        lax, lax_rep, _ = _run(
+            dataset, base_cfg.with_updates(ambiguity_ratio=1.0)
+        )
+        strict, strict_rep, _ = _run(
+            dataset, base_cfg.with_updates(ambiguity_ratio=10.0)
+        )
+        assert strict.total_corrections <= lax.total_corrections
+        # Strictness must not cost precision.
+        assert strict_rep.precision >= lax_rep.precision - 0.01
+
+
+class TestMaxDistance:
+    def test_d2_at_least_as_sensitive(self, dataset, base_cfg):
+        d1, d1_rep, _ = _run(dataset, base_cfg.with_updates(max_distance=1))
+        d2, d2_rep, _ = _run(dataset, base_cfg.with_updates(max_distance=2))
+        assert d2_rep.sensitivity >= d1_rep.sensitivity
+        assert d2.tiles_examined == d1.tiles_examined
+
+    def test_d2_issues_more_lookups(self, dataset, base_cfg):
+        _, _, v1 = _run(dataset, base_cfg.with_updates(max_distance=1))
+        _, _, v2 = _run(dataset, base_cfg.with_updates(max_distance=2))
+        assert v2.stats.tile_lookups > v1.stats.tile_lookups
+
+
+class TestCandidatePositionsCap:
+    def test_fewer_positions_fewer_lookups(self, dataset, base_cfg):
+        _, _, small = _run(
+            dataset, base_cfg.with_updates(max_candidate_positions=2)
+        )
+        _, _, large = _run(
+            dataset, base_cfg.with_updates(max_candidate_positions=10)
+        )
+        assert small.stats.tile_lookups < large.stats.tile_lookups
+
+
+class TestCorrectionCap:
+    def test_zero_cap_reverts_every_corrected_read(self, dataset, base_cfg):
+        result, _, _ = _run(
+            dataset, base_cfg.with_updates(max_corrections_per_read=0)
+        )
+        # Any read that wanted >0 corrections was reverted.
+        assert result.total_corrections == 0
+
+    def test_generous_cap_reverts_nothing(self, dataset, base_cfg):
+        result, _, _ = _run(
+            dataset, base_cfg.with_updates(max_corrections_per_read=100)
+        )
+        assert not result.reads_reverted.any()
+
+
+class TestThresholdSensitivity:
+    def test_absurd_thresholds_prevent_correction(self, dataset, base_cfg):
+        """Thresholds above every count leave empty spectra: nothing is
+        solid, so no candidate can win."""
+        result, _, _ = _run(
+            dataset,
+            base_cfg.with_updates(kmer_threshold=10_000,
+                                  tile_threshold=10_000),
+        )
+        assert result.total_corrections == 0
+
+    def test_threshold_one_keeps_error_windows_solid(self, dataset, base_cfg):
+        """With thresholds of 1 even error windows are 'solid'; the only
+        weak tiles are those whose prefix an earlier (possibly wrong)
+        correction rewrote — a few percent, far below the ~30% weak rate
+        at proper thresholds."""
+        result, _, _ = _run(
+            dataset,
+            base_cfg.with_updates(kmer_threshold=1, tile_threshold=1),
+        )
+        assert result.tiles_below_threshold < 0.05 * result.tiles_examined

@@ -1,0 +1,103 @@
+"""Tests for count histograms and valley threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.histogram import (
+    count_histogram,
+    histogram_summary,
+    thresholds_from_spectra,
+    valley_threshold,
+)
+from repro.core.policy import derive_thresholds
+from repro.core.spectrum import build_spectra
+from repro.datasets.genome import random_genome
+from repro.datasets.reads import ErrorModel, ReadSimulator
+from repro.errors import SpectrumError
+from repro.hashing.counthash import CountHash
+
+
+class TestCountHistogram:
+    def test_basic(self):
+        table = CountHash()
+        table.add_counts(np.array([1, 1, 1, 2, 2, 3], dtype=np.uint64))
+        hist = count_histogram(table, max_count=10)
+        assert hist[0] == 0
+        assert hist[1] == 1  # key 3 seen once
+        assert hist[2] == 1  # key 2 seen twice
+        assert hist[3] == 1  # key 1 seen three times
+
+    def test_clamping(self):
+        table = CountHash()
+        table.add_counts(np.array([7], dtype=np.uint64), 1000)
+        hist = count_histogram(table, max_count=16)
+        assert hist[16] == 1
+
+    def test_empty_table(self):
+        hist = count_histogram(CountHash(), max_count=8)
+        assert hist.sum() == 0
+
+    def test_bad_max_count(self):
+        with pytest.raises(SpectrumError):
+            count_histogram(CountHash(), max_count=1)
+
+
+class TestValleyThreshold:
+    def test_clean_bimodal(self):
+        # Error spike at 1-2, valley at 4, genomic bump around 20.
+        hist = np.zeros(40, dtype=np.int64)
+        hist[1], hist[2], hist[3], hist[4] = 5000, 800, 120, 40
+        for c in range(5, 36):
+            hist[c] = int(600 * np.exp(-((c - 20) ** 2) / 30))
+        assert 3 <= valley_threshold(hist) <= 6
+
+    def test_monotone_decay_falls_back(self):
+        hist = (10_000 / np.arange(1, 50)).astype(np.int64)
+        hist = np.concatenate([[0], hist])
+        assert valley_threshold(hist, min_threshold=2) == 2
+
+    def test_min_threshold_respected(self):
+        hist = np.zeros(30, dtype=np.int64)
+        hist[1], hist[2] = 100, 10
+        hist[10:20] = 500
+        assert valley_threshold(hist, min_threshold=5) >= 5
+
+    def test_too_short(self):
+        with pytest.raises(SpectrumError):
+            valley_threshold(np.array([0, 1, 2]))
+
+
+class TestOnRealisticData:
+    @pytest.fixture(scope="class")
+    def spectra(self):
+        sim = ReadSimulator(
+            genome=random_genome(8_000, seed=71), read_length=102,
+            error_model=ErrorModel(base_rate=0.01), seed=72,
+        )
+        ds = sim.simulate(coverage=40)
+        cfg = ReptileConfig(kmer_length=12, tile_overlap=4)
+        return build_spectra(ds.block, cfg, apply_threshold=False), ds
+
+    def test_valley_matches_analytic_policy(self, spectra):
+        """The histogram-derived thresholds land in the same ballpark as
+        the coverage-based analytic policy."""
+        pair, ds = spectra
+        kt_hist, tt_hist = thresholds_from_spectra(pair)
+        kt_ana, tt_ana = derive_thresholds(
+            ds.coverage, 102, 12, 20, tile_step=8, error_rate=0.01
+        )
+        assert 0.25 * kt_ana <= kt_hist <= 2.5 * kt_ana
+        assert tt_hist >= 2
+
+    def test_histogram_shape(self, spectra):
+        pair, ds = spectra
+        hist = count_histogram(pair.kmers)
+        summary = histogram_summary(hist)
+        # Error singletons exist but genomic k-mers dominate counts.
+        assert summary["singletons"] > 0
+        assert summary["mode_count"] > 10  # genomic bump near coverage
+        assert summary["distinct"] == len(pair.kmers)
+
+    def test_summary_empty(self):
+        assert histogram_summary(np.zeros(10, dtype=np.int64))["distinct"] == 0

@@ -1,0 +1,99 @@
+"""Tests for the accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import AccuracyReport, evaluate_correction
+from repro.datasets.reads import SimulatedDataset
+from repro.io.records import ReadBlock
+
+
+def _dataset(true_seqs, observed_seqs, error_masks):
+    block = ReadBlock.from_strings(observed_seqs)
+    truth = ReadBlock.from_strings(true_seqs)
+    return SimulatedDataset(
+        block=block,
+        true_codes=truth.codes,
+        error_mask=np.array(error_masks, dtype=bool),
+        genome=np.zeros(10, dtype=np.uint8),
+        positions=np.zeros(len(true_seqs), dtype=np.int64),
+    )
+
+
+class TestAccuracyReport:
+    def test_gain_perfect(self):
+        r = AccuracyReport(10, 0, 0, 10, 10)
+        assert r.gain == 1.0
+        assert r.sensitivity == 1.0
+        assert r.precision == 1.0
+
+    def test_gain_negative_when_corrupting(self):
+        r = AccuracyReport(1, 5, 3, 4, 6)
+        assert r.gain == pytest.approx(-1.0)
+
+    def test_zero_errors(self):
+        r = AccuracyReport(0, 0, 0, 0, 0)
+        assert r.gain == 0.0
+        assert r.sensitivity == 0.0
+        assert r.precision == 0.0
+
+
+class TestEvaluateCorrection:
+    def test_perfect_correction(self):
+        ds = _dataset(["ACGT"], ["ACTT"], [[False, False, True, False]])
+        corrected = ReadBlock.from_strings(["ACGT"])
+        report = evaluate_correction(ds, corrected)
+        assert report.true_positives == 1
+        assert report.false_positives == 0
+        assert report.false_negatives == 0
+        assert report.gain == 1.0
+
+    def test_missed_error(self):
+        ds = _dataset(["ACGT"], ["ACTT"], [[False, False, True, False]])
+        corrected = ReadBlock.from_strings(["ACTT"])  # unchanged
+        report = evaluate_correction(ds, corrected)
+        assert report.true_positives == 0
+        assert report.false_negatives == 1
+
+    def test_miscorrection_counts_fp_and_fn(self):
+        ds = _dataset(["ACGT"], ["ACTT"], [[False, False, True, False]])
+        corrected = ReadBlock.from_strings(["ACAT"])  # wrong base
+        report = evaluate_correction(ds, corrected)
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+
+    def test_corrupting_clean_base(self):
+        ds = _dataset(["ACGT"], ["ACGT"], [[False] * 4])
+        corrected = ReadBlock.from_strings(["TCGT"])
+        report = evaluate_correction(ds, corrected)
+        assert report.false_positives == 1
+        assert report.true_positives == 0
+
+    def test_permuted_rows_matched_by_id(self):
+        ds = _dataset(
+            ["AAAA", "CCCC"],
+            ["AATA", "CCCC"],
+            [[False, False, True, False], [False] * 4],
+        )
+        corrected = ReadBlock.from_strings(["CCCC", "AAAA"], ids=[2, 1])
+        report = evaluate_correction(ds, corrected)
+        assert report.true_positives == 1
+        assert report.false_positives == 0
+
+    def test_missing_ids_rejected(self):
+        ds = _dataset(["AAAA"], ["AAAA"], [[False] * 4])
+        corrected = ReadBlock.from_strings(["AAAA"], ids=[99])
+        with pytest.raises(ValueError):
+            evaluate_correction(ds, corrected)
+
+    def test_shape_mismatch_rejected(self):
+        ds = _dataset(["AAAA"], ["AAAA"], [[False] * 4])
+        corrected = ReadBlock.from_strings(["AAAAA"])
+        with pytest.raises(ValueError):
+            evaluate_correction(ds, corrected)
+
+    def test_bases_changed_counted(self):
+        ds = _dataset(["ACGT"], ["ACTT"], [[False, False, True, False]])
+        corrected = ReadBlock.from_strings(["TCGT"])
+        report = evaluate_correction(ds, corrected)
+        assert report.bases_changed == 2

@@ -1,0 +1,67 @@
+"""Tests for spectra persistence."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.corrector import ReptileCorrector
+from repro.core.persist import load_spectra, save_spectra
+from repro.core.spectrum import LocalSpectrumView, build_spectra
+from repro.errors import SpectrumError
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    from repro.bench.harness import small_scale
+
+    scale = small_scale(genome_size=5_000)
+    spectra = build_spectra(scale.dataset.block, scale.config)
+    path = tmp_path_factory.mktemp("spectra") / "ecoli.npz"
+    save_spectra(spectra, path)
+    return scale, spectra, path
+
+
+class TestRoundtrip:
+    def test_tables_identical(self, built):
+        _, spectra, path = built
+        loaded = load_spectra(path)
+        assert loaded.shape == spectra.shape
+        for attr in ("kmers", "tiles"):
+            orig = getattr(spectra, attr)
+            got = getattr(loaded, attr)
+            assert len(got) == len(orig)
+            keys, counts = orig.items()
+            assert np.array_equal(got.lookup(keys), counts)
+
+    def test_corrections_identical_after_reload(self, built):
+        scale, spectra, path = built
+        loaded = load_spectra(path)
+        a = ReptileCorrector(
+            scale.config, LocalSpectrumView(spectra)
+        ).correct_block(scale.dataset.block)
+        b = ReptileCorrector(
+            scale.config, LocalSpectrumView(loaded)
+        ).correct_block(scale.dataset.block)
+        assert np.array_equal(a.block.codes, b.block.codes)
+
+    def test_empty_spectra(self, tmp_path):
+        from repro.core.spectrum import SpectrumPair
+        from repro.kmer.tiles import TileShape
+
+        empty = SpectrumPair(shape=TileShape(8, 2))
+        path = tmp_path / "empty.npz"
+        save_spectra(empty, path)
+        loaded = load_spectra(path)
+        assert len(loaded.kmers) == 0
+        assert loaded.shape.k == 8
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format=np.array("something/else"),
+                 k=np.array(8), overlap=np.array(2),
+                 kmer_keys=np.empty(0, np.uint64),
+                 kmer_counts=np.empty(0, np.uint32),
+                 tile_keys=np.empty(0, np.uint64),
+                 tile_counts=np.empty(0, np.uint32))
+        with pytest.raises(SpectrumError):
+            load_spectra(path)

@@ -1,0 +1,68 @@
+"""Tests for the one-call serial pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import evaluate_correction
+from repro.core.pipeline import correct_files, correct_reads
+from repro.io.fasta import read_fasta, write_fasta
+from repro.io.quality import write_quality
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.bench.harness import small_scale
+
+    return small_scale(genome_size=6_000).dataset
+
+
+class TestCorrectReads:
+    def test_auto_thresholds_fix_errors(self, dataset):
+        outcome = correct_reads(dataset.block)
+        report = evaluate_correction(dataset, outcome.block)
+        assert report.gain > 0.5
+        assert report.precision > 0.95
+        # Auto thresholds were derived and recorded.
+        assert outcome.config.kmer_threshold >= 2
+        assert outcome.spectrum_sizes[0] > 0
+        assert outcome.lookup_stats.tile_lookups > 0
+
+    def test_explicit_thresholds(self, dataset):
+        from repro.bench.harness import small_scale
+
+        cfg = small_scale(genome_size=6_000).config
+        outcome = correct_reads(dataset.block, cfg, auto_thresholds=False)
+        assert outcome.config is cfg
+        assert outcome.total_corrections > 0
+
+    def test_auto_close_to_tuned(self, dataset):
+        """Automatic thresholds should approach the tuned configuration's
+        quality."""
+        from repro.bench.harness import small_scale
+
+        tuned_cfg = small_scale(genome_size=6_000).config
+        auto = correct_reads(dataset.block)
+        tuned = correct_reads(dataset.block, tuned_cfg, auto_thresholds=False)
+        g_auto = evaluate_correction(dataset, auto.block).gain
+        g_tuned = evaluate_correction(dataset, tuned.block).gain
+        assert g_auto > 0.7 * g_tuned
+
+
+class TestCorrectFiles:
+    def test_file_to_file(self, dataset, tmp_path):
+        fa = tmp_path / "in.fa"
+        qual = tmp_path / "in.qual"
+        out = tmp_path / "out.fa"
+        block = dataset.block
+        write_fasta(fa, block.to_strings())
+        write_quality(
+            qual,
+            [block.quals[i, : block.lengths[i]].tolist()
+             for i in range(len(block))],
+        )
+        outcome = correct_files(str(fa), str(qual), str(out))
+        assert outcome.total_corrections > 0
+        records = list(read_fasta(out))
+        assert len(records) == len(block)
+        # Output order matches input sequence numbers.
+        assert [rid for rid, _ in records] == sorted(block.ids.tolist())

@@ -1,0 +1,56 @@
+"""Tests for threshold derivation."""
+
+import pytest
+
+from repro.core.policy import derive_thresholds, expected_kmer_coverage
+
+
+class TestExpectedCoverage:
+    def test_basic_formula(self):
+        # coverage * (L - k + 1)/L with no errors.
+        assert expected_kmer_coverage(40, 100, 1) == pytest.approx(40.0)
+        assert expected_kmer_coverage(40, 100, 51) == pytest.approx(20.0)
+
+    def test_error_discount(self):
+        clean = expected_kmer_coverage(40, 100, 20, 0.0)
+        noisy = expected_kmer_coverage(40, 100, 20, 0.02)
+        assert noisy == pytest.approx(clean * 0.98**20)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            expected_kmer_coverage(0, 100, 10)
+        with pytest.raises(ValueError):
+            expected_kmer_coverage(10, 100, 200)
+        with pytest.raises(ValueError):
+            expected_kmer_coverage(10, 100, 10, error_rate=1.0)
+
+
+class TestDeriveThresholds:
+    def test_floor_of_two(self):
+        kt, tt = derive_thresholds(5, 100, 12, 20, tile_step=8)
+        assert kt >= 2
+        assert tt >= 2
+
+    def test_scales_with_coverage(self):
+        low = derive_thresholds(20, 100, 12, 20, tile_step=8)
+        high = derive_thresholds(80, 100, 12, 20, tile_step=8)
+        assert high[0] > low[0]
+        assert high[1] >= low[1]
+
+    def test_tile_stride_dilution(self):
+        """Tiles sampled every 8 positions get ~8x lower thresholds."""
+        dense = derive_thresholds(64, 100, 12, 20, tile_step=1)
+        strided = derive_thresholds(64, 100, 12, 20, tile_step=8)
+        assert strided[1] < dense[1]
+        assert dense[0] == strided[0]  # k-mer threshold unaffected
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            derive_thresholds(40, 100, 12, 20, tile_step=0)
+
+    def test_solid_vs_error_separation(self):
+        """Thresholds sit above expected error-kmer counts (<1) and below
+        expected genomic counts."""
+        kt, tt = derive_thresholds(40, 102, 12, 20, tile_step=8, error_rate=0.01)
+        genomic = expected_kmer_coverage(40, 102, 12, 0.01)
+        assert 1 < kt < genomic

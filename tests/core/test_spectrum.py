@@ -1,0 +1,115 @@
+"""Tests for spectrum construction and the lookup views."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.spectrum import (
+    LocalSpectrumView,
+    SpectrumPair,
+    SpectrumView,
+    accumulate_block,
+    block_kmer_ids,
+    block_tile_ids,
+    build_spectra,
+)
+from repro.io.records import ReadBlock
+from repro.kmer.codec import encode_sequence, window_ids
+from repro.kmer.tiles import TileShape
+
+
+@pytest.fixture
+def small_cfg():
+    return ReptileConfig(
+        kmer_length=4, tile_overlap=2, kmer_threshold=2, tile_threshold=2
+    )
+
+
+class TestBlockExtraction:
+    def test_kmer_ids_every_position(self, small_cfg):
+        block = ReadBlock.from_strings(["ACGTACGT"])
+        ids, valid = block_kmer_ids(block, small_cfg.tile_shape)
+        ref, _ = window_ids(encode_sequence("ACGTACGT"), 4)
+        assert np.array_equal(ids[0], ref)
+        assert valid.all()
+
+    def test_tile_ids_at_stride(self, small_cfg):
+        block = ReadBlock.from_strings(["ACGTACGTACGT"])
+        ids, valid = block_tile_ids(block, small_cfg.tile_shape)
+        ref, _ = window_ids(encode_sequence("ACGTACGTACGT"), 6)
+        assert np.array_equal(ids[0], ref[::2])
+
+
+class TestBuildSpectra:
+    def test_counts_match_bruteforce(self, small_cfg):
+        seqs = ["ACGTACGT", "ACGTTTTT", "GGGGACGT"]
+        block = ReadBlock.from_strings(seqs)
+        spectra = build_spectra(block, small_cfg, apply_threshold=False)
+        # Brute force k-mer counting.
+        ref: dict[int, int] = {}
+        for s in seqs:
+            ids, valid = window_ids(encode_sequence(s), 4)
+            for kid, ok in zip(ids.tolist(), valid.tolist()):
+                if ok:
+                    ref[kid] = ref.get(kid, 0) + 1
+        assert len(spectra.kmers) == len(ref)
+        for kid, count in ref.items():
+            assert spectra.kmers.get(kid) == count
+
+    def test_threshold_applied(self, small_cfg):
+        block = ReadBlock.from_strings(["ACGTACGT", "ACGTACGT", "TTTTTTTA"])
+        spectra = build_spectra(block, small_cfg)
+        # k-mers unique to the singleton read are gone.
+        kid, _ = window_ids(encode_sequence("TTTA"), 4)
+        assert spectra.kmers.get(int(kid[0])) == 0
+
+    def test_multiple_blocks(self, small_cfg):
+        b1 = ReadBlock.from_strings(["ACGTACGT"])
+        b2 = ReadBlock.from_strings(["ACGTACGT"])
+        spectra = build_spectra([b1, b2], small_cfg, apply_threshold=False)
+        kid, _ = window_ids(encode_sequence("ACGT"), 4)
+        assert spectra.kmers.get(int(kid[0])) == 4  # 2 per read x 2 reads
+
+    def test_ambiguous_bases_skipped(self, small_cfg):
+        block = ReadBlock.from_strings(["ACGNACGT"])
+        spectra = build_spectra(block, small_cfg, apply_threshold=False)
+        keys, _ = spectra.kmers.items()
+        # Only windows not touching N: positions 4..4 -> 1 valid k-mer.
+        assert len(keys) == 1
+
+    def test_accumulate_block_incremental(self, small_cfg):
+        spectra = SpectrumPair(shape=small_cfg.tile_shape)
+        accumulate_block(spectra, ReadBlock.from_strings(["ACGTAC"]))
+        accumulate_block(spectra, ReadBlock.from_strings(["ACGTAC"]))
+        kid, _ = window_ids(encode_sequence("ACGT"), 4)
+        assert spectra.kmers.get(int(kid[0])) == 2
+
+    def test_nbytes(self, small_cfg):
+        spectra = build_spectra(
+            ReadBlock.from_strings(["ACGTACGT"]), small_cfg, apply_threshold=False
+        )
+        assert spectra.nbytes == spectra.kmers.nbytes + spectra.tiles.nbytes
+
+
+class TestLocalSpectrumView:
+    def test_lookup_and_stats(self, small_cfg):
+        block = ReadBlock.from_strings(["ACGTACGT"] * 3)
+        spectra = build_spectra(block, small_cfg, apply_threshold=False)
+        view = LocalSpectrumView(spectra)
+        kid, _ = window_ids(encode_sequence("ACGT"), 4)
+        counts = view.kmer_counts(np.array([kid[0], 0], dtype=np.uint64))
+        assert counts[0] > 0
+        assert view.stats.kmer_lookups == 2
+        assert view.stats.kmer_hits >= 1
+
+    def test_satisfies_protocol(self, small_cfg):
+        spectra = SpectrumPair(shape=small_cfg.tile_shape)
+        assert isinstance(LocalSpectrumView(spectra), SpectrumView)
+
+    def test_tile_counts(self, small_cfg):
+        block = ReadBlock.from_strings(["ACGTACGTACGT"] * 2)
+        spectra = build_spectra(block, small_cfg, apply_threshold=False)
+        view = LocalSpectrumView(spectra)
+        tid, _ = window_ids(encode_sequence("ACGTAC"), 6)
+        assert view.tile_counts(np.array([tid[0]], dtype=np.uint64))[0] >= 2
+        assert view.stats.tile_lookups == 1

@@ -1,0 +1,78 @@
+"""Tests for genome generation and mutation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.genome import genome_to_string, mutate_genome, random_genome
+
+
+class TestRandomGenome:
+    def test_length_and_alphabet(self):
+        g = random_genome(1000, seed=1)
+        assert g.shape == (1000,)
+        assert g.dtype == np.uint8
+        assert g.max() <= 3
+
+    def test_deterministic(self):
+        assert np.array_equal(random_genome(100, seed=5), random_genome(100, seed=5))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            random_genome(100, seed=1), random_genome(100, seed=2)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            random_genome(0)
+
+    def test_roughly_uniform_composition(self):
+        g = random_genome(100_000, seed=3)
+        counts = np.bincount(g, minlength=4)
+        assert counts.min() > 23_000
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(0)
+        g = random_genome(10, seed=rng)
+        assert g.shape == (10,)
+
+
+class TestMutateGenome:
+    def test_mutation_count(self):
+        g = random_genome(10_000, seed=1)
+        mutant, pos = mutate_genome(g, 0.01, seed=2)
+        assert pos.shape == (100,)
+        assert (g[pos] != mutant[pos]).all()
+
+    def test_unmutated_positions_identical(self):
+        g = random_genome(1000, seed=1)
+        mutant, pos = mutate_genome(g, 0.05, seed=2)
+        mask = np.ones(1000, dtype=bool)
+        mask[pos] = False
+        assert np.array_equal(g[mask], mutant[mask])
+
+    def test_zero_rate(self):
+        g = random_genome(100, seed=1)
+        mutant, pos = mutate_genome(g, 0.0)
+        assert pos.shape == (0,)
+        assert np.array_equal(g, mutant)
+
+    def test_rejects_bad_rate(self):
+        g = random_genome(10, seed=1)
+        with pytest.raises(ValueError):
+            mutate_genome(g, 1.5)
+
+    def test_positions_sorted(self):
+        g = random_genome(5000, seed=1)
+        _, pos = mutate_genome(g, 0.02, seed=3)
+        assert (np.diff(pos) > 0).all()
+
+    def test_original_untouched(self):
+        g = random_genome(100, seed=1)
+        snapshot = g.copy()
+        mutate_genome(g, 0.5, seed=2)
+        assert np.array_equal(g, snapshot)
+
+
+def test_genome_to_string():
+    g = np.array([0, 1, 2, 3], dtype=np.uint8)
+    assert genome_to_string(g) == "ACGT"

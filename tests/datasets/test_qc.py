@@ -1,0 +1,90 @@
+"""Tests for the dataset QC statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.genome import random_genome
+from repro.datasets.qc import (
+    ReadSetReport,
+    base_composition,
+    estimate_error_rate,
+    quality_profile,
+)
+from repro.datasets.reads import ErrorModel, ReadSimulator
+from repro.io.records import ReadBlock
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    sim = ReadSimulator(
+        genome=random_genome(5_000, seed=81), read_length=100,
+        error_model=ErrorModel(base_rate=0.01), seed=82,
+    )
+    return sim.simulate(coverage=20)
+
+
+class TestQualityProfile:
+    def test_profile_shape_and_degradation(self, simulated):
+        profile = quality_profile(simulated.block)
+        assert profile.shape == (100,)
+        # 3' degradation: the last decile is lower than the first.
+        assert profile[-10:].mean() < profile[:10].mean()
+
+    def test_variable_lengths(self):
+        block = ReadBlock.from_strings(
+            ["ACGT", "AC"], quals=[[40, 40, 40, 40], [10, 10]]
+        )
+        profile = quality_profile(block)
+        assert profile[0] == 25.0  # (40 + 10) / 2
+        assert profile[3] == 40.0  # only the long read covers position 3
+
+    def test_empty(self):
+        assert quality_profile(ReadBlock.empty()).shape == (0,)
+
+
+class TestErrorRateEstimate:
+    def test_order_of_magnitude_of_injected_rate(self, simulated):
+        """The Phred-implied rate is the sequencer's *claim*; like real
+        Illumina qualities it is miscalibrated, but stays within an order
+        of magnitude of the truth."""
+        est = estimate_error_rate(simulated.block)
+        true = simulated.n_errors / simulated.error_mask.size
+        assert 0.1 * true < est < 10.0 * true
+
+    def test_clean_high_quality_reads(self):
+        block = ReadBlock.from_strings(["ACGT"], quals=[[40] * 4])
+        assert estimate_error_rate(block) == pytest.approx(1e-4)
+
+    def test_empty(self):
+        assert estimate_error_rate(ReadBlock.empty()) == 0.0
+
+
+class TestBaseComposition:
+    def test_fractions_sum_to_one(self, simulated):
+        comp = base_composition(simulated.block)
+        assert sum(comp.values()) == pytest.approx(1.0)
+        # Uniform random genome: each base ~ 1/4.
+        for base in "ACGT":
+            assert 0.2 < comp[base] < 0.3
+        assert comp["N"] == 0.0
+
+    def test_n_bases_counted(self):
+        block = ReadBlock.from_strings(["ACGN"])
+        comp = base_composition(block)
+        assert comp["N"] == pytest.approx(0.25)
+
+
+class TestReadSetReport:
+    def test_full_report(self, simulated):
+        report = ReadSetReport.from_block(simulated.block)
+        assert report.n_reads == len(simulated.block)
+        assert report.min_length == report.max_length == 100
+        assert report.total_bases == 100 * len(simulated.block)
+        assert 0.4 < report.gc_content < 0.6
+        assert 0 < report.estimated_error_rate < 0.05
+        assert report.mean_quality > 20
+
+    def test_empty_report(self):
+        report = ReadSetReport.from_block(ReadBlock.empty())
+        assert report.n_reads == 0
+        assert report.total_bases == 0

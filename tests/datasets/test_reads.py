@@ -1,0 +1,133 @@
+"""Tests for the read simulator and its error/quality models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.genome import random_genome
+from repro.datasets.reads import ErrorModel, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return random_genome(5000, seed=1)
+
+
+class TestErrorModel:
+    def test_defaults_valid(self):
+        ErrorModel()
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ErrorModel(base_rate=0.6)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValueError):
+            ErrorModel(burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            ErrorModel(burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            ErrorModel(burst_count=0)
+        with pytest.raises(ValueError):
+            ErrorModel(positional_slope=-1)
+
+    def test_positional_rates_mean_preserved(self):
+        m = ErrorModel(base_rate=0.02, positional_slope=2.0)
+        rates = m.positional_rates(100)
+        assert rates.shape == (100,)
+        assert rates[-1] > rates[0]
+        assert abs(rates.mean() - 0.02) < 1e-9
+
+    def test_positional_rates_single_base(self):
+        rates = ErrorModel(base_rate=0.01).positional_rates(1)
+        assert rates.shape == (1,)
+
+    def test_read_multipliers_uniform_when_not_localized(self):
+        m = ErrorModel(localized=False)
+        mult = m.read_multipliers(100, np.random.default_rng(0))
+        assert (mult == 1.0).all()
+
+    def test_read_multipliers_bursty(self):
+        m = ErrorModel(localized=True, burst_fraction=0.2,
+                       burst_count=2, burst_multiplier=5.0)
+        mult = m.read_multipliers(1000, np.random.default_rng(0))
+        assert (mult == 5.0).sum() > 0
+        assert (mult == 1.0).sum() > 0
+        # Bursts are contiguous runs.
+        changes = np.diff((mult > 1).astype(int)) != 0
+        assert changes.sum() <= 2 * 2  # at most 2 edges per burst
+
+
+class TestReadSimulator:
+    def test_shapes_and_ground_truth(self, genome):
+        sim = ReadSimulator(genome=genome, read_length=50, seed=2)
+        ds = sim.simulate(n_reads=200)
+        assert ds.block.codes.shape == (200, 50)
+        assert ds.true_codes.shape == (200, 50)
+        assert ds.error_mask.shape == (200, 50)
+        # Errors are exactly the positions where codes differ from truth.
+        assert np.array_equal(ds.block.codes != ds.true_codes, ds.error_mask)
+
+    def test_reads_match_genome(self, genome):
+        sim = ReadSimulator(genome=genome, read_length=40,
+                            error_model=ErrorModel(base_rate=0.0), seed=3)
+        ds = sim.simulate(n_reads=50)
+        assert ds.n_errors == 0
+        for i in range(50):
+            start = ds.positions[i]
+            assert np.array_equal(
+                ds.block.codes[i], genome[start : start + 40]
+            )
+
+    def test_error_rate_close_to_target(self, genome):
+        sim = ReadSimulator(genome=genome, read_length=100,
+                            error_model=ErrorModel(base_rate=0.02), seed=4)
+        ds = sim.simulate(n_reads=2000)
+        observed = ds.n_errors / (2000 * 100)
+        assert 0.017 < observed < 0.023
+
+    def test_coverage_parameter(self, genome):
+        sim = ReadSimulator(genome=genome, read_length=50, seed=5)
+        ds = sim.simulate(coverage=20)
+        assert abs(ds.coverage - 20) < 1.0
+
+    def test_requires_exactly_one_size_argument(self, genome):
+        sim = ReadSimulator(genome=genome, read_length=50)
+        with pytest.raises(ValueError):
+            sim.simulate()
+        with pytest.raises(ValueError):
+            sim.simulate(n_reads=10, coverage=5)
+
+    def test_quality_lower_at_errors(self, genome):
+        sim = ReadSimulator(genome=genome, read_length=100,
+                            error_model=ErrorModel(base_rate=0.05), seed=6)
+        ds = sim.simulate(n_reads=500)
+        q_err = ds.block.quals[ds.error_mask].astype(float).mean()
+        q_ok = ds.block.quals[~ds.error_mask].astype(float).mean()
+        assert q_err < q_ok - 10
+
+    def test_deterministic(self, genome):
+        a = ReadSimulator(genome=genome, read_length=50, seed=7).simulate(n_reads=20)
+        b = ReadSimulator(genome=genome, read_length=50, seed=7).simulate(n_reads=20)
+        assert np.array_equal(a.block.codes, b.block.codes)
+        assert np.array_equal(a.block.quals, b.block.quals)
+
+    def test_rejects_read_longer_than_genome(self):
+        with pytest.raises(ValueError):
+            ReadSimulator(genome=random_genome(10, seed=1), read_length=50)
+
+    def test_localized_errors_cluster_in_file_order(self, genome):
+        em = ErrorModel(base_rate=0.01, localized=True, burst_fraction=0.2,
+                        burst_count=2, burst_multiplier=8.0)
+        ds = ReadSimulator(genome=genome, read_length=100,
+                           error_model=em, seed=8).simulate(n_reads=2000)
+        per_read = ds.errors_per_read()
+        # Split the file into 10 contiguous chunks: bursty chunks should
+        # have several times the error mass of quiet ones.
+        chunks = per_read.reshape(10, 200).sum(axis=1)
+        assert chunks.max() > 2.5 * chunks.min()
+
+    def test_errors_per_read(self, genome):
+        ds = ReadSimulator(genome=genome, read_length=60, seed=9).simulate(
+            n_reads=100
+        )
+        assert ds.errors_per_read().sum() == ds.n_errors

@@ -1,0 +1,98 @@
+"""Tests for the Bloom filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_sizing_formulas(self):
+        b = BloomFilter(expected_items=1000, fp_rate=0.01)
+        assert b.nbits >= 9000  # ~9.6 bits/item at 1% fp
+        assert 5 <= b.num_hashes <= 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(100, fp_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(100, fp_rate=1.0)
+
+    def test_nbytes(self):
+        b = BloomFilter(1000)
+        assert b.nbytes == len(b._bits)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        b = BloomFilter(5000, 0.01)
+        keys = np.random.default_rng(1).integers(0, 2**63, 5000, dtype=np.uint64)
+        b.add(keys)
+        assert b.contains(keys).all()
+
+    def test_false_positive_rate_near_target(self):
+        b = BloomFilter(10_000, 0.01)
+        rng = np.random.default_rng(2)
+        present = rng.integers(0, 2**62, 10_000, dtype=np.uint64)
+        b.add(present)
+        absent = rng.integers(2**62, 2**63, 10_000, dtype=np.uint64)
+        fp = b.contains(absent).mean()
+        assert fp < 0.05
+
+    def test_empty_filter_contains_nothing(self):
+        b = BloomFilter(100)
+        assert not b.contains(np.array([1, 2, 3], dtype=np.uint64)).any()
+
+    def test_scalar_like_input(self):
+        b = BloomFilter(100)
+        b.add(np.uint64(7))
+        assert b.contains(np.uint64(7)).all()
+
+    def test_empty_batch(self):
+        b = BloomFilter(100)
+        b.add(np.empty(0, dtype=np.uint64))
+        assert b.contains(np.empty(0, dtype=np.uint64)).shape == (0,)
+
+
+class TestAddAndTest:
+    def test_second_occurrence_flagged(self):
+        b = BloomFilter(1000, 0.001)
+        keys = np.array([10, 20, 30], dtype=np.uint64)
+        first = b.add_and_test(keys)
+        assert not first.any()
+        second = b.add_and_test(keys)
+        assert second.all()
+
+    def test_two_pass_singleton_filtering(self):
+        """The paper's Bloom use case: detect k-mers seen >= 2 times."""
+        rng = np.random.default_rng(3)
+        repeated = rng.integers(0, 2**40, 500, dtype=np.uint64)
+        singles = rng.integers(2**41, 2**42, 2000, dtype=np.uint64)
+        stream = np.concatenate([repeated, singles, repeated])
+        b = BloomFilter(5000, 0.005)
+        seen = np.concatenate(
+            [b.add_and_test(chunk) for chunk in np.array_split(stream, 7)]
+        )
+        flagged = set(stream[seen].tolist())
+        assert set(repeated.tolist()) <= flagged
+        # Only a tiny fraction of singletons can be (falsely) flagged.
+        assert len(flagged - set(repeated.tolist())) < 40
+
+    def test_fill_ratio_increases(self):
+        b = BloomFilter(1000)
+        r0 = b.fill_ratio()
+        b.add(np.arange(500, dtype=np.uint64))
+        assert b.fill_ratio() > r0
+
+
+@given(st.sets(st.integers(0, 2**63 - 1), min_size=1, max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_property_added_keys_always_found(keys):
+    b = BloomFilter(max(100, len(keys) * 2))
+    arr = np.array(sorted(keys), dtype=np.uint64)
+    b.add(arr)
+    assert b.contains(arr).all()

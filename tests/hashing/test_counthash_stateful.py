@@ -1,0 +1,81 @@
+"""Stateful (rule-based) property testing of the CountHash.
+
+Hypothesis drives random interleavings of inserts, lookups, threshold
+filters, merges and clears against a plain-dict model; any divergence in
+any reachable state is a bug.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.hashing.counthash import CountHash
+
+keys = st.lists(st.integers(0, 2**64 - 1), min_size=0, max_size=40)
+
+
+class CountHashMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = CountHash()
+        self.model: dict[int, int] = {}
+
+    @rule(batch=keys)
+    def add_batch(self, batch):
+        self.table.add_counts(np.array(batch, dtype=np.uint64))
+        for k in batch:
+            self.model[k] = min(self.model.get(k, 0) + 1, 2**32 - 1)
+
+    @rule(batch=keys, count=st.integers(1, 1000))
+    def add_with_count(self, batch, count):
+        self.table.add_counts(np.array(batch, dtype=np.uint64), count)
+        for k in batch:
+            self.model[k] = min(self.model.get(k, 0) + count, 2**32 - 1)
+
+    @rule(threshold=st.integers(1, 6))
+    def filter_below(self, threshold):
+        removed = self.table.filter_below(threshold)
+        expected_removed = sum(1 for c in self.model.values() if c < threshold)
+        assert removed == expected_removed
+        self.model = {k: c for k, c in self.model.items() if c >= threshold}
+
+    @rule()
+    def clear(self):
+        self.table.clear()
+        self.model.clear()
+
+    @rule(batch=keys)
+    def merge_copy(self, batch):
+        other = CountHash()
+        other.add_counts(np.array(batch, dtype=np.uint64))
+        self.table.merge_from(other)
+        for k in batch:
+            self.model[k] = min(self.model.get(k, 0) + 1, 2**32 - 1)
+
+    @rule(probes=keys)
+    def lookup_matches_model(self, probes):
+        arr = np.array(probes, dtype=np.uint64)
+        got = self.table.lookup(arr)
+        want = [min(self.model.get(k, 0), 2**32 - 1) for k in probes]
+        assert got.tolist() == want
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def load_factor_bounded(self):
+        assert self.table.load_factor <= 0.601
+
+    @invariant()
+    def items_match_model(self):
+        got_keys, got_counts = self.table.items()
+        got = dict(zip(got_keys.tolist(), got_counts.tolist()))
+        assert got == {k: min(c, 2**32 - 1) for k, c in self.model.items()}
+
+
+TestCountHashStateful = CountHashMachine.TestCase
+TestCountHashStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,106 @@
+"""Tests for the prior work's sorted-array spectrum layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HashTableError
+from repro.hashing.counthash import CountHash
+from repro.hashing.sortedspectrum import EytzingerSpectrum, SortedSpectrum
+
+
+def _sample(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 2**62, n, dtype=np.uint64))
+    counts = rng.integers(1, 100, keys.shape[0]).astype(np.uint32)
+    return keys, counts
+
+
+@pytest.mark.parametrize("cls", [SortedSpectrum, EytzingerSpectrum],
+                         ids=["sorted", "eytzinger"])
+class TestLayouts:
+    def test_lookup_present_keys(self, cls):
+        keys, counts = _sample()
+        sp = cls(keys, counts)
+        assert len(sp) == keys.shape[0]
+        assert np.array_equal(sp.lookup(keys), counts)
+
+    def test_lookup_absent_keys_zero(self, cls):
+        keys, counts = _sample()
+        sp = cls(keys, counts)
+        absent = np.setdiff1d(
+            np.arange(1000, dtype=np.uint64), keys[keys < 1000]
+        )
+        assert (sp.lookup(absent) == 0).all()
+
+    def test_unsorted_input_accepted(self, cls):
+        keys = np.array([50, 10, 30], dtype=np.uint64)
+        counts = np.array([5, 1, 3], dtype=np.uint32)
+        sp = cls(keys, counts)
+        assert sp.lookup(np.array([10, 30, 50], np.uint64)).tolist() == [1, 3, 5]
+
+    def test_empty(self, cls):
+        sp = cls(np.empty(0, np.uint64), np.empty(0, np.uint32))
+        assert len(sp) == 0
+        assert (sp.lookup(np.array([1, 2], np.uint64)) == 0).all()
+
+    def test_duplicate_keys_rejected(self, cls):
+        with pytest.raises(HashTableError):
+            cls(np.array([5, 5], np.uint64), np.array([1, 2], np.uint32))
+
+    def test_shape_mismatch_rejected(self, cls):
+        with pytest.raises(HashTableError):
+            cls(np.array([5], np.uint64), np.array([1, 2], np.uint32))
+
+    def test_single_element(self, cls):
+        sp = cls(np.array([42], np.uint64), np.array([7], np.uint32))
+        assert sp.lookup(np.array([42, 43], np.uint64)).tolist() == [7, 0]
+
+    def test_extreme_keys(self, cls):
+        keys = np.array([0, 2**64 - 1], dtype=np.uint64)
+        sp = cls(keys, np.array([3, 9], np.uint32))
+        assert sp.lookup(keys).tolist() == [3, 9]
+
+    def test_nbytes(self, cls):
+        keys, counts = _sample(100)
+        assert cls(keys, counts).nbytes > 0
+
+    @given(st.sets(st.integers(0, 2**62), min_size=1, max_size=200),
+           st.integers(0, 2**62))
+    @settings(max_examples=40, deadline=None)
+    def test_property_agrees_with_dict(self, cls, key_set, probe):
+        keys = np.array(sorted(key_set), dtype=np.uint64)
+        counts = (np.arange(keys.shape[0]) % 97 + 1).astype(np.uint32)
+        ref = dict(zip(keys.tolist(), counts.tolist()))
+        sp = cls(keys, counts)
+        got = sp.lookup(np.array([probe], np.uint64))[0]
+        assert got == ref.get(probe, 0)
+
+
+class TestAgreementAcrossLayouts:
+    def test_all_three_structures_agree(self):
+        """CountHash, SortedSpectrum and EytzingerSpectrum answer every
+        query identically — they are interchangeable spectrum backends."""
+        keys, counts = _sample(5000, seed=3)
+        table = CountHash()
+        table.add_counts(keys, counts.astype(np.uint64))
+        sorted_sp = SortedSpectrum.from_counthash(table)
+        eytz = EytzingerSpectrum(keys, counts)
+        rng = np.random.default_rng(4)
+        queries = np.concatenate([
+            rng.choice(keys, 2000),
+            rng.integers(0, 2**62, 2000, dtype=np.uint64),
+        ])
+        a = table.lookup(queries)
+        b = sorted_sp.lookup(queries)
+        c = eytz.lookup(queries)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
+    def test_get_scalar(self):
+        keys, counts = _sample(50)
+        sp = SortedSpectrum(keys, counts)
+        assert sp.get(int(keys[0])) == int(counts[0])
+        ey = EytzingerSpectrum(keys, counts)
+        assert ey.get(int(keys[0])) == int(counts[0])

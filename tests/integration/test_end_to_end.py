@@ -1,0 +1,161 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HeuristicConfig,
+    ParallelReptile,
+    ReptileConfig,
+    ReptileCorrector,
+    LocalSpectrumView,
+    build_spectra,
+    derive_thresholds,
+    evaluate_correction,
+)
+from repro.io.fasta import write_fasta
+from repro.io.quality import write_quality
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """A complete on-disk dataset: genome -> reads -> fasta+qual files."""
+    from repro.datasets.genome import random_genome
+    from repro.datasets.reads import ErrorModel, ReadSimulator
+
+    genome = random_genome(5_000, seed=41)
+    sim = ReadSimulator(
+        genome=genome, read_length=90,
+        error_model=ErrorModel(base_rate=0.01), seed=42,
+    )
+    ds = sim.simulate(coverage=25)
+    tmp = tmp_path_factory.mktemp("e2e")
+    fasta = tmp / "reads.fa"
+    qual = tmp / "reads.qual"
+    write_fasta(fasta, ds.block.to_strings())
+    write_quality(
+        qual,
+        [ds.block.quals[i, : ds.block.lengths[i]].tolist()
+         for i in range(len(ds.block))],
+    )
+    kt, tt = derive_thresholds(25, 90, 12, 20, tile_step=8, error_rate=0.01)
+    cfg = ReptileConfig(
+        fasta_file=str(fasta), quality_file=str(qual),
+        kmer_length=12, tile_overlap=4,
+        kmer_threshold=kt, tile_threshold=tt, chunk_size=200,
+    )
+    return ds, cfg, str(fasta), str(qual)
+
+
+class TestFileBasedRun:
+    def test_run_files_matches_in_memory(self, pipeline):
+        ds, cfg, fasta, qual = pipeline
+        mem_result = ParallelReptile(
+            cfg, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run(ds.block)
+        file_result = ParallelReptile(
+            cfg, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run_files(fasta, qual)
+        assert np.array_equal(
+            file_result.corrected_block.codes, mem_result.corrected_block.codes
+        )
+        assert np.array_equal(
+            file_result.corrected_block.ids, mem_result.corrected_block.ids
+        )
+
+    def test_file_run_accuracy(self, pipeline):
+        ds, cfg, fasta, qual = pipeline
+        result = ParallelReptile(
+            cfg, HeuristicConfig(universal=True), nranks=3,
+            engine="cooperative",
+        ).run_files(fasta, qual)
+        report = result.accuracy(ds)
+        assert report.gain > 0.5
+        assert report.precision > 0.9
+
+
+class TestConfigFileDriven:
+    def test_config_roundtrip_through_disk(self, pipeline, tmp_path):
+        ds, cfg, fasta, qual = pipeline
+        conf_path = tmp_path / "reptile.conf"
+        cfg.to_file(conf_path)
+        loaded = ReptileConfig.from_file(conf_path)
+        assert loaded == cfg
+        result = ParallelReptile(
+            loaded, HeuristicConfig(), nranks=2, engine="cooperative"
+        ).run_files(loaded.fasta_file, loaded.quality_file)
+        assert result.total_corrections > 0
+
+
+class TestSerialParallelContract:
+    def test_bit_identical_corrections(self, pipeline):
+        ds, cfg, *_ = pipeline
+        spectra = build_spectra(ds.block, cfg)
+        serial = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            ds.block
+        )
+        parallel = ParallelReptile(
+            cfg, HeuristicConfig(), nranks=5, engine="cooperative"
+        ).run(ds.block)
+        order = np.argsort(serial.block.ids)
+        assert np.array_equal(
+            serial.block.codes[order], parallel.corrected_block.codes
+        )
+        assert serial.total_corrections == parallel.total_corrections
+
+    def test_serial_equals_single_rank_parallel(self, pipeline):
+        ds, cfg, *_ = pipeline
+        spectra = build_spectra(ds.block, cfg)
+        serial = ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(
+            ds.block
+        )
+        single = ParallelReptile(
+            cfg, HeuristicConfig(), nranks=1, engine="cooperative"
+        ).run(ds.block)
+        order = np.argsort(serial.block.ids)
+        assert np.array_equal(
+            serial.block.codes[order], single.corrected_block.codes
+        )
+
+
+class TestEngineAgreement:
+    def test_cooperative_and_threaded_agree(self, pipeline):
+        ds, cfg, *_ = pipeline
+        coop = ParallelReptile(
+            cfg, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run(ds.block)
+        threaded = ParallelReptile(
+            cfg, HeuristicConfig(), nranks=4, engine="threaded"
+        ).run(ds.block)
+        assert np.array_equal(
+            coop.corrected_block.codes, threaded.corrected_block.codes
+        )
+
+
+class TestBurstyEndToEnd:
+    def test_load_balance_improves_worst_rank(self, bursty_dataset):
+        kt, tt = derive_thresholds(
+            bursty_dataset.coverage, 102, 12, 20, tile_step=8, error_rate=0.008
+        )
+        cfg = ReptileConfig(
+            kmer_length=12, tile_overlap=4,
+            kmer_threshold=kt, tile_threshold=tt, chunk_size=200,
+        )
+        imb = ParallelReptile(
+            cfg, HeuristicConfig(load_balance=False), nranks=8,
+            engine="cooperative",
+        ).run(bursty_dataset.block)
+        bal = ParallelReptile(
+            cfg, HeuristicConfig(load_balance=True), nranks=8,
+            engine="cooperative",
+        ).run(bursty_dataset.block)
+        # Same corrections overall.
+        assert imb.total_corrections == bal.total_corrections
+        # Work distribution much flatter after balancing.
+        imb_spread = imb.corrections_per_rank().max() / max(
+            1, imb.corrections_per_rank().min()
+        )
+        bal_spread = bal.corrections_per_rank().max() / max(
+            1, bal.corrections_per_rank().min()
+        )
+        assert bal_spread < imb_spread

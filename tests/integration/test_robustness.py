@@ -1,0 +1,108 @@
+"""Failure-injection and robustness tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReptileConfig
+from repro.core.pipeline import estimate_thresholds_from_file
+from repro.errors import FileFormatError, SpectrumError
+from repro.io.fasta import write_fasta
+from repro.io.partition import load_rank_block
+from repro.io.quality import write_quality
+from repro.io.records import ReadBlock
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+
+class TestMalformedInputs:
+    def test_quality_file_missing_ids(self, tmp_path):
+        fa = tmp_path / "r.fa"
+        qual = tmp_path / "r.qual"
+        write_fasta(fa, ["ACGT", "TTTT", "GGGG"])
+        write_quality(qual, [[40] * 4, [40] * 4])  # only 2 of 3 records
+        with pytest.raises(FileFormatError):
+            load_rank_block(fa, qual, 1, 0)
+
+    def test_empty_fasta_estimation(self, tmp_path):
+        fa = tmp_path / "empty.fa"
+        fa.write_text("")
+        with pytest.raises(SpectrumError):
+            estimate_thresholds_from_file(str(fa))
+
+    def test_threshold_estimation_from_file(self, tmp_path):
+        from repro.bench.harness import small_scale
+
+        scale = small_scale(genome_size=6_000)
+        fa = tmp_path / "s.fa"
+        write_fasta(fa, scale.dataset.block.to_strings())
+        kt, tt = estimate_thresholds_from_file(str(fa))
+        assert kt >= 2
+        assert tt >= 2
+        # In the same ballpark as the coverage-derived thresholds.
+        assert kt <= 3 * scale.config.kmer_threshold
+
+
+class TestAmbiguousBasesEndToEnd:
+    def test_reads_with_ns_survive_the_pipeline(self):
+        """Reads containing N flow through partitioning, redistribution,
+        spectra, correction and output untouched at the N positions."""
+        from repro.bench.harness import small_scale
+
+        scale = small_scale(genome_size=5_000)
+        block = scale.dataset.block
+        # Inject N (INVALID) into a handful of reads.
+        from repro.kmer.codec import INVALID_CODE
+
+        codes = block.codes.copy()
+        n_rows = [3, 17, 101]
+        for r in n_rows:
+            codes[r, 40:43] = INVALID_CODE
+        poked = ReadBlock(ids=block.ids, codes=codes,
+                          lengths=block.lengths, quals=block.quals)
+        result = ParallelReptile(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run(poked)
+        out = result.corrected_block
+        lookup = {int(i): k for k, i in enumerate(out.ids)}
+        for r in n_rows:
+            rid = int(block.ids[r])
+            row = out.codes[lookup[rid]]
+            assert (row[40:43] == INVALID_CODE).all()
+        # The rest of the dataset still gets corrected.
+        assert result.total_corrections > 0
+
+    def test_all_n_read(self):
+        cfg = ReptileConfig(kmer_length=12, tile_overlap=4)
+        block = ReadBlock.from_strings(["N" * 50, "ACGT" * 13])
+        result = ParallelReptile(cfg, HeuristicConfig(), nranks=2).run(block)
+        assert result.reads_per_rank().sum() == 2
+        out = result.corrected_block
+        assert out.to_strings()[0] == "N" * 50
+
+
+class TestDegenerateShapes:
+    def test_empty_dataset_full_pipeline(self):
+        cfg = ReptileConfig()
+        result = ParallelReptile(cfg, HeuristicConfig(), nranks=3).run(
+            ReadBlock.empty(0)
+        )
+        assert result.total_corrections == 0
+        assert len(result.corrected_block) == 0
+
+    def test_single_read(self):
+        cfg = ReptileConfig(kmer_length=12, tile_overlap=4)
+        block = ReadBlock.from_strings(["ACGTACGTACGTACGTACGTACGT"])
+        result = ParallelReptile(cfg, HeuristicConfig(), nranks=4).run(block)
+        assert len(result.corrected_block) == 1
+
+    def test_more_ranks_than_reads(self):
+        cfg = ReptileConfig(kmer_length=12, tile_overlap=4)
+        block = ReadBlock.from_strings(["ACGTACGTACGTACGTACGT"] * 3)
+        result = ParallelReptile(cfg, HeuristicConfig(), nranks=8).run(block)
+        assert result.reads_per_rank().sum() == 3
+
+    def test_reads_shorter_than_k(self):
+        cfg = ReptileConfig(kmer_length=12, tile_overlap=4)
+        block = ReadBlock.from_strings(["ACGT", "ACGTACGTACGTACGTACGT"])
+        result = ParallelReptile(cfg, HeuristicConfig(), nranks=2).run(block)
+        out = result.corrected_block
+        assert out.to_strings()[0] == "ACGT"  # untouched, uncorrectable

@@ -1,0 +1,42 @@
+"""Windows (CRLF) line endings must be tolerated by every reader."""
+
+import pytest
+
+from repro.io.fasta import read_fasta
+from repro.io.fastq import read_fastq
+from repro.io.quality import read_quality
+
+
+def test_fasta_crlf(tmp_path):
+    path = tmp_path / "crlf.fa"
+    path.write_bytes(b">1\r\nACGT\r\n>2\r\nTT\r\nGG\r\n")
+    assert list(read_fasta(path)) == [(1, "ACGT"), (2, "TTGG")]
+
+
+def test_quality_crlf(tmp_path):
+    path = tmp_path / "crlf.qual"
+    path.write_bytes(b">1\r\n40 30 20 10\r\n")
+    (rid, scores), = read_quality(path)
+    assert rid == 1
+    assert scores.tolist() == [40, 30, 20, 10]
+
+
+def test_fastq_crlf(tmp_path):
+    path = tmp_path / "crlf.fq"
+    path.write_bytes(b"@r1\r\nACGT\r\n+\r\nIIII\r\n")
+    (name, seq, scores), = read_fastq(path)
+    assert name == "r1"
+    assert seq == "ACGT"
+    assert scores.tolist() == [40] * 4
+
+
+def test_fasta_crlf_partitioned(tmp_path):
+    from repro.io.partition import load_rank_block
+
+    path = tmp_path / "many.fa"
+    body = b"".join(f">{i}\r\nACGTACGTACGT\r\n".encode() for i in range(1, 31))
+    path.write_bytes(body)
+    ids = []
+    for rank in range(3):
+        ids.extend(load_rank_block(path, None, 3, rank).ids.tolist())
+    assert sorted(ids) == list(range(1, 31))

@@ -1,0 +1,81 @@
+"""Tests for Reptile-style fasta reading/writing and range iteration."""
+
+import os
+
+import pytest
+
+from repro.errors import FileFormatError
+from repro.io.fasta import read_fasta, read_fasta_range, write_fasta
+
+
+@pytest.fixture
+def fasta_file(tmp_path):
+    path = tmp_path / "reads.fa"
+    write_fasta(path, ["ACGT", "TTGGCC", "AAA"])
+    return path
+
+
+class TestWriteRead:
+    def test_roundtrip(self, fasta_file):
+        records = list(read_fasta(fasta_file))
+        assert records == [(1, "ACGT"), (2, "TTGGCC"), (3, "AAA")]
+
+    def test_write_returns_count(self, tmp_path):
+        assert write_fasta(tmp_path / "x.fa", ["A", "C"]) == 2
+
+    def test_custom_start_id(self, tmp_path):
+        path = tmp_path / "x.fa"
+        write_fasta(path, ["AC"], start_id=100)
+        assert list(read_fasta(path)) == [(100, "AC")]
+
+    def test_multiline_bodies(self, tmp_path):
+        path = tmp_path / "m.fa"
+        path.write_text(">1\nACGT\nTTTT\n>2\nGG\n")
+        assert list(read_fasta(path)) == [(1, "ACGTTTTT"), (2, "GG")]
+
+    def test_non_numeric_name_rejected(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text(">readA\nACGT\n")
+        with pytest.raises(FileFormatError):
+            list(read_fasta(path))
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n>1\nACGT\n")
+        with pytest.raises(FileFormatError):
+            list(read_fasta(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fa"
+        path.write_text("")
+        assert list(read_fasta(path)) == []
+
+
+class TestRangeReading:
+    def test_full_range_is_everything(self, fasta_file):
+        size = os.path.getsize(fasta_file)
+        assert list(read_fasta_range(fasta_file, 0, size)) == list(
+            read_fasta(fasta_file)
+        )
+
+    def test_ranges_partition_records(self, tmp_path):
+        """Every record is yielded by exactly one adjacent range."""
+        path = tmp_path / "many.fa"
+        seqs = [f"{'ACGT' * (i % 5 + 1)}" for i in range(50)]
+        write_fasta(path, seqs)
+        size = os.path.getsize(path)
+        from repro.io.partition import align_to_record
+
+        cuts = sorted({align_to_record(path, size * i // 7) for i in range(7)})
+        cuts.append(size)
+        seen = []
+        for lo, hi in zip(cuts, cuts[1:]):
+            seen.extend(read_fasta_range(path, lo, hi))
+        assert seen == list(read_fasta(path))
+
+    def test_record_straddling_end_is_whole(self, fasta_file):
+        # End mid-way through record 2's body: record 2 still complete.
+        records = list(read_fasta_range(fasta_file, 0, 10))
+        assert records[-1][1] in ("ACGT", "TTGGCC")
+        for _, seq in records:
+            assert set(seq) <= set("ACGT")

@@ -1,0 +1,116 @@
+"""Tests for fastq reading and the fastq -> fasta+qual conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FileFormatError
+from repro.io.fasta import read_fasta
+from repro.io.fastq import fastq_to_fasta_qual, read_fastq
+from repro.io.quality import read_quality
+
+
+def _write_fastq(path, records):
+    with open(path, "w") as fh:
+        for name, seq, qual in records:
+            fh.write(f"@{name}\n{seq}\n+\n{qual}\n")
+
+
+class TestReadFastq:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "r.fq"
+        _write_fastq(path, [("r1", "ACGT", "IIII"), ("r2", "GG", "!#")])
+        out = list(read_fastq(path))
+        assert out[0][0] == "r1"
+        assert out[0][1] == "ACGT"
+        assert out[0][2].tolist() == [40, 40, 40, 40]  # 'I' = Q40
+        assert out[1][2].tolist() == [0, 2]
+
+    def test_name_token_split(self, tmp_path):
+        path = tmp_path / "r.fq"
+        _write_fastq(path, [("read1 extra info", "AC", "II")])
+        assert next(iter(read_fastq(path)))[0] == "read1"
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "r.fq"
+        path.write_text("ACGT\nACGT\n+\nIIII\n")
+        with pytest.raises(FileFormatError):
+            list(read_fastq(path))
+
+    def test_bad_separator(self, tmp_path):
+        path = tmp_path / "r.fq"
+        path.write_text("@r\nACGT\nXXXX\nIIII\n")
+        with pytest.raises(FileFormatError):
+            list(read_fastq(path))
+
+    def test_length_mismatch(self, tmp_path):
+        path = tmp_path / "r.fq"
+        path.write_text("@r\nACGT\n+\nII\n")
+        with pytest.raises(FileFormatError):
+            list(read_fastq(path))
+
+    def test_sub_offset_quality(self, tmp_path):
+        path = tmp_path / "r.fq"
+        path.write_text("@r\nAC\n+\n \x1f\n")
+        with pytest.raises(FileFormatError):
+            list(read_fastq(path))
+
+
+class TestConversion:
+    def test_renumbers_from_one(self, tmp_path):
+        fq = tmp_path / "in.fq"
+        _write_fastq(
+            fq,
+            [("SRR1.99", "ACGT", "IIII"), ("SRR1.100", "TTAA", "####")],
+        )
+        fa, qual = tmp_path / "out.fa", tmp_path / "out.qual"
+        n = fastq_to_fasta_qual(fq, fa, qual)
+        assert n == 2
+        fa_records = list(read_fasta(fa))
+        assert [rid for rid, _ in fa_records] == [1, 2]
+        assert [seq for _, seq in fa_records] == ["ACGT", "TTAA"]
+        q_records = list(read_quality(qual))
+        assert q_records[0][1].tolist() == [40, 40, 40, 40]
+        assert q_records[1][1].tolist() == [2, 2, 2, 2]
+
+
+class TestWriteFastq:
+    def test_roundtrip(self, tmp_path):
+        from repro.io.fastq import write_fastq
+
+        path = tmp_path / "w.fq"
+        records = [("a", "ACGT", np.array([40, 2, 30, 0])),
+                   ("b", "GG", np.array([10, 93]))]
+        assert write_fastq(path, records) == 2
+        back = list(read_fastq(path))
+        assert back[0][0] == "a"
+        assert back[0][1] == "ACGT"
+        assert back[0][2].tolist() == [40, 2, 30, 0]
+        assert back[1][2].tolist() == [10, 93]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        from repro.io.fastq import write_fastq
+
+        with pytest.raises(FileFormatError):
+            write_fastq(tmp_path / "bad.fq", [("a", "ACGT", np.array([1]))])
+
+    def test_score_range_checked(self, tmp_path):
+        from repro.io.fastq import write_fastq
+
+        with pytest.raises(FileFormatError):
+            write_fastq(tmp_path / "bad.fq",
+                        [("a", "AC", np.array([10, 100]))])
+
+    def test_conversion_roundtrip_through_fastq(self, tmp_path):
+        """fasta+qual -> fastq -> fasta+qual is the identity."""
+        from repro.io.fastq import write_fastq
+
+        seqs = ["ACGTACGT", "TTGGA"]
+        quals = [np.array([40] * 8), np.array([2, 10, 20, 30, 41])]
+        fq = tmp_path / "x.fq"
+        write_fastq(fq, [(str(i + 1), s, q)
+                         for i, (s, q) in enumerate(zip(seqs, quals))])
+        fa, ql = tmp_path / "x.fa", tmp_path / "x.qual"
+        assert fastq_to_fasta_qual(fq, fa, ql) == 2
+        assert [s for _, s in read_fasta(fa)] == seqs
+        got_q = [q.tolist() for _, q in read_quality(ql)]
+        assert got_q == [q.tolist() for q in quals]

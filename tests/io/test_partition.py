@@ -1,0 +1,118 @@
+"""Tests for Step I: byte partitioning and per-rank loading."""
+
+import numpy as np
+import pytest
+
+from repro.io.fasta import write_fasta
+from repro.io.partition import (
+    align_to_record,
+    byte_partition,
+    load_rank_block,
+    partition_fasta,
+)
+from repro.io.quality import write_quality
+
+
+class TestBytePartition:
+    def test_covers_file(self):
+        parts = [byte_partition(100, 4, r) for r in range(4)]
+        assert parts[0][0] == 0
+        assert parts[-1][1] == 100
+        for (a, b), (c, _) in zip(parts, parts[1:]):
+            assert b == c
+
+    def test_single_rank(self):
+        assert byte_partition(100, 1, 0) == (0, 100)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            byte_partition(100, 0, 0)
+        with pytest.raises(ValueError):
+            byte_partition(100, 4, 4)
+
+
+class TestAlignToRecord:
+    def test_zero_is_aligned(self, tmp_path):
+        path = tmp_path / "a.fa"
+        write_fasta(path, ["ACGT"])
+        assert align_to_record(path, 0) == 0
+
+    def test_aligns_to_next_header(self, tmp_path):
+        path = tmp_path / "a.fa"
+        write_fasta(path, ["ACGT", "TTTT"])
+        # Offset 1 is inside record 1; next header is ">2" at byte 8.
+        data = path.read_bytes()
+        expect = data.index(b">2")
+        assert align_to_record(path, 1) == expect
+
+    def test_offset_exactly_at_header(self, tmp_path):
+        path = tmp_path / "a.fa"
+        write_fasta(path, ["ACGT", "TTTT"])
+        pos = path.read_bytes().index(b">2")
+        assert align_to_record(path, pos) == pos
+
+    def test_past_last_header_returns_size(self, tmp_path):
+        path = tmp_path / "a.fa"
+        write_fasta(path, ["ACGT"])
+        size = path.stat().st_size
+        assert align_to_record(path, size - 2) == size
+        assert align_to_record(path, size + 10) == size
+
+
+class TestPartitionFasta:
+    def test_disjoint_cover(self, tmp_path):
+        path = tmp_path / "many.fa"
+        write_fasta(path, ["ACGT" * (i % 4 + 1) for i in range(100)])
+        ranges = partition_fasta(path, 8)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == path.stat().st_size
+        for (a, b), (c, _) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_more_ranks_than_records(self, tmp_path):
+        path = tmp_path / "two.fa"
+        write_fasta(path, ["ACGT", "TTTT"])
+        ranges = partition_fasta(path, 8)
+        # Some ranks get empty ranges; totals still cover the file.
+        assert sum(hi - lo for lo, hi in ranges) == path.stat().st_size
+
+
+class TestLoadRankBlock:
+    @pytest.fixture
+    def file_pair(self, tmp_path):
+        rng = np.random.default_rng(0)
+        seqs = ["".join("ACGT"[c] for c in rng.integers(0, 4, 30))
+                for _ in range(60)]
+        quals = [rng.integers(2, 41, 30).tolist() for _ in range(60)]
+        fa, qual = tmp_path / "r.fa", tmp_path / "r.qual"
+        write_fasta(fa, seqs)
+        write_quality(qual, quals)
+        return fa, qual, seqs, quals
+
+    def test_every_read_loaded_once(self, file_pair):
+        fa, qual, seqs, _ = file_pair
+        all_ids = []
+        for rank in range(5):
+            block = load_rank_block(fa, qual, 5, rank)
+            all_ids.extend(block.ids.tolist())
+        assert sorted(all_ids) == list(range(1, 61))
+
+    def test_sequences_and_qualities_line_up(self, file_pair):
+        fa, qual, seqs, quals = file_pair
+        for rank in range(3):
+            block = load_rank_block(fa, qual, 3, rank)
+            for i, rid in enumerate(block.ids.tolist()):
+                L = int(block.lengths[i])
+                assert block.to_strings()[i] == seqs[rid - 1]
+                assert block.quals[i, :L].tolist() == quals[rid - 1]
+
+    def test_without_quality_file(self, file_pair):
+        fa, _, seqs, _ = file_pair
+        block = load_rank_block(fa, None, 2, 0)
+        assert len(block) > 0
+        assert (block.quals[0, : block.lengths[0]] > 0).all()
+
+    def test_single_rank_gets_everything(self, file_pair):
+        fa, qual, seqs, _ = file_pair
+        block = load_rank_block(fa, qual, 1, 0)
+        assert len(block) == 60

@@ -1,0 +1,74 @@
+"""Tests for the quality score file format."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import FileFormatError
+from repro.io.quality import read_quality, read_quality_range, write_quality
+
+
+@pytest.fixture
+def qual_file(tmp_path):
+    path = tmp_path / "reads.qual"
+    write_quality(path, [[40, 38, 22, 2], [30, 31, 32]])
+    return path
+
+
+class TestWriteRead:
+    def test_roundtrip(self, qual_file):
+        records = list(read_quality(qual_file))
+        assert records[0][0] == 1
+        assert records[0][1].tolist() == [40, 38, 22, 2]
+        assert records[1][0] == 2
+        assert records[1][1].tolist() == [30, 31, 32]
+
+    def test_dtype(self, qual_file):
+        _, scores = next(iter(read_quality(qual_file)))
+        assert scores.dtype == np.uint8
+
+    def test_empty_scores_row(self, tmp_path):
+        path = tmp_path / "e.qual"
+        path.write_text(">1\n\n>2\n7\n")
+        records = list(read_quality(path))
+        assert records[0][1].shape == (0,)
+        assert records[1][1].tolist() == [7]
+
+    def test_malformed_scores(self, tmp_path):
+        path = tmp_path / "bad.qual"
+        path.write_text(">1\n40 x 22\n")
+        with pytest.raises(FileFormatError):
+            list(read_quality(path))
+
+    def test_non_numeric_name(self, tmp_path):
+        path = tmp_path / "bad.qual"
+        path.write_text(">seq\n40\n")
+        with pytest.raises(FileFormatError):
+            list(read_quality(path))
+
+    def test_multiline_scores(self, tmp_path):
+        path = tmp_path / "m.qual"
+        path.write_text(">1\n40 38\n22 2\n")
+        records = list(read_quality(path))
+        assert records[0][1].tolist() == [40, 38, 22, 2]
+
+
+class TestRangeReading:
+    def test_full_range(self, qual_file):
+        size = os.path.getsize(qual_file)
+        full = list(read_quality_range(qual_file, 0, size))
+        assert [rid for rid, _ in full] == [1, 2]
+
+    def test_partition_covers_all(self, tmp_path):
+        path = tmp_path / "many.qual"
+        write_quality(path, [[i % 40 + 2] * 10 for i in range(40)])
+        size = os.path.getsize(path)
+        from repro.io.partition import align_to_record
+
+        cuts = sorted({align_to_record(path, size * i // 5) for i in range(5)})
+        cuts.append(size)
+        ids = []
+        for lo, hi in zip(cuts, cuts[1:]):
+            ids.extend(rid for rid, _ in read_quality_range(path, lo, hi))
+        assert ids == list(range(1, 41))

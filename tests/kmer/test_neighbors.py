@@ -1,0 +1,114 @@
+"""Tests for Hamming-distance neighbour enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kmer.codec import decode_kmer, encode_sequence, window_ids
+from repro.kmer.neighbors import (
+    hamming_distance,
+    hamming_neighbors,
+    neighbors_at_positions,
+    neighbors_many,
+)
+
+
+def _kid(seq: str) -> int:
+    ids, _ = window_ids(encode_sequence(seq), len(seq))
+    return int(ids[0])
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert hamming_distance(_kid("ACGT"), _kid("ACGT"), 4) == 0
+
+    def test_single_diff(self):
+        assert hamming_distance(_kid("ACGT"), _kid("AGGT"), 4) == 1
+
+    def test_all_diff(self):
+        assert hamming_distance(_kid("AAAA"), _kid("CCCC"), 4) == 4
+
+    def test_counts_base_positions_not_bits(self):
+        # A(00) vs T(11): two bit flips, one base position.
+        assert hamming_distance(_kid("A"), _kid("T"), 1) == 1
+
+
+class TestNeighborsAtPositions:
+    def test_counts_and_distance(self):
+        kid = _kid("ACGT")
+        out = neighbors_at_positions(kid, 4, [0, 2])
+        assert out.shape == (6,)
+        assert len(set(out.tolist())) == 6
+        for nb in out:
+            assert hamming_distance(int(nb), kid, 4) == 1
+
+    def test_substitution_position_is_respected(self):
+        kid = _kid("AAAA")
+        out = neighbors_at_positions(kid, 4, [1])
+        decoded = sorted(decode_kmer(int(x), 4) for x in out)
+        assert decoded == ["ACAA", "AGAA", "ATAA"]
+
+    def test_empty_positions(self):
+        assert neighbors_at_positions(_kid("ACGT"), 4, []).shape == (0,)
+
+    def test_out_of_range_positions(self):
+        with pytest.raises(CodecError):
+            neighbors_at_positions(_kid("ACGT"), 4, [4])
+        with pytest.raises(CodecError):
+            neighbors_at_positions(_kid("ACGT"), 4, [-1])
+
+
+class TestHammingNeighbors:
+    def test_d1_count(self):
+        out = hamming_neighbors(_kid("ACGTA"), 5, 1)
+        assert out.shape == (15,)
+        assert np.array_equal(out, np.unique(out))  # sorted unique
+
+    def test_d2_count_and_distance(self):
+        kid = _kid("ACGT")
+        out = hamming_neighbors(kid, 4, 2)
+        # 9 * C(4,2) = 54 distance-2 neighbours.
+        assert out.shape == (54,)
+        for nb in out:
+            assert hamming_distance(int(nb), kid, 4) == 2
+
+    def test_d2_excludes_original_and_d1(self):
+        kid = _kid("ACG")
+        d1 = set(hamming_neighbors(kid, 3, 1).tolist())
+        d2 = set(hamming_neighbors(kid, 3, 2).tolist())
+        assert kid not in d2
+        assert not (d1 & d2)
+
+    def test_d2_single_base_window(self):
+        assert hamming_neighbors(_kid("A"), 1, 2).shape == (0,)
+
+    def test_unsupported_distance(self):
+        with pytest.raises(CodecError):
+            hamming_neighbors(_kid("ACG"), 3, 3)
+
+    @given(st.text(alphabet="ACGT", min_size=3, max_size=8))
+    @settings(max_examples=40)
+    def test_property_symmetry(self, seq):
+        """b in N1(a) iff a in N1(b)."""
+        kid = _kid(seq)
+        w = len(seq)
+        for nb in hamming_neighbors(kid, w, 1)[:5]:
+            back = hamming_neighbors(int(nb), w, 1)
+            assert kid in back.tolist()
+
+
+class TestNeighborsMany:
+    def test_batched_generation(self):
+        kids = np.array([_kid("ACGT"), _kid("TTTT")], dtype=np.uint64)
+        cands, owners = neighbors_many(
+            kids, 4, [np.array([0]), np.array([1, 3])]
+        )
+        assert cands.shape == (9,)
+        assert owners.tolist() == [0, 0, 0, 1, 1, 1, 1, 1, 1]
+
+    def test_empty(self):
+        cands, owners = neighbors_many(np.empty(0, np.uint64), 4, [])
+        assert cands.shape == (0,)
+        assert owners.shape == (0,)

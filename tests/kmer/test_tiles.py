@@ -1,0 +1,118 @@
+"""Tests for tile geometry and tile-id composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kmer.codec import decode_kmer, encode_sequence, window_ids
+from repro.kmer.tiles import (
+    TileShape,
+    split_tile_id,
+    tile_id_from_kmers,
+    tile_ids,
+    tile_length,
+)
+
+
+class TestTileShape:
+    def test_basic_geometry(self):
+        sh = TileShape(k=12, overlap=4)
+        assert sh.length == 20
+        assert sh.step == 8
+
+    def test_zero_overlap(self):
+        sh = TileShape(k=8, overlap=0)
+        assert sh.length == 16
+        assert sh.step == 8
+
+    def test_rejects_overlap_ge_k(self):
+        with pytest.raises(CodecError):
+            TileShape(k=4, overlap=4)
+
+    def test_rejects_negative_overlap(self):
+        with pytest.raises(CodecError):
+            TileShape(k=4, overlap=-1)
+
+    def test_rejects_tile_wider_than_uint64(self):
+        with pytest.raises(CodecError):
+            TileShape(k=20, overlap=2)  # 38 bases > 32
+
+    def test_tile_starts_cover_read(self):
+        sh = TileShape(k=4, overlap=2)
+        starts = sh.tile_starts(12)
+        assert starts.tolist() == [0, 2, 4, 6]
+        # Every base of [0, 12) is covered by some [s, s+6).
+        covered = np.zeros(12, dtype=bool)
+        for s in starts:
+            covered[s : s + sh.length] = True
+        assert covered.all()
+
+    def test_tile_starts_short_read(self):
+        sh = TileShape(k=4, overlap=2)
+        assert sh.tile_starts(5).size == 0
+        assert sh.tile_starts(6).tolist() == [0]
+
+    def test_kmer_starts(self):
+        sh = TileShape(k=4, overlap=2)
+        assert sh.kmer_starts(10).tolist() == [0, 2, 4, 6]
+
+    def test_tile_length_helper(self):
+        assert tile_length(12, 4) == 20
+
+
+class TestTileIds:
+    def test_stride_subsampling(self):
+        sh = TileShape(k=4, overlap=2)
+        codes = encode_sequence("ACGTACGTACGT")
+        tids, tvalid = tile_ids(codes, sh)
+        all_ids, all_valid = window_ids(codes, sh.length)
+        assert np.array_equal(tids, all_ids[:: sh.step])
+        assert np.array_equal(tvalid, all_valid[:: sh.step])
+
+    def test_decodes_to_sequence_windows(self):
+        sh = TileShape(k=4, overlap=2)
+        seq = "ACGTTGCAACGT"
+        tids, tvalid = tile_ids(encode_sequence(seq), sh)
+        for i, (tid, ok) in enumerate(zip(tids, tvalid)):
+            assert ok
+            s = i * sh.step
+            assert decode_kmer(int(tid), sh.length) == seq[s : s + sh.length]
+
+
+class TestTileComposition:
+    def test_compose_and_split(self):
+        sh = TileShape(k=4, overlap=2)
+        seq = "ACGTAC"
+        kids, _ = window_ids(encode_sequence(seq), 4)
+        tile = tile_id_from_kmers(int(kids[0]), int(kids[2]), sh)
+        assert decode_kmer(tile, sh.length) == seq
+        assert split_tile_id(tile, sh) == (int(kids[0]), int(kids[2]))
+
+    def test_inconsistent_overlap_rejected(self):
+        sh = TileShape(k=4, overlap=2)
+        k1, _ = window_ids(encode_sequence("ACGT"), 4)
+        k2, _ = window_ids(encode_sequence("TTTT"), 4)
+        with pytest.raises(CodecError):
+            tile_id_from_kmers(int(k1[0]), int(k2[0]), sh)
+
+    def test_zero_overlap_compose(self):
+        sh = TileShape(k=3, overlap=0)
+        seq = "ACGTTG"
+        kids, _ = window_ids(encode_sequence(seq), 3)
+        tile = tile_id_from_kmers(int(kids[0]), int(kids[3]), sh)
+        assert decode_kmer(tile, sh.length) == seq
+
+    @given(st.text(alphabet="ACGT", min_size=20, max_size=20))
+    @settings(max_examples=50)
+    def test_property_tile_equals_composed_kmers(self, seq):
+        sh = TileShape(k=12, overlap=4)
+        codes = encode_sequence(seq)
+        kids, _ = window_ids(codes, sh.k)
+        tids, _ = tile_ids(codes, sh)
+        composed = tile_id_from_kmers(int(kids[0]), int(kids[sh.step]), sh)
+        assert composed == int(tids[0])
+        first, second = split_tile_id(int(tids[0]), sh)
+        assert first == int(kids[0])
+        assert second == int(kids[sh.step])

@@ -1,0 +1,69 @@
+"""Tests for the heuristic configuration object."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.heuristics import PAPER_DEFAULT, HeuristicConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        h = HeuristicConfig()
+        assert not h.universal
+        assert h.load_balance
+        assert h.replication_group == 1
+
+    def test_add_remote_requires_read_tables(self):
+        with pytest.raises(ConfigError):
+            HeuristicConfig(add_remote_lookups=True)
+        HeuristicConfig(add_remote_lookups=True, read_kmers=True)
+        HeuristicConfig(add_remote_lookups=True, read_tiles=True)
+
+    def test_replication_group_bounds(self):
+        with pytest.raises(ConfigError):
+            HeuristicConfig(replication_group=0)
+
+    def test_partial_replication_pointless_with_full(self):
+        with pytest.raises(ConfigError):
+            HeuristicConfig(
+                replication_group=2, allgather_kmers=True, allgather_tiles=True
+            )
+        # With only one spectrum replicated it is still meaningful.
+        HeuristicConfig(replication_group=2, allgather_tiles=True)
+
+
+class TestProperties:
+    def test_allgather_both(self):
+        assert HeuristicConfig(
+            allgather_kmers=True, allgather_tiles=True
+        ).allgather_both
+        assert not HeuristicConfig(allgather_kmers=True).allgather_both
+
+    def test_needs_messaging(self):
+        assert HeuristicConfig().needs_messaging
+        assert not HeuristicConfig(
+            allgather_kmers=True, allgather_tiles=True
+        ).needs_messaging
+
+    def test_with_updates(self):
+        h = HeuristicConfig()
+        h2 = h.with_updates(universal=True)
+        assert h2.universal and not h.universal
+        with pytest.raises(ConfigError):
+            h.with_updates(add_remote_lookups=True)
+
+    def test_describe(self):
+        assert HeuristicConfig(load_balance=False).describe() == "no_load_balance"
+        desc = HeuristicConfig(
+            universal=True, batch_reads=True, replication_group=4
+        ).describe()
+        assert "universal" in desc
+        assert "batch_reads" in desc
+        assert "replication_group=4" in desc
+        assert "load_balance" in desc
+
+    def test_paper_default(self):
+        assert PAPER_DEFAULT.universal
+        assert PAPER_DEFAULT.batch_reads
+        assert PAPER_DEFAULT.load_balance
+        assert not PAPER_DEFAULT.allgather_kmers

@@ -1,0 +1,66 @@
+"""Tests for per-rank memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.counthash import CountHash
+from repro.kmer.tiles import TileShape
+from repro.parallel.build import RankSpectra
+from repro.parallel.memory import RankMemoryReport
+
+
+def _spectra(n_keys=100):
+    sp = RankSpectra(shape=TileShape(12, 4), rank=0, nranks=4)
+    sp.kmers.add_counts(np.arange(n_keys, dtype=np.uint64))
+    sp.tiles.add_counts(np.arange(n_keys // 2, dtype=np.uint64))
+    return sp
+
+
+class TestCapture:
+    def test_construction_phase(self):
+        sp = _spectra()
+        sp.peak_construction_bytes = 999_999
+        report = RankMemoryReport.capture(0, sp, phase="construction")
+        assert report.after_construction == sp.nbytes
+        assert report.construction_peak == 999_999
+        assert report.table_sizes["kmers"] == 100
+
+    def test_correction_phase_into_existing(self):
+        sp = _spectra()
+        report = RankMemoryReport.capture(0, sp, phase="construction")
+        sp.kmers.add_counts(np.arange(100, 20_000, dtype=np.uint64))
+        RankMemoryReport.capture(0, sp, phase="correction", into=report)
+        assert report.after_correction > report.after_construction
+        assert report.table_sizes["kmers"] == 20_000
+
+    def test_peak(self):
+        sp = _spectra()
+        report = RankMemoryReport.capture(0, sp, phase="construction")
+        report.after_correction = report.after_construction // 2
+        assert report.peak == max(
+            report.after_construction, report.construction_peak
+        )
+
+    def test_reads_bytes(self):
+        from repro.io.records import ReadBlock
+
+        block = ReadBlock.from_strings(["ACGT"] * 10)
+        report = RankMemoryReport.capture(
+            0, _spectra(), block=block, phase="construction"
+        )
+        assert report.reads_bytes == block.nbytes
+
+    def test_unknown_phase(self):
+        with pytest.raises(ValueError):
+            RankMemoryReport.capture(0, _spectra(), phase="warmup")
+
+
+class TestSpectraNbytes:
+    def test_includes_optional_tables(self):
+        sp = _spectra()
+        base = sp.nbytes
+        sp.reads_kmers = CountHash()
+        sp.reads_kmers.add_counts(np.arange(10_000, dtype=np.uint64))
+        assert sp.nbytes > base
+        sizes = sp.table_sizes
+        assert sizes["reads_kmers"] == 10_000

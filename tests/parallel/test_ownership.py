@@ -1,0 +1,79 @@
+"""Tests for owning-rank assignment."""
+
+import numpy as np
+
+from repro.io.records import ReadBlock
+from repro.parallel.ownership import (
+    kmer_owner,
+    sequence_hash,
+    sequence_owner,
+    tile_owner,
+)
+
+
+class TestKeyOwnership:
+    def test_range(self):
+        ids = np.arange(1000, dtype=np.uint64)
+        owners = kmer_owner(ids, 7)
+        assert owners.min() >= 0
+        assert owners.max() < 7
+
+    def test_kmer_and_tile_share_rule(self):
+        ids = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(kmer_owner(ids, 5), tile_owner(ids, 5))
+
+    def test_deterministic(self):
+        ids = np.array([1, 2, 3], dtype=np.uint64)
+        assert np.array_equal(kmer_owner(ids, 4), kmer_owner(ids, 4))
+
+    def test_scalar(self):
+        assert isinstance(kmer_owner(7, 3), int)
+
+
+class TestSequenceHash:
+    def test_equal_reads_hash_equal(self):
+        a = ReadBlock.from_strings(["ACGTACGT", "TTTTAAAA"])
+        b = ReadBlock.from_strings(["ACGTACGT", "TTTTAAAA"])
+        assert np.array_equal(sequence_hash(a), sequence_hash(b))
+
+    def test_different_reads_hash_differently(self):
+        block = ReadBlock.from_strings(["ACGTACGT", "ACGTACGA"])
+        h = sequence_hash(block)
+        assert h[0] != h[1]
+
+    def test_padding_invariance(self):
+        """The same read hashes identically whatever the block width."""
+        narrow = ReadBlock.from_strings(["ACGT"])
+        wide = ReadBlock.from_strings(["ACGT", "AAAAAAAAAA"])
+        assert sequence_hash(narrow)[0] == sequence_hash(wide)[0]
+
+    def test_ids_do_not_affect_hash(self):
+        a = ReadBlock.from_strings(["ACGT"], ids=[1])
+        b = ReadBlock.from_strings(["ACGT"], ids=[999])
+        assert sequence_hash(a)[0] == sequence_hash(b)[0]
+
+
+class TestSequenceOwner:
+    def test_spreads_reads(self):
+        rng = np.random.default_rng(0)
+        seqs = ["".join("ACGT"[c] for c in rng.integers(0, 4, 50))
+                for _ in range(2000)]
+        block = ReadBlock.from_strings(seqs)
+        owners = sequence_owner(block, 8)
+        counts = np.bincount(owners, minlength=8)
+        assert counts.min() > 150  # roughly even
+
+    def test_contiguous_bursts_dispersed(self):
+        """Reads adjacent in the file land on unrelated ranks."""
+        rng = np.random.default_rng(1)
+        seqs = ["".join("ACGT"[c] for c in rng.integers(0, 4, 30))
+                for _ in range(64)]
+        owners = sequence_owner(ReadBlock.from_strings(seqs), 8)
+        # A contiguous run of 16 reads should hit many distinct ranks.
+        assert len(set(owners[:16].tolist())) >= 4
+
+    def test_rejects_bad_nranks(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            sequence_owner(ReadBlock.from_strings(["AC"]), 0)

@@ -1,0 +1,72 @@
+"""Tests for the JSON run report."""
+
+import json
+
+import pytest
+
+from repro.parallel import HeuristicConfig, ParallelReptile, run_report, write_run_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.bench.harness import small_scale
+
+    scale = small_scale(genome_size=5_000, chunk_size=200)
+    return ParallelReptile(
+        scale.config, HeuristicConfig(universal=True), nranks=3,
+        engine="cooperative",
+    ).run(scale.dataset.block)
+
+
+class TestRunReport:
+    def test_structure(self, result):
+        report = run_report(result)
+        assert report["schema"] == "repro.run_report/1"
+        assert report["nranks"] == 3
+        assert len(report["per_rank"]) == 3
+        assert report["heuristics"].startswith("universal")
+
+    def test_totals_consistent(self, result):
+        report = run_report(result)
+        assert report["totals"]["reads"] == int(result.reads_per_rank().sum())
+        assert report["totals"]["errors_corrected"] == result.total_corrections
+        per_rank_sum = sum(r["errors_corrected"] for r in report["per_rank"])
+        assert per_rank_sum == result.total_corrections
+
+    def test_config_captured(self, result):
+        report = run_report(result)
+        assert report["config"]["kmer_length"] == result.config.kmer_length
+        assert report["config"]["chunk_size"] == result.config.chunk_size
+
+    def test_json_serializable(self, result):
+        json.dumps(run_report(result))
+
+    def test_write_and_reload(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        write_run_report(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["nranks"] == 3
+        assert loaded["per_rank"][0]["rank"] == 0
+        assert loaded["per_rank"][0]["timings_s"]["error_correction"] >= 0
+
+
+class TestCliReport:
+    def test_report_flag(self, tmp_path):
+        from repro.cli import main
+
+        fasta = tmp_path / "r.fa"
+        qual = tmp_path / "r.qual"
+        assert main([
+            "simulate", "--genome-size", "4000", "--fasta", str(fasta),
+            "--quality", str(qual),
+        ]) == 0
+        out = tmp_path / "c.fa"
+        rep = tmp_path / "run.json"
+        assert main([
+            "correct", "--fasta", str(fasta), "--quality", str(qual),
+            "--output", str(out), "--nranks", "2",
+            "--kmer-threshold", "18", "--tile-threshold", "2",
+            "--report", str(rep),
+        ]) == 0
+        loaded = json.loads(rep.read_text())
+        assert loaded["totals"]["reads"] > 0

@@ -1,0 +1,45 @@
+"""The model-vs-paper anchor validation.
+
+Every quantitative claim the paper makes that the model is calibrated or
+validated against is encoded in PAPER_ANCHORS; this test recomputes each
+one (via the library's own anchor evaluator, shared with
+``python -m repro.verify``) and asserts it falls within its tolerance.
+EXPERIMENTS.md reports the same numbers.
+"""
+
+import pytest
+
+from repro.perfmodel.calibrate import (
+    PAPER_ANCHORS,
+    anchor_model_value,
+    anchor_run_config,
+)
+
+# Backwards-compatible alias used elsewhere in the suite.
+model_value = anchor_model_value
+
+
+@pytest.mark.parametrize(
+    "anchor", PAPER_ANCHORS,
+    ids=[f"{a.figure}-{a.description[:34].replace(' ', '_')}" for a in PAPER_ANCHORS],
+)
+def test_anchor_within_tolerance(anchor):
+    value = anchor_model_value(anchor)
+    rel = abs(value - anchor.paper_value) / anchor.paper_value
+    assert rel <= anchor.tolerance, (
+        f"{anchor.figure} {anchor.description}: model {value:.1f} vs paper "
+        f"{anchor.paper_value:.1f} (rel {rel:.2f} > tol {anchor.tolerance})"
+    )
+
+
+def test_anchor_table_covers_every_figure():
+    figures = {a.figure for a in PAPER_ANCHORS}
+    assert {"Fig.4", "Fig.5", "Fig.6", "Fig.7", "Fig.8", "SecV"} <= figures
+
+
+def test_run_configs_resolve():
+    for anchor in PAPER_ANCHORS:
+        heur, chunk = anchor_run_config(anchor)
+        assert chunk >= 1
+        if "replication" in anchor.description:
+            assert heur.allgather_kmers or heur.allgather_tiles

@@ -1,0 +1,89 @@
+"""Tests for the per-rank distribution synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import ECOLI
+from repro.errors import ModelError
+from repro.parallel.heuristics import HeuristicConfig
+from repro.perfmodel.calibrate import workload_for_profile
+from repro.perfmodel.distribution import (
+    errors_corrected_distribution,
+    rank_time_distribution,
+)
+from repro.perfmodel.machine import BGQMachine
+from repro.perfmodel.predict import PerformancePredictor
+
+
+@pytest.fixture(scope="module")
+def pred():
+    return PerformancePredictor(
+        BGQMachine(), workload_for_profile(ECOLI), HeuristicConfig()
+    )
+
+
+class TestRankTimes:
+    def test_balanced_nearly_uniform(self, pred):
+        times = rank_time_distribution(pred, 128, load_balanced=True)
+        assert times.shape == (128,)
+        spread = times.max() / times.min()
+        assert spread < 1.1  # the paper's ~4% comm spread regime
+
+    def test_balanced_mean_matches_predictor(self, pred):
+        times = rank_time_distribution(pred, 128, load_balanced=True)
+        mean = pred.predict(128, load_balanced=True).correction_total
+        assert times.mean() == pytest.approx(mean, rel=0.02)
+
+    def test_imbalanced_matches_fig4_shape(self, pred):
+        """Fastest ~4948 s, slowest >16000 s at 128 ranks (paper)."""
+        times = rank_time_distribution(pred, 128, load_balanced=False)
+        assert times.shape == (128,)
+        # Slowest over fastest: the paper's >3x.
+        assert times.max() / times.min() > 2.5
+        mean = pred.predict(128, load_balanced=True).correction_total
+        assert times.max() > 1.5 * mean
+
+    def test_imbalanced_mean_preserved(self, pred):
+        times = rank_time_distribution(pred, 256, load_balanced=False, seed=3)
+        mean = pred.predict(256, load_balanced=False).correction_total
+        assert times.mean() == pytest.approx(mean, rel=0.08)
+
+    def test_deterministic_per_seed(self, pred):
+        a = rank_time_distribution(pred, 64, False, seed=7)
+        b = rank_time_distribution(pred, 64, False, seed=7)
+        assert np.array_equal(a, b)
+        c = rank_time_distribution(pred, 64, False, seed=8)
+        assert not np.array_equal(a, c)
+
+    def test_single_rank(self, pred):
+        times = rank_time_distribution(pred, 1, load_balanced=False)
+        assert times.shape == (1,)
+
+    def test_bad_nranks(self, pred):
+        with pytest.raises(ModelError):
+            rank_time_distribution(pred, 0, True)
+
+
+class TestErrorsDistribution:
+    def test_total_preserved_exactly(self):
+        w = workload_for_profile(ECOLI)
+        out = errors_corrected_distribution(5_000_000, 128, False, w)
+        assert int(out.sum()) == 5_000_000
+
+    def test_balanced_spread_in_paper_band(self):
+        """Paper: 39127-39997 errors per rank (2% spread)."""
+        w = workload_for_profile(ECOLI)
+        out = errors_corrected_distribution(39_600 * 128, 128, True, w)
+        spread = (out.max() - out.min()) / out.min()
+        assert spread < 0.08
+
+    def test_imbalanced_spread_in_paper_band(self):
+        """Paper: 33886-47927 (~40% above the min)."""
+        w = workload_for_profile(ECOLI)
+        out = errors_corrected_distribution(39_600 * 128, 128, False, w)
+        assert out.max() / out.min() > 1.3
+
+    def test_nonnegative(self):
+        w = workload_for_profile(ECOLI)
+        out = errors_corrected_distribution(100, 64, False, w)
+        assert (out >= 0).all()

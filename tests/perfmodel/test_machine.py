@@ -1,0 +1,68 @@
+"""Tests for the BG/Q machine model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perfmodel.machine import BGQMachine
+
+
+@pytest.fixture
+def m():
+    return BGQMachine()
+
+
+class TestGeometry:
+    def test_threads_per_core(self, m):
+        assert m.threads_per_core(8) == 1.0   # 8 ranks x 2 threads / 16
+        assert m.threads_per_core(32) == 4.0  # fully loaded SMT
+
+    def test_nodes_for(self, m):
+        assert m.nodes_for(1024, 32) == 32
+        assert m.nodes_for(100, 32) == 4  # ceil
+
+    def test_memory_budget(self, m):
+        # The paper's 512 MB per process at 32 ranks/node.
+        assert m.memory_per_rank_budget(32) == 512 * 1024 ** 2
+
+    def test_bad_args(self, m):
+        with pytest.raises(ModelError):
+            m.threads_per_core(0)
+        with pytest.raises(ModelError):
+            m.nodes_for(10, 0)
+
+
+class TestMultipliers:
+    def test_no_penalty_at_one_thread_per_core(self, m):
+        assert m.comm_multiplier(8) == 1.0
+        assert m.compute_multiplier(8) == 1.0
+
+    def test_penalty_grows_with_oversubscription(self, m):
+        assert m.comm_multiplier(16) > 1.0
+        assert m.comm_multiplier(32) > m.comm_multiplier(16)
+
+    def test_comm_hit_harder_than_compute(self, m):
+        """Fig. 2: most of the slowdown comes from communication."""
+        assert (m.comm_multiplier(32) - 1) > (m.compute_multiplier(32) - 1)
+
+    def test_fig2_ratio(self, m):
+        """32 ranks/node is ~30% slower than 8 on communication."""
+        ratio = m.comm_multiplier(32) / m.comm_multiplier(8)
+        assert 1.2 < ratio < 1.5
+
+
+class TestLookupCosts:
+    def test_onnode_fraction(self, m):
+        assert m.onnode_fraction(128, 32) == pytest.approx(31 / 127)
+        assert m.onnode_fraction(1, 32) == 1.0
+
+    def test_onnode_cheaper(self, m):
+        dense = m.effective_lookup_rtt(32, 32)     # everyone on one node
+        sparse = m.effective_lookup_rtt(32_768, 32)
+        assert dense < sparse
+
+    def test_rtt_positive_and_microseconds_scale(self, m):
+        rtt = m.effective_lookup_rtt(1024, 32)
+        assert 1e-6 < rtt < 1e-3
+
+    def test_serve_cost_scales_with_smt(self, m):
+        assert m.effective_serve_cost(32) > m.effective_serve_cost(8)

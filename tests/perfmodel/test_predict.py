@@ -1,0 +1,158 @@
+"""Tests for the performance predictor's structural behaviour."""
+
+import pytest
+
+from repro.datasets.profiles import ECOLI
+from repro.errors import ModelError
+from repro.parallel.heuristics import HeuristicConfig
+from repro.perfmodel.calibrate import workload_for_profile
+from repro.perfmodel.machine import BGQMachine
+from repro.perfmodel.predict import PerformancePredictor
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return BGQMachine()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return workload_for_profile(ECOLI)
+
+
+def predictor(machine, workload, h=None, rpn=32, chunk=2000):
+    return PerformancePredictor(
+        machine, workload, h or HeuristicConfig(),
+        ranks_per_node=rpn, chunk_size=chunk,
+    )
+
+
+class TestStructuralProperties:
+    def test_more_ranks_less_time(self, machine, workload):
+        p = predictor(machine, workload)
+        assert p.predict(2048).total < p.predict(1024).total
+
+    def test_breakdown_sums(self, machine, workload):
+        pb = predictor(machine, workload).predict(1024)
+        assert pb.correction_total == pytest.approx(
+            pb.correction_compute + pb.comm_kmers + pb.comm_tiles + pb.serve_time
+        )
+        assert pb.total == pytest.approx(
+            pb.construction_total
+            + pb.correction_total * pb.imbalance_factor
+            + pb.fixed
+        )
+
+    def test_tiles_dominate_comm(self, machine, workload):
+        """Fig. 2/4: "majority of the communication time is spent in
+        communication of tiles"."""
+        pb = predictor(machine, workload).predict(1024)
+        assert pb.comm_tiles > pb.comm_kmers
+
+    def test_construction_much_smaller_than_correction(self, machine, workload):
+        """Fig. 2: construction is a negligible fraction for E.Coli."""
+        pb = predictor(machine, workload).predict(1024)
+        assert pb.construction_total < 0.1 * pb.correction_total
+
+    def test_imbalance_multiplier(self, machine, workload):
+        p = predictor(machine, workload)
+        balanced = p.predict(1024, load_balanced=True)
+        imbalanced = p.predict(1024, load_balanced=False)
+        assert imbalanced.total > 1.5 * balanced.total
+        assert imbalanced.imbalance_factor == workload.imbalance_ratio
+
+    def test_bad_args(self, machine, workload):
+        with pytest.raises(ModelError):
+            predictor(machine, workload).predict(0)
+        with pytest.raises(ModelError):
+            PerformancePredictor(machine, workload, ranks_per_node=0)
+        with pytest.raises(ModelError):
+            PerformancePredictor(machine, workload, chunk_size=0)
+
+
+class TestHeuristicEffects:
+    def test_universal_faster_same_memory(self, machine, workload):
+        base = predictor(machine, workload).predict(1024)
+        uni = predictor(
+            machine, workload, HeuristicConfig(universal=True)
+        ).predict(1024)
+        assert uni.correction_total < base.correction_total
+        assert uni.memory_peak == base.memory_peak
+        # The paper's 8.8% whole-phase gain, within a couple of points.
+        gain = 1 - uni.correction_total / base.correction_total
+        assert 0.05 < gain < 0.12
+
+    def test_tile_replication_removes_tile_comm(self, machine, workload):
+        pb = predictor(
+            machine, workload, HeuristicConfig(allgather_tiles=True), rpn=8
+        ).predict(256)
+        assert pb.comm_tiles == 0.0
+        assert pb.comm_kmers > 0.0
+
+    def test_full_replication_no_comm_high_memory(self, machine, workload):
+        base = predictor(machine, workload).predict(1024)
+        full = predictor(
+            machine, workload,
+            HeuristicConfig(allgather_kmers=True, allgather_tiles=True),
+            rpn=1,
+        ).predict(32)
+        assert full.comm_total == 0.0
+        assert full.serve_time == 0.0
+        assert full.memory_peak > base.memory_peak
+
+    def test_batch_reads_lowers_memory_adds_time(self, machine, workload):
+        base = predictor(machine, workload).predict(1024)
+        batch = predictor(
+            machine, workload, HeuristicConfig(batch_reads=True)
+        ).predict(1024)
+        assert batch.memory_construction_peak < base.memory_construction_peak
+        assert batch.construction_total > base.construction_total
+
+    def test_read_tables_cut_remote_lookups(self, machine, workload):
+        base = predictor(machine, workload).predict(1024)
+        rt = predictor(
+            machine, workload,
+            HeuristicConfig(read_kmers=True, read_tiles=True),
+        ).predict(1024)
+        assert rt.comm_kmers < base.comm_kmers
+        assert rt.comm_tiles < base.comm_tiles
+        # But tiles dominate and their hit rate is low: the overall gain
+        # is modest (the paper saw none).
+        assert rt.correction_total > 0.75 * base.correction_total
+
+    def test_add_remote_grows_memory_not_speed(self, machine, workload):
+        rt = predictor(
+            machine, workload,
+            HeuristicConfig(read_kmers=True, read_tiles=True),
+        ).predict(1024)
+        ar = predictor(
+            machine, workload,
+            HeuristicConfig(read_kmers=True, read_tiles=True,
+                            add_remote_lookups=True),
+        ).predict(1024)
+        assert ar.memory_after_correction > rt.memory_after_correction
+        assert ar.correction_total == pytest.approx(rt.correction_total)
+
+    def test_partial_replication_interpolates(self, machine, workload):
+        base = predictor(machine, workload).predict(1024)
+        partial = predictor(
+            machine, workload, HeuristicConfig(replication_group=32)
+        ).predict(1024)
+        full = predictor(
+            machine, workload,
+            HeuristicConfig(allgather_kmers=True, allgather_tiles=True),
+        ).predict(1024)
+        assert full.comm_total < partial.comm_total < base.comm_total
+        assert base.memory_after_correction < partial.memory_after_correction
+
+
+class TestMemoryModel:
+    def test_memory_shrinks_with_ranks(self, machine, workload):
+        p = predictor(machine, workload)
+        assert p.predict(8192).memory_peak < p.predict(1024).memory_peak
+
+    def test_within_512mb_budget(self, machine, workload):
+        """The paper's headline: every run fits in 512 MB per process."""
+        p = predictor(machine, workload, HeuristicConfig(batch_reads=True))
+        for nranks in (1024, 2048, 4096, 8192):
+            assert p.predict(nranks).memory_peak < 512 * 1024 ** 2

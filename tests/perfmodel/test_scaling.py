@@ -1,0 +1,89 @@
+"""Tests for scaling studies (Figs. 6-8 machinery)."""
+
+import pytest
+
+from repro.datasets.profiles import DROSOPHILA, ECOLI
+from repro.errors import ModelError
+from repro.parallel.heuristics import HeuristicConfig
+from repro.perfmodel.calibrate import workload_for_profile
+from repro.perfmodel.machine import BGQMachine
+from repro.perfmodel.predict import PerformancePredictor
+from repro.perfmodel.scaling import DNF_SECONDS, ScalingStudy
+
+
+@pytest.fixture(scope="module")
+def ecoli_study():
+    pred = PerformancePredictor(
+        BGQMachine(), workload_for_profile(ECOLI), HeuristicConfig()
+    )
+    return ScalingStudy(pred)
+
+
+class TestSweep:
+    def test_monotone_decreasing_total(self, ecoli_study):
+        points = ecoli_study.sweep([1024, 2048, 4096, 8192])
+        totals = [p.total_balanced for p in points]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_sorted_by_rank_count(self, ecoli_study):
+        points = ecoli_study.sweep([4096, 1024])
+        assert [p.nranks for p in points] == [1024, 4096]
+
+    def test_empty_rejected(self, ecoli_study):
+        with pytest.raises(ModelError):
+            ecoli_study.sweep([])
+
+    def test_nodes_computed(self, ecoli_study):
+        (pt,) = ecoli_study.sweep([1024])
+        assert pt.nodes == 32
+
+
+class TestEfficiency:
+    def test_first_point_is_one(self, ecoli_study):
+        points = ecoli_study.sweep([1024, 8192])
+        effs = ecoli_study.efficiency(points)
+        assert effs[0] == pytest.approx(1.0)
+        assert 0.5 < effs[1] < 1.0
+
+    def test_paper_band_ecoli(self, ecoli_study):
+        """Fig. 6: efficiency ~0.81 at 8192 ranks."""
+        points = ecoli_study.sweep([1024, 8192])
+        eff = ecoli_study.efficiency(points)[-1]
+        assert 0.68 < eff < 0.92
+
+    def test_empty_points(self, ecoli_study):
+        assert ecoli_study.efficiency([]) == []
+
+
+class TestImbalancedSeries:
+    def test_balancing_speedup_matches_ratio(self, ecoli_study):
+        points = ecoli_study.sweep([1024])
+        (ratio,) = ecoli_study.speedup_from_balancing(points)
+        # Bounded by the workload's imbalance ratio (construction and
+        # fixed terms dilute it).
+        assert 1.3 < ratio <= workload_for_profile(ECOLI).imbalance_ratio
+
+    def test_drosophila_dnf_at_low_ranks(self):
+        """Fig. 7: imbalanced Drosophila runs at 1024/2048 ranks did not
+        finish in a reasonable time; balanced ones did."""
+        pred = PerformancePredictor(
+            BGQMachine(), workload_for_profile(DROSOPHILA),
+            HeuristicConfig(batch_reads=True),
+        )
+        study = ScalingStudy(pred)
+        points = study.sweep([1024, 2048, 8192])
+        assert points[0].imbalanced_dnf
+        assert points[1].imbalanced_dnf
+        assert not points[2].imbalanced_dnf
+        assert all(p.total_balanced < DNF_SECONDS for p in points)
+
+    def test_drosophila_balancing_factor_at_8192(self):
+        """Fig. 7: load balancing improves by more than a factor of ~7."""
+        pred = PerformancePredictor(
+            BGQMachine(), workload_for_profile(DROSOPHILA),
+            HeuristicConfig(batch_reads=True),
+        )
+        study = ScalingStudy(pred)
+        points = study.sweep([8192])
+        (ratio,) = study.speedup_from_balancing(points)
+        assert ratio > 3.0

@@ -1,0 +1,56 @@
+"""Tests for the model sensitivity analysis."""
+
+import pytest
+
+from repro.perfmodel.sensitivity import (
+    TUNABLE_FIELDS,
+    SensitivityRow,
+    sensitivity_analysis,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sensitivity_analysis()
+
+
+class TestStructure:
+    def test_every_field_both_directions(self, rows):
+        seen = {(r.field, r.factor) for r in rows}
+        for field in TUNABLE_FIELDS:
+            assert (field, 0.8) in seen
+            assert (field, 1.2) in seen
+
+    def test_rows_well_formed(self, rows):
+        for r in rows:
+            assert isinstance(r, SensitivityRow)
+            assert r.anchors_broken >= 0
+            assert r.worst_ratio > 0
+            assert r.robust == (r.anchors_broken == 0)
+
+
+class TestLoadBearingConstants:
+    def test_lookup_rtt_is_constrained(self, rows):
+        """The headline fit: shrinking the lookup round trip 20% breaks
+        the Fig. 4 communication anchor — the constant is genuinely pinned
+        by the paper's measurement, not a free parameter."""
+        by = {(r.field, r.factor): r for r in rows}
+        assert not by[("lookup_rtt", 0.8)].robust
+
+    def test_memory_constant_is_constrained(self, rows):
+        by = {(r.field, r.factor): r for r in rows}
+        assert not by[("bytes_per_entry", 1.2)].robust
+
+    def test_most_perturbations_survive(self, rows):
+        """The model is not knife-edge: the bulk of ±20% perturbations
+        keep every anchor passing."""
+        robust = sum(r.robust for r in rows)
+        assert robust >= len(rows) * 0.6
+
+    def test_identity_factor_breaks_nothing(self):
+        (row,) = [
+            r for r in sensitivity_analysis(factors=(1.0,))
+            if r.field == "lookup_rtt"
+        ]
+        assert row.robust
+        assert row.worst_ratio <= 1.0

@@ -1,0 +1,87 @@
+"""Tests for the what-if sizing helpers."""
+
+import pytest
+
+from repro.datasets.profiles import ECOLI, HUMAN
+from repro.errors import ModelError
+from repro.parallel.heuristics import HeuristicConfig
+from repro.perfmodel.calibrate import workload_for_profile
+from repro.perfmodel.machine import BGQMachine
+from repro.perfmodel.predict import PerformancePredictor
+from repro.perfmodel.whatif import cheapest_config, minimum_ranks
+
+MB = 1024 ** 2
+
+
+@pytest.fixture(scope="module")
+def ecoli_pred():
+    return PerformancePredictor(
+        BGQMachine(), workload_for_profile(ECOLI), HeuristicConfig()
+    )
+
+
+@pytest.fixture(scope="module")
+def human_pred():
+    return PerformancePredictor(
+        BGQMachine(), workload_for_profile(HUMAN),
+        HeuristicConfig(batch_reads=True), chunk_size=10_000,
+    )
+
+
+class TestMinimumRanks:
+    def test_boundary_is_tight(self, ecoli_pred):
+        n = minimum_ranks(ecoli_pred, budget_bytes=256 * MB)
+        assert ecoli_pred.predict(n).memory_peak <= 256 * MB
+        if n > 1:
+            assert ecoli_pred.predict(n - 1).memory_peak > 256 * MB
+
+    def test_default_budget_is_paper_512mb(self, ecoli_pred):
+        n = minimum_ranks(ecoli_pred)
+        assert ecoli_pred.predict(n).memory_peak <= 512 * MB
+
+    def test_human_needs_many_more_ranks_than_ecoli(self, ecoli_pred,
+                                                    human_pred):
+        """The paper's point: dataset size dictates the node floor."""
+        budget = 512 * MB
+        ne = minimum_ranks(ecoli_pred, budget)
+        nh = minimum_ranks(human_pred, budget)
+        assert nh > 10 * ne
+
+    def test_generous_budget_one_rank(self, ecoli_pred):
+        n = minimum_ranks(ecoli_pred, budget_bytes=10_000_000 * MB)
+        assert n == 1
+
+    def test_impossible_budget_raises(self, ecoli_pred):
+        with pytest.raises(ModelError):
+            minimum_ranks(ecoli_pred, budget_bytes=21 * MB, max_ranks=4096)
+
+    def test_nonpositive_budget_rejected(self, ecoli_pred):
+        with pytest.raises(ModelError):
+            minimum_ranks(ecoli_pred, budget_bytes=0)
+
+
+class TestCheapestConfig:
+    def test_points_sorted_and_consistent(self, ecoli_pred):
+        points = cheapest_config(ecoli_pred, [8192, 1024, 2048])
+        assert [p.nranks for p in points] == [1024, 2048, 8192]
+        for p in points:
+            pb = ecoli_pred.predict(p.nranks)
+            assert p.memory_per_rank == pb.memory_peak
+            assert p.total_seconds == pb.total
+            assert p.fits == (pb.memory_peak <= 512 * MB)
+
+    def test_node_hours(self, ecoli_pred):
+        (p,) = cheapest_config(ecoli_pred, [1024])
+        assert p.node_hours == pytest.approx(
+            p.nodes * p.total_seconds / 3600.0
+        )
+
+    def test_empty_rejected(self, ecoli_pred):
+        with pytest.raises(ModelError):
+            cheapest_config(ecoli_pred, [])
+
+    def test_tight_budget_marks_unfit(self, ecoli_pred):
+        points = cheapest_config(ecoli_pred, [64, 8192],
+                                 budget_bytes=64 * MB)
+        assert not points[0].fits   # 64 ranks: huge per-rank tables
+        assert points[1].fits       # 8192 ranks: small share

@@ -1,0 +1,88 @@
+"""Tests for the dataset workload model."""
+
+import pytest
+
+from repro.datasets.profiles import DROSOPHILA, ECOLI
+from repro.errors import ModelError
+from repro.perfmodel.workload import DatasetWorkload
+
+
+class TestAnalytic:
+    def test_basic_construction(self):
+        w = DatasetWorkload.analytic(ECOLI)
+        assert w.name == "E.Coli"
+        assert w.n_reads == ECOLI.n_reads
+        assert w.tile_lookups_per_read > 0
+        assert w.kmer_entries_pre > ECOLI.genome_size
+
+    def test_override_keeps_candidates_consistent(self):
+        w = DatasetWorkload.analytic(ECOLI, tile_lookups_per_read=924.0)
+        assert w.tile_lookups_per_read == 924.0
+        # Candidates account for the lookups beyond the base tiling.
+        assert w.candidates_per_read > 800
+
+    def test_error_rate_shrinks_spectra(self):
+        clean = DatasetWorkload.analytic(ECOLI, error_rate=0.002)
+        noisy = DatasetWorkload.analytic(ECOLI, error_rate=0.02)
+        assert noisy.kmer_entries_pre > clean.kmer_entries_pre
+
+    def test_totals(self):
+        w = DatasetWorkload.analytic(ECOLI, tile_lookups_per_read=100.0)
+        assert w.total_tile_lookups == pytest.approx(100.0 * ECOLI.n_reads)
+        assert w.total_bases == pytest.approx(ECOLI.n_reads * 102)
+
+
+class TestScaledTo:
+    def test_rescaling_preserves_rates(self):
+        w = DatasetWorkload.analytic(ECOLI)
+        scaled = w.scaled_to(DROSOPHILA)
+        assert scaled.name == "Drosophila"
+        assert scaled.n_reads == DROSOPHILA.n_reads
+        assert scaled.tile_lookups_per_read == w.tile_lookups_per_read
+        ratio = DROSOPHILA.n_reads / ECOLI.n_reads
+        assert scaled.kmer_entries_pre == pytest.approx(
+            w.kmer_entries_pre * ratio
+        )
+
+
+class TestFromTrace:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        from repro.bench.harness import small_scale
+        from repro.parallel import HeuristicConfig, ParallelReptile
+
+        scale = small_scale(genome_size=6_000)
+        result = ParallelReptile(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run(scale.dataset.block)
+        return result, scale
+
+    def test_rates_derived(self, traced):
+        result, scale = traced
+        w = DatasetWorkload.from_trace(result, name="measured")
+        assert w.n_reads == len(scale.dataset.block)
+        assert w.tile_lookups_per_read > 0
+        assert w.kmer_lookups_per_read > 0
+        assert w.kmer_entries_post == result.table_sizes_per_rank("kmers").sum()
+
+    def test_imbalance_at_least_one(self, traced):
+        result, _ = traced
+        w = DatasetWorkload.from_trace(result)
+        assert w.imbalance_ratio >= 1.0
+
+    def test_scaling_a_trace_to_paper_size(self, traced):
+        result, _ = traced
+        w = DatasetWorkload.from_trace(result).scaled_to(ECOLI)
+        assert w.n_reads == ECOLI.n_reads
+
+    def test_empty_run_rejected(self):
+        from repro.config import ReptileConfig
+        from repro.io.records import ReadBlock
+        from repro.parallel import HeuristicConfig, ParallelReptile
+
+        cfg = ReptileConfig()
+        result = ParallelReptile(cfg, HeuristicConfig(), nranks=2).run(
+            ReadBlock.empty(0)
+        )
+        with pytest.raises(ModelError):
+            DatasetWorkload.from_trace(result)

@@ -1,0 +1,103 @@
+"""White-box tests of engine internals: mailbox ordering, scheduling."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+from repro.simmpi.engine import CooperativeEngine, _World
+from repro.simmpi.message import Message
+
+
+class TestMailboxMatching:
+    def test_fifo_per_source_tag(self):
+        world = _World(2)
+        for i in range(3):
+            world.mailboxes[0].append(Message(source=1, tag=5, payload=i))
+        got = [world.find_message(0, 1, 5, remove=True).payload
+               for _ in range(3)]
+        assert got == [0, 1, 2]
+
+    def test_tag_selectivity_skips_nonmatching(self):
+        world = _World(2)
+        world.mailboxes[0].append(Message(source=1, tag=1, payload="a"))
+        world.mailboxes[0].append(Message(source=1, tag=2, payload="b"))
+        msg = world.find_message(0, 1, 2, remove=True)
+        assert msg.payload == "b"
+        # The tag-1 message is still queued.
+        assert world.find_message(0, 1, 1, remove=False).payload == "a"
+
+    def test_source_selectivity(self):
+        world = _World(3)
+        world.mailboxes[0].append(Message(source=1, tag=1, payload="x"))
+        world.mailboxes[0].append(Message(source=2, tag=1, payload="y"))
+        assert world.find_message(0, 2, 1, remove=True).payload == "y"
+
+    def test_wildcards(self):
+        world = _World(2)
+        world.mailboxes[0].append(Message(source=1, tag=9, payload="z"))
+        assert world.find_message(0, -1, -1, remove=False).payload == "z"
+
+    def test_peek_does_not_remove(self):
+        world = _World(2)
+        world.mailboxes[0].append(Message(source=1, tag=1, payload=0))
+        world.find_message(0, 1, 1, remove=False)
+        assert len(world.mailboxes[0]) == 1
+
+
+class TestCooperativeScheduling:
+    def test_probe_yield_round_robin(self):
+        """A rank spinning on iprobe must not starve the sender."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                tries = 0
+                while comm.iprobe(tag=3) is None:
+                    tries += 1
+                    assert tries < 10_000
+                comm.recv(tag=3)
+                return tries
+            # Rank 1 does some silent compute turns, then sends.
+            comm.send(0, None, tag=3)
+            return 0
+
+        res = run_spmd(prog, 2, engine="cooperative")
+        assert res.results[0] >= 0  # completed without starving
+
+    def test_deadlock_error_names_blocked_ranks(self):
+        def prog(comm):
+            if comm.rank < 2:
+                comm.recv(tag=99)
+            return "done"
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(prog, 3, engine="cooperative")
+        assert "0" in str(exc.value) and "1" in str(exc.value)
+
+    def test_exception_in_one_rank_cancels_waiters(self):
+        """A crash must not leave other ranks hanging in recv."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("worker crash")
+            comm.recv(tag=1)  # would block forever
+
+        with pytest.raises(RuntimeError, match="worker crash"):
+            run_spmd(prog, 3, engine="cooperative")
+
+    def test_exception_during_collective(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("mid-collective crash")
+            comm.allreduce(1)
+
+        with pytest.raises(ValueError, match="mid-collective"):
+            run_spmd(prog, 4, engine="cooperative")
+
+    def test_threaded_exception_during_collective(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            run_spmd(prog, 3, engine="threaded")

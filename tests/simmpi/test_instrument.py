@@ -1,0 +1,52 @@
+"""Tests for communication accounting."""
+
+import numpy as np
+
+from repro.simmpi.instrument import CommStats, _payload_nbytes
+
+
+class TestPayloadSizing:
+    def test_ndarray(self):
+        assert _payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes(self):
+        assert _payload_nbytes(b"abcd") == 4
+
+    def test_nested_tuple(self):
+        payload = (np.zeros(2, np.uint64), np.zeros(3, np.uint8))
+        assert _payload_nbytes(payload) == 16 + 3
+
+    def test_scalar_counts_word(self):
+        assert _payload_nbytes(None) == 8
+        assert _payload_nbytes(42) == 8
+
+
+class TestCommStats:
+    def test_record_send(self):
+        s = CommStats()
+        s.record_send(5, np.zeros(4, np.uint64))
+        s.record_send(5, np.zeros(1, np.uint64))
+        s.record_send(7, None)
+        assert s.messages_sent == 3
+        assert s.bytes_sent == 32 + 8 + 8
+        assert s.messages_by_tag == {5: 2, 7: 1}
+        assert s.bytes_by_tag[5] == 40
+
+    def test_counters(self):
+        s = CommStats()
+        s.bump("remote_tile_lookups", 100)
+        s.bump("remote_tile_lookups")
+        assert s.get("remote_tile_lookups") == 101
+        assert s.get("never") == 0
+
+    def test_merge(self):
+        a, b = CommStats(), CommStats()
+        a.record_send(1, b"xy")
+        b.record_send(1, b"z")
+        b.record_send(2, b"w")
+        b.bump("served", 5)
+        a.merge(b)
+        assert a.messages_sent == 3
+        assert a.bytes_sent == 4
+        assert a.messages_by_tag == {1: 2, 2: 1}
+        assert a.get("served") == 5

@@ -1,0 +1,108 @@
+"""Randomized stress tests for the message-passing runtime.
+
+Random-but-seeded traffic patterns over both engines: every message sent
+must be received exactly once with intact payload, under arbitrary
+orderings, wildcard receives and interleaved collectives.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+
+ENGINES = ["cooperative", "threaded"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestRandomTraffic:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_to_all_random_messages(self, engine, seed):
+        """Every rank sends a random number of payloads to random peers;
+        totals are announced via allreduce and then everything is drained
+        with wildcard receives."""
+        nranks = 5
+
+        def prog(comm):
+            rng = np.random.default_rng(seed * 100 + comm.rank)
+            n_out = int(rng.integers(0, 20))
+            sent_to = np.zeros(nranks, dtype=np.int64)
+            checksum_out = 0
+            for _ in range(n_out):
+                dest = int(rng.integers(0, nranks))
+                value = int(rng.integers(0, 1 << 30))
+                comm.send(dest, np.array([comm.rank, value]), tag=1)
+                sent_to[dest] += 1
+                checksum_out += value
+            # Everyone learns how many messages they should receive.
+            totals = comm.allreduce(sent_to)
+            expected = int(totals[comm.rank])
+            checksum_in = 0
+            for _ in range(expected):
+                msg = comm.recv(ANY_SOURCE, tag=1)
+                checksum_in += int(msg.payload[1])
+            comm.barrier()
+            return checksum_out, checksum_in
+
+        res = run_spmd(prog, nranks, engine=engine)
+        assert sum(o for o, _ in res.results) == sum(i for _, i in res.results)
+
+    def test_interleaved_collectives_and_p2p(self, engine):
+        def prog(comm):
+            acc = 0
+            for round_no in range(5):
+                comm.send((comm.rank + 1) % comm.size,
+                          round_no * 10 + comm.rank, tag=3)
+                total = comm.allreduce(comm.rank)
+                assert total == sum(range(comm.size))
+                msg = comm.recv(tag=3)
+                acc += msg.payload
+                comm.barrier()
+            return acc
+
+        res = run_spmd(prog, 4, engine=engine)
+        prev = [(r - 1) % 4 for r in range(4)]
+        expected = [sum(rn * 10 + p for rn in range(5)) for p in prev]
+        assert res.results == expected
+
+    def test_many_ranks(self, engine):
+        """A larger world exercising the mailbox scaling."""
+
+        def prog(comm):
+            return comm.allreduce(1)
+
+        res = run_spmd(prog, 32, engine=engine)
+        assert res.results == [32] * 32
+
+
+class TestHypothesisSchedules:
+    @given(
+        plan=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 99)),
+            min_size=0, max_size=25,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_send_plan_fully_delivered(self, plan):
+        """An arbitrary (sender, dest, value) plan: receivers drain their
+        exact inbound count; all payloads accounted for."""
+        nranks = 4
+        inbound = [0] * nranks
+        for _, dest, _ in plan:
+            inbound[dest] += 1
+
+        def prog(comm):
+            got = []
+            for sender, dest, value in plan:
+                if sender == comm.rank:
+                    comm.send(dest, value, tag=9)
+            for _ in range(inbound[comm.rank]):
+                got.append(comm.recv(ANY_SOURCE, tag=9).payload)
+            comm.barrier()
+            return sorted(got)
+
+        res = run_spmd(prog, nranks, engine="cooperative")
+        for rank in range(nranks):
+            expected = sorted(v for _, d, v in plan if d == rank)
+            assert res.results[rank] == expected

@@ -1,0 +1,83 @@
+"""API hygiene: docstrings, __all__ consistency, import cleanliness."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.bench",
+    "repro.core",
+    "repro.datasets",
+    "repro.hashing",
+    "repro.io",
+    "repro.kmer",
+    "repro.parallel",
+    "repro.perfmodel",
+    "repro.simmpi",
+    "repro.util",
+]
+
+
+def _all_modules():
+    names = set(PACKAGES)
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                names.add(f"{pkg_name}.{info.name}")
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_has_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve_and_are_documented(package_name):
+    pkg = importlib.import_module(package_name)
+    exported = getattr(pkg, "__all__", [])
+    for name in exported:
+        assert hasattr(pkg, name), f"{package_name}.__all__ lists missing {name}"
+        obj = getattr(pkg, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_have_documented_public_methods(package_name):
+    pkg = importlib.import_module(package_name)
+    for name in getattr(pkg, "__all__", []):
+        obj = getattr(pkg, name)
+        if not inspect.isclass(obj):
+            continue
+        for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+            if meth_name.startswith("_"):
+                continue
+            if meth.__module__ and not meth.__module__.startswith("repro"):
+                continue  # inherited from stdlib/numpy bases
+            assert meth.__doc__, (
+                f"{package_name}.{name}.{meth_name} lacks a docstring"
+            )
+
+
+def test_no_module_imports_pytest():
+    """Library code must not depend on test-only packages."""
+    import sys
+    import subprocess
+
+    code = (
+        "import sys\n"
+        "banned = {'pytest', 'hypothesis'}\n"
+        "import repro, repro.bench.figures, repro.cli, repro.parallel\n"
+        "loaded = banned & set(sys.modules)\n"
+        "sys.exit(1 if loaded else 0)\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", code], capture_output=True)
+    assert proc.returncode == 0, proc.stderr.decode()

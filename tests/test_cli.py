@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.fasta import read_fasta
+
+
+@pytest.fixture(scope="module")
+def simulated(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    fasta = tmp / "reads.fa"
+    qual = tmp / "reads.qual"
+    truth = tmp / "truth.fa"
+    rc = main([
+        "simulate", "--profile", "E.Coli", "--genome-size", "6000",
+        "--seed", "2", "--fasta", str(fasta), "--quality", str(qual),
+        "--truth", str(truth),
+    ])
+    assert rc == 0
+    return tmp, fasta, qual, truth
+
+
+class TestSimulate:
+    def test_outputs_exist_and_align(self, simulated):
+        _, fasta, qual, truth = simulated
+        reads = list(read_fasta(fasta))
+        truths = list(read_fasta(truth))
+        assert len(reads) == len(truths) > 1000
+        assert [r[0] for r in reads] == [t[0] for t in truths]
+        assert all(len(r[1]) == 102 for r in reads[:20])
+
+    def test_localized_flag(self, tmp_path):
+        rc = main([
+            "simulate", "--genome-size", "5000", "--localized-errors",
+            "--fasta", str(tmp_path / "a.fa"),
+            "--quality", str(tmp_path / "a.qual"),
+        ])
+        assert rc == 0
+
+
+class TestCorrect:
+    def test_correct_fixes_reads(self, simulated, capsys):
+        tmp, fasta, qual, truth = simulated
+        out = tmp / "corrected.fa"
+        rc = main([
+            "correct", "--fasta", str(fasta), "--quality", str(qual),
+            "--output", str(out), "--nranks", "3",
+            "--kmer-threshold", "18", "--tile-threshold", "2",
+            "--universal", "--stats",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "substitutions" in captured
+        assert "remote_tiles" in captured  # --stats table
+        corrected = {rid: seq for rid, seq in read_fasta(out)}
+        truths = {rid: seq for rid, seq in read_fasta(truth)}
+        original = {rid: seq for rid, seq in read_fasta(fasta)}
+        # Most originally-erroneous reads now match the truth.
+        broken = [r for r in original if original[r] != truths[r]]
+        fixed = sum(1 for r in broken if corrected[r] == truths[r])
+        assert fixed > 0.6 * len(broken)
+
+    def test_config_file_path(self, simulated, tmp_path):
+        tmp, fasta, qual, _ = simulated
+        from repro.config import ReptileConfig
+
+        conf = tmp_path / "r.conf"
+        ReptileConfig(
+            fasta_file=str(fasta), quality_file=str(qual),
+            kmer_threshold=18, tile_threshold=2,
+        ).to_file(conf)
+        out = tmp_path / "c.fa"
+        rc = main([
+            "correct", "--config", str(conf), "--output", str(out),
+            "--nranks", "2",
+        ])
+        assert rc == 0
+        assert out.exists()
+
+    def test_missing_input_is_error(self, tmp_path, capsys):
+        rc = main(["correct", "--output", str(tmp_path / "x.fa")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_heuristic_flags_accepted(self, simulated, tmp_path):
+        tmp, fasta, qual, _ = simulated
+        out = tmp_path / "h.fa"
+        rc = main([
+            "correct", "--fasta", str(fasta), "--quality", str(qual),
+            "--output", str(out), "--nranks", "4",
+            "--kmer-threshold", "18", "--tile-threshold", "2",
+            "--batch-reads", "--read-tables", "--allgather", "tiles",
+            "--replication-group", "2",
+        ])
+        assert rc == 0
+
+
+class TestProject:
+    def test_projection_table(self, capsys):
+        rc = main([
+            "project", "--dataset", "E.Coli", "--ranks", "1024", "8192",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E.Coli" in out
+        assert "8192" in out
+
+    def test_imbalanced_column(self, capsys):
+        rc = main([
+            "project", "--dataset", "Drosophila", "--ranks", "1024",
+            "--batch-reads", "--imbalanced",
+        ])
+        assert rc == 0
+        assert "DNF" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["correct", "--output", "x", "--engine", "mpi"]
+            )
+
+
+class TestAutoThresholds:
+    def test_correct_without_thresholds_uses_histogram(self, simulated,
+                                                       tmp_path, capsys):
+        tmp, fasta, qual, truth = simulated
+        out = tmp_path / "auto.fa"
+        rc = main([
+            "correct", "--fasta", str(fasta), "--quality", str(qual),
+            "--output", str(out), "--nranks", "2",
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "auto thresholds" in printed
+        # Auto-thresholded run still fixes most errors.
+        corrected = {rid: seq for rid, seq in read_fasta(out)}
+        truths = {rid: seq for rid, seq in read_fasta(truth)}
+        original = {rid: seq for rid, seq in read_fasta(fasta)}
+        broken = [r for r in original if original[r] != truths[r]]
+        fixed = sum(1 for r in broken if corrected[r] == truths[r])
+        assert fixed > 0.5 * len(broken)
+
+
+class TestProjectJson:
+    def test_json_projection(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "proj.json"
+        rc = main([
+            "project", "--dataset", "E.Coli", "--ranks", "1024", "8192",
+            "--imbalanced", "--json", str(path),
+        ])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["dataset"] == "E.Coli"
+        assert [p["nranks"] for p in data["points"]] == [1024, 8192]
+        assert data["points"][0]["efficiency"] == pytest.approx(1.0)
+        assert data["points"][1]["total_s"] < data["points"][0]["total_s"]
+        assert isinstance(data["points"][0]["imbalanced_dnf"], bool)
+
+
+class TestBenchRunner:
+    def test_module_runner_subset(self, tmp_path, capsys):
+        from repro.bench.__main__ import main as bench_main
+
+        rc = bench_main(["table1", "--csv", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.csv").exists()
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.__main__ import main as bench_main
+
+        with pytest.raises(SystemExit):
+            bench_main(["fig99"])

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in (
+        "ConfigError", "CodecError", "SpectrumError", "HashTableError",
+        "FileFormatError", "CommunicatorError", "RankMismatchError",
+        "DeadlockError", "ModelError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_communicator_subhierarchy():
+    assert issubclass(errors.RankMismatchError, errors.CommunicatorError)
+    assert issubclass(errors.DeadlockError, errors.CommunicatorError)
+
+
+def test_codec_error_position():
+    e = errors.CodecError("bad base", position=7)
+    assert e.position == 7
+    assert errors.CodecError("x").position is None
+
+
+def test_file_format_error_context():
+    e = errors.FileFormatError("broken", path="reads.fa", line=12)
+    assert "reads.fa" in str(e)
+    assert "line 12" in str(e)
+    assert e.path == "reads.fa"
+    assert e.line == 12
+
+
+def test_file_format_error_without_context():
+    e = errors.FileFormatError("broken")
+    assert str(e) == "broken"
+
+
+def test_catchable_at_api_boundary():
+    with pytest.raises(errors.ReproError):
+        raise errors.DeadlockError("stuck")

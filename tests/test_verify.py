@@ -1,0 +1,25 @@
+"""Tests for the self-check runner."""
+
+import pytest
+
+from repro import verify
+
+
+def test_all_checks_pass(capsys):
+    assert verify.main([]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[PASS]") == len(verify.CHECKS)
+    assert "all 3 checks passed" in out
+
+
+def test_failure_reported(monkeypatch, capsys):
+    def broken():
+        raise AssertionError("injected failure")
+
+    monkeypatch.setattr(
+        verify, "CHECKS", [("broken check", broken)] + verify.CHECKS[2:]
+    )
+    assert verify.main([]) == 1
+    out = capsys.readouterr().out
+    assert "[FAIL] broken check" in out
+    assert "injected failure" in out

@@ -1,0 +1,30 @@
+"""Tests for the logger factory."""
+
+import logging
+
+from repro.util.logging import enable_console_logging, get_logger
+
+
+def test_namespacing():
+    assert get_logger("parallel.driver").name == "repro.parallel.driver"
+    assert get_logger("repro.core").name == "repro.core"
+    assert get_logger("repro").name == "repro"
+
+
+def test_root_has_null_handler():
+    root = logging.getLogger("repro")
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_enable_console_idempotent():
+    root = logging.getLogger("repro")
+    before = len(root.handlers)
+    enable_console_logging()
+    after_first = len(root.handlers)
+    enable_console_logging()
+    assert len(root.handlers) == after_first
+    # Clean up the stream handler we added.
+    for h in list(root.handlers):
+        if not isinstance(h, logging.NullHandler):
+            root.removeHandler(h)
+    assert len(root.handlers) == before

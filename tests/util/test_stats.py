@@ -1,0 +1,54 @@
+"""Tests for summary statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import Summary, parallel_efficiency, relative_spread, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.mean == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_numpy_input(self):
+        s = summarize(np.array([5, 5, 5]))
+        assert s.std == 0.0
+
+
+class TestSpread:
+    def test_constant_is_zero(self):
+        assert relative_spread([7, 7, 7]) == 0.0
+
+    def test_paper_metric(self):
+        # (max - min) / min, the Fig. 3 measure.
+        assert relative_spread([100, 101]) == pytest.approx(0.01)
+
+    def test_zero_min_all_zero(self):
+        assert relative_spread([0, 0]) == 0.0
+
+    def test_zero_min_nonzero_max(self):
+        assert relative_spread([0, 5]) == float("inf")
+
+
+class TestParallelEfficiency:
+    def test_perfect_scaling(self):
+        assert parallel_efficiency(100.0, 1, 12.5, 8) == pytest.approx(1.0)
+
+    def test_paper_ecoli_value(self):
+        # t(1024)=1178, t(8192)=181.8 -> efficiency ~0.81.
+        eff = parallel_efficiency(1178.0, 1024, 181.8, 8192)
+        assert eff == pytest.approx(0.81, abs=0.005)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(0, 1, 1, 2)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1, 1, 1, 0)

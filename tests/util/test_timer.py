@@ -1,0 +1,79 @@
+"""Tests for the phase timer."""
+
+from repro.util.timer import PhaseTimer, Timing
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        assert t.calls("a") == 2
+        assert t.seconds("a") >= 0.0
+
+    def test_unknown_phase_zero(self):
+        t = PhaseTimer()
+        assert t.seconds("nope") == 0.0
+        assert t.calls("nope") == 0
+
+    def test_add_direct(self):
+        t = PhaseTimer()
+        t.add("model", 3.5)
+        t.add("model", 1.5)
+        assert t.seconds("model") == 5.0
+        assert t.calls("model") == 2
+
+    def test_nested_phases_both_credited(self):
+        t = PhaseTimer()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                pass
+        assert t.calls("outer") == 1
+        assert t.calls("inner") == 1
+        assert t.seconds("outer") >= t.seconds("inner")
+
+    def test_exception_still_recorded(self):
+        t = PhaseTimer()
+        try:
+            with t.phase("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t.calls("x") == 1
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("p", 1.0)
+        b.add("p", 2.0)
+        b.add("q", 3.0)
+        a.merge(b)
+        assert a.seconds("p") == 3.0
+        assert a.seconds("q") == 3.0
+
+    def test_timings_records(self):
+        t = PhaseTimer()
+        t.add("p", 4.0)
+        t.add("p", 2.0)
+        (rec,) = t.timings()
+        assert isinstance(rec, Timing)
+        assert rec.seconds == 6.0
+        assert rec.per_call == 3.0
+
+    def test_per_call_zero_calls(self):
+        assert Timing("x", 0.0, 0).per_call == 0.0
+
+    def test_as_dict_is_copy(self):
+        t = PhaseTimer()
+        t.add("p", 1.0)
+        d = t.as_dict()
+        d["p"] = 99.0
+        assert t.seconds("p") == 1.0
+
+    def test_fake_clock(self):
+        ticks = iter([0.0, 5.0])
+        t = PhaseTimer(clock=lambda: next(ticks))
+        with t.phase("x"):
+            pass
+        assert t.seconds("x") == 5.0
