@@ -6,7 +6,6 @@ on the same dataset and reports peak table entries, bytes, and the
 agreement of the surviving spectra.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.bloomfilter_build import build_spectra_bloom

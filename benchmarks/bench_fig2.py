@@ -5,7 +5,6 @@ The projected table is the reproduced figure; the benchmark times a real
 traffic counts are what the projection consumes.
 """
 
-import numpy as np
 
 from repro.bench.figures import fig2
 from repro.parallel import HeuristicConfig, ParallelReptile

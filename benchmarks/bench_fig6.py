@@ -5,7 +5,6 @@ implementation across rank counts to show the 1/P decay of per-rank work
 (the quantity that drives the projected curve).
 """
 
-import numpy as np
 
 from repro.bench.figures import fig6
 from repro.parallel import HeuristicConfig, ParallelReptile

@@ -1,6 +1,5 @@
 """Section V memory claims: per-rank footprints under the 512 MB budget."""
 
-import numpy as np
 
 from repro.bench.figures import memory_footprints
 from repro.parallel import HeuristicConfig, ParallelReptile

@@ -1,0 +1,36 @@
+"""Correctness tooling for simmpi SPMD programs.
+
+Two halves, mirroring how message-passing bugs are found in practice:
+
+* :mod:`repro.analysis.lint` — a static AST pass over SPMD program
+  sources (``repro lint <paths>``) that flags the classic MPI bug
+  patterns before a program ever runs: rank-divergent collective
+  ordering, tag mismatches, orphaned sends, blocking receives inside
+  probe loops, and send-buffer reuse.
+
+* :mod:`repro.analysis.verifier` — opt-in runtime instrumentation
+  (``run_spmd(..., verify=True)``) that maintains a wait-for graph
+  across ranks and raises a diagnostic
+  :class:`~repro.errors.DeadlockError` the moment a cycle forms,
+  instead of after the threaded engine's 120 s timeout, plus a
+  finalize-time audit of undrained mailboxes, unmatched sends, and
+  collective generation skew.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    LintResult,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.verifier import RuntimeVerifier
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "RuntimeVerifier",
+]

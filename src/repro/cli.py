@@ -7,7 +7,9 @@ Three subcommands mirror the project's workflows:
 * ``repro simulate`` — synthesize a dataset (genome, reads, qualities)
   as fasta/quality/fastq files, with optional localized error bursts;
 * ``repro project`` — print a BlueGene/Q scaling projection for one of
-  the Table I datasets.
+  the Table I datasets;
+* ``repro lint`` — run the static MPI-correctness pass over SPMD program
+  sources (see :mod:`repro.analysis.lint` for the rule catalogue).
 
 ``python -m repro ...`` and the ``repro`` console script are equivalent.
 """
@@ -19,7 +21,6 @@ import sys
 from typing import Sequence
 
 from repro.config import ReptileConfig
-from repro.core.policy import derive_thresholds
 from repro.datasets.profiles import PROFILES
 from repro.errors import ReproError
 from repro.parallel.driver import ParallelReptile
@@ -96,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the reproduction self-checks "
              "(correctness, equivalence, model fidelity)",
     )
+
+    # -------------------------------------------------------------- lint
+    lnt = sub.add_parser(
+        "lint",
+        help="static MPI-correctness lint over SPMD program sources",
+    )
+    lnt.add_argument("paths", nargs="+",
+                     help="python files or directories to lint")
+    lnt.add_argument("--disable", default="",
+                     help="comma-separated rule codes to skip "
+                          "(e.g. MPI003,MPI005)")
+    lnt.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalogue and exit")
     return parser
 
 
@@ -260,6 +274,33 @@ def cmd_project(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULES, lint_paths
+
+    if args.list_rules:
+        for code, description in sorted(RULES.items()):
+            print(f"{code}  {description}")
+        return 0
+    disable = [c.strip() for c in args.disable.split(",") if c.strip()]
+    unknown = sorted(set(disable) - set(RULES))
+    if unknown:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown rule code(s) in --disable: {', '.join(unknown)}"
+        )
+    result = lint_paths(args.paths, disable=disable)
+    for finding in result.findings:
+        print(finding.render())
+    noun = "file" if len(result.files) == 1 else "files"
+    if result.clean:
+        print(f"checked {len(result.files)} {noun}: no findings")
+        return 0
+    print(f"checked {len(result.files)} {noun}: "
+          f"{len(result.findings)} finding(s)")
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -270,6 +311,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return cmd_simulate(args)
         if args.command == "project":
             return cmd_project(args)
+        if args.command == "lint":
+            return cmd_lint(args)
         if args.command == "verify":
             from repro.verify import main as verify_main
 

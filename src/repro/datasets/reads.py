@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.io.records import ReadBlock
-from repro.kmer.codec import INVALID_CODE
 
 
 @dataclass(frozen=True)

@@ -55,9 +55,60 @@ class RankMismatchError(CommunicatorError):
     """A collective was invoked with inconsistent arguments across ranks."""
 
 
+def _fmt_pattern(source: int, tag: int) -> str:
+    """Render a (source, tag) receive pattern; -1 is the wildcard."""
+    src = "ANY_SOURCE" if source == -1 else str(source)
+    tg = "ANY_TAG" if tag == -1 else str(tag)
+    return f"recv(source={src}, tag={tg})"
+
+
 class DeadlockError(CommunicatorError):
-    """The runtime detected that all live ranks are blocked with no messages
-    in flight, i.e. the SPMD program can never make progress again."""
+    """The runtime detected that the SPMD program can never make progress
+    again (blocked ranks with no matching messages in flight).
+
+    Every detector — the cooperative engine's nobody-can-run check, the
+    opt-in wait-for-graph verifier, and the threaded engine's receive
+    timeout — builds its message through :meth:`from_blocked`, so callers
+    see one shape regardless of which detector fired first.
+    """
+
+    def __init__(self, message: str, *, blocked: dict[int, tuple[int, int]] | None = None,
+                 cycle: list[int] | None = None) -> None:
+        super().__init__(message)
+        #: rank -> (source, tag) each blocked rank was waiting on.
+        self.blocked = dict(blocked or {})
+        #: The ranks forming a wait-for cycle, when one was found.
+        self.cycle = list(cycle or [])
+
+    @classmethod
+    def from_blocked(
+        cls,
+        blocked: dict[int, tuple[int, int]],
+        *,
+        detail: str,
+        cycle: list[int] | None = None,
+    ) -> "DeadlockError":
+        """The single code path that renders a deadlock diagnosis.
+
+        ``blocked`` maps each stuck rank to the (source, tag) pattern it
+        is blocked on; ``detail`` says which detector fired and why;
+        ``cycle`` optionally names the ranks of a wait-for cycle.
+        """
+        waits = "; ".join(
+            f"rank {rank} blocked in {_fmt_pattern(src, tag)}"
+            for rank, (src, tag) in sorted(blocked.items())
+        )
+        message = f"deadlock detected: {waits} [{detail}]"
+        if cycle:
+            chain = " -> ".join(str(r) for r in cycle)
+            message += f" (wait-for cycle: {chain})"
+        return cls(message, blocked=blocked, cycle=cycle)
+
+
+class VerifierError(CommunicatorError):
+    """The runtime verifier's finalize-time audit found a protocol
+    violation: undrained mailboxes, unmatched sends, or collective
+    generation skew across ranks."""
 
 
 class ModelError(ReproError):

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
 from typing import Any
 
 from repro.parallel.driver import ParallelRunResult

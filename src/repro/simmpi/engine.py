@@ -22,11 +22,11 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.errors import CommunicatorError, DeadlockError
 from repro.simmpi.instrument import CommStats
-from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+from repro.simmpi.message import Message
 
 
 class _World:
@@ -38,6 +38,14 @@ class _World:
         self.stats: list[CommStats] = [CommStats() for _ in range(nranks)]
         self.error: BaseException | None = None
         self.lock = threading.RLock()
+        #: Optional :class:`~repro.analysis.verifier.RuntimeVerifier`;
+        #: attached by ``run_spmd(..., verify=True)``.
+        self.verifier = None
+
+    def fail(self, error: BaseException) -> None:
+        """Record the run's first error (caller holds the lock)."""
+        if self.error is None:
+            self.error = error
 
     def find_message(self, rank: int, source: int, tag: int, remove: bool) -> Message | None:
         """First matching message in ``rank``'s mailbox (caller holds lock)."""
@@ -112,12 +120,11 @@ class CooperativeEngine(Engine):
             # Nobody can run and someone is blocked: deadlock.  Keep the
             # first diagnosis — teardown re-entries would otherwise
             # overwrite it with a shrinking rank list.
-            if world.error is None:
-                world.error = DeadlockError(
-                    f"all runnable ranks exhausted; ranks "
-                    f"{sorted(live_waiting)} are blocked in recv with no "
-                    "matching messages in flight"
-                )
+            world.fail(DeadlockError.from_blocked(
+                {r: st.waiting[r] for r in live_waiting},
+                detail="all runnable ranks exhausted with no matching "
+                       "messages in flight",
+            ))
             for r in live_waiting:
                 st.events[r].set()
 
@@ -156,9 +163,18 @@ class CooperativeEngine(Engine):
                     raise world.error
                 msg = world.find_message(rank, source, tag, remove=True)
                 if msg is not None:
+                    if world.verifier is not None:
+                        world.verifier.end_wait(rank)
                     return msg
                 st: _CoopState = world.coop  # type: ignore[attr-defined]
                 st.waiting[rank] = (source, tag)
+                if world.verifier is not None:
+                    err = world.verifier.begin_wait(rank, source, tag)
+                    if err is not None:
+                        world.fail(err)
+                        for r in range(world.nranks):
+                            st.events[r].set()
+                        raise world.error
                 st.events[rank].clear()
                 self._schedule_next(world)
                 world.lock.release()
@@ -209,6 +225,12 @@ class CooperativeEngine(Engine):
                 with world.lock:
                     st.finished.add(rank)
                     st.waiting.pop(rank, None)
+                    if world.verifier is not None:
+                        err = world.verifier.mark_finished(rank)
+                        if err is not None:
+                            world.fail(err)
+                            for r in range(n):
+                                st.events[r].set()
                     if st.current == rank:
                         self._schedule_next(world)
 
@@ -269,13 +291,23 @@ class ThreadedEngine(Engine):
                     raise world.error
                 msg = world.find_message(rank, source, tag, remove=True)
                 if msg is not None:
+                    if world.verifier is not None:
+                        world.verifier.end_wait(rank)
                     return msg
+                if world.verifier is not None:
+                    err = world.verifier.begin_wait(rank, source, tag)
+                    if err is not None:
+                        world.fail(err)
+                        for c in world.conds:  # type: ignore[attr-defined]
+                            c.notify_all()
+                        raise world.error
                 if not cond.wait(timeout=self.timeout):
-                    err = DeadlockError(
-                        f"rank {rank} waited more than {self.timeout}s for a "
-                        f"message (source={source}, tag={tag})"
+                    err = DeadlockError.from_blocked(
+                        {rank: (source, tag)},
+                        detail=f"no matching message within the "
+                               f"{self.timeout}s receive timeout",
                     )
-                    world.error = err
+                    world.fail(err)
                     for c in world.conds:  # type: ignore[attr-defined]
                         c.notify_all()
                     raise err
@@ -302,6 +334,14 @@ class ThreadedEngine(Engine):
                         world.error = exc
                     for c in world.conds:  # type: ignore[attr-defined]
                         c.notify_all()
+            finally:
+                with world.lock:
+                    if world.verifier is not None:
+                        err = world.verifier.mark_finished(rank)
+                        if err is not None:
+                            world.fail(err)
+                            for c in world.conds:  # type: ignore[attr-defined]
+                                c.notify_all()
 
         for rank in range(n):
             t = threading.Thread(
@@ -336,12 +376,19 @@ def run_spmd(
     fn: Callable[[Any], Any],
     nranks: int,
     engine: Engine | str = "cooperative",
+    verify: bool = False,
 ) -> SpmdResult:
     """Run ``fn(comm)`` as an SPMD program on ``nranks`` ranks.
 
     ``engine`` may be an :class:`Engine` instance or one of the names
-    ``"cooperative"`` / ``"threaded"``.  Returns per-rank results and the
-    per-rank communication statistics.
+    ``"cooperative"`` / ``"threaded"``.  With ``verify=True`` the run is
+    instrumented by :class:`~repro.analysis.verifier.RuntimeVerifier`:
+    wait-for-graph deadlock detection at every blocking receive, and a
+    finalize-time audit (undrained mailboxes, unmatched sends,
+    collective generation skew) that raises
+    :class:`~repro.errors.VerifierError` after an otherwise successful
+    run.  Returns per-rank results and the per-rank communication
+    statistics.
     """
     from repro.simmpi.communicator import Communicator
 
@@ -355,9 +402,18 @@ def run_spmd(
         else:
             raise CommunicatorError(f"unknown engine {engine!r}")
     world = engine.create_world(nranks)
+    if verify:
+        from repro.analysis.verifier import RuntimeVerifier
+
+        world.verifier = RuntimeVerifier(world)
 
     def make_comm(w: _World, rank: int) -> Communicator:
-        return Communicator(w, rank, engine)
+        comm = Communicator(w, rank, engine)
+        if w.verifier is not None:
+            w.verifier.register_comm(comm)
+        return comm
 
     results = engine.run(fn, world, make_comm)
+    if world.verifier is not None:
+        world.verifier.finalize()
     return SpmdResult(results=results, stats=world.stats)

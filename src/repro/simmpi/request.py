@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.errors import CommunicatorError
-from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+from repro.simmpi.message import Message
 
 
 class Request:

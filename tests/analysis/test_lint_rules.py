@@ -1,0 +1,274 @@
+"""Each static lint rule: one positive (bug caught) and one negative
+(clean code passes) case, plus suppression and CLI plumbing."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.lint import RULES, iter_python_files, lint_paths
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), "prog.py")
+
+
+def codes(code):
+    return [f.code for f in lint(code)]
+
+
+class TestRankDivergentCollective:
+    def test_collective_on_one_side_flagged(self):
+        found = lint("""
+            def program(comm):
+                if comm.rank == 0:
+                    comm.barrier()
+        """)
+        assert [f.code for f in found] == ["MPI001"]
+        assert "barrier" in found[0].message
+        assert found[0].line == 4
+
+    def test_collective_in_else_only_flagged(self):
+        assert codes("""
+            def program(comm):
+                if comm.rank % 2:
+                    pass
+                else:
+                    comm.allreduce(1)
+        """) == ["MPI001"]
+
+    def test_balanced_collectives_pass(self):
+        assert codes("""
+            def program(comm):
+                if comm.rank == 0:
+                    total = comm.reduce(1)
+                else:
+                    comm.reduce(1)
+        """) == []
+
+    def test_unconditional_collective_passes(self):
+        assert codes("""
+            def program(comm):
+                comm.barrier()
+                comm.alltoallv([None] * comm.size)
+        """) == []
+
+    def test_non_rank_conditional_passes(self):
+        """Collectives under a data conditional are the caller's contract
+        to keep consistent; only rank conditionals are flagged."""
+        assert codes("""
+            def program(comm, enabled):
+                if enabled:
+                    comm.barrier()
+        """) == []
+
+
+class TestTagMismatch:
+    def test_recv_tag_never_sent_flagged(self):
+        found = lint("""
+            def program(comm):
+                comm.send(1, None, tag=3)
+                comm.recv(source=0, tag=8)
+        """)
+        assert "MPI002" in [f.code for f in found]
+
+    def test_matched_tags_pass(self):
+        assert codes("""
+            def program(comm):
+                comm.send(1, None, tag=3)
+                comm.recv(source=0, tag=3)
+        """) == []
+
+    def test_symbolic_tags_match_across_functions(self):
+        assert codes("""
+            REQ = 4
+            def sender(comm):
+                comm.send(1, None, tag=REQ)
+            def receiver(comm):
+                comm.recv(source=0, tag=4)
+        """) == []
+
+    def test_unresolvable_send_tag_disables_rule(self):
+        assert codes("""
+            def program(comm, t):
+                comm.send(1, None, tag=t + 1)
+                comm.recv(source=0, tag=8)
+        """) == []
+
+
+class TestOrphanedSend:
+    def test_send_tag_never_received_flagged(self):
+        found = lint("""
+            def program(comm):
+                comm.send(1, None, tag=9)
+                comm.recv(source=0, tag=3)
+                comm.send(0, None, tag=3)
+        """)
+        assert [f.code for f in found] == ["MPI003"]
+        assert "9" in found[0].message
+
+    def test_wildcard_recv_satisfies_all_sends(self):
+        assert codes("""
+            def program(comm):
+                comm.send(1, None, tag=9)
+                comm.recv()
+        """) == []
+
+    def test_module_without_receives_not_flagged(self):
+        """A pure-producer module's tags are received elsewhere (e.g. by
+        a protocol pump in another module)."""
+        assert codes("""
+            def program(comm):
+                comm.send(1, None, tag=9)
+        """) == []
+
+
+class TestRecvInProbeLoop:
+    def test_blocking_recv_in_probe_loop_flagged(self):
+        found = lint("""
+            def serve(comm):
+                while True:
+                    probed = comm.iprobe()
+                    if probed is None:
+                        continue
+                    msg = comm.recv()
+        """)
+        assert [f.code for f in found] == ["MPI004"]
+
+    def test_recv_by_probed_envelope_passes(self):
+        assert codes("""
+            def serve(comm):
+                while True:
+                    probed = comm.iprobe()
+                    if probed is not None:
+                        msg = comm.recv(probed.source, probed.tag)
+                        break
+        """) == []
+
+    def test_recv_without_probe_loop_passes(self):
+        assert codes("""
+            def serve(comm):
+                while True:
+                    msg = comm.recv()
+                    if msg.payload is None:
+                        break
+        """) == []
+
+
+class TestMutationAfterIsend:
+    def test_mutation_before_wait_flagged(self):
+        found = lint("""
+            import numpy as np
+            def program(comm):
+                data = np.zeros(4)
+                req = comm.isend(1, data, tag=1)
+                data[0] = 1
+                req.wait()
+                comm.recv(source=1, tag=1)
+        """)
+        assert "MPI005" in [f.code for f in found]
+
+    def test_mutation_after_wait_passes(self):
+        assert codes("""
+            import numpy as np
+            def program(comm):
+                data = np.zeros(4)
+                req = comm.isend(1, data, tag=1)
+                req.wait()
+                data[0] = 1
+                comm.recv(source=1, tag=1)
+        """) == []
+
+    def test_inplace_method_flagged(self):
+        assert "MPI005" in codes("""
+            import numpy as np
+            def program(comm):
+                data = np.zeros(4)
+                comm.isend(1, data, tag=1)
+                data.fill(7)
+                comm.recv(source=1, tag=1)
+        """)
+
+    def test_rebinding_is_not_a_mutation(self):
+        assert codes("""
+            import numpy as np
+            def program(comm):
+                data = np.zeros(4)
+                comm.isend(1, data, tag=1)
+                data = np.ones(4)
+                comm.recv(source=1, tag=1)
+        """) == []
+
+
+class TestSuppression:
+    def test_noqa_with_code(self):
+        assert codes("""
+            def program(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # noqa: MPI001
+        """) == []
+
+    def test_noqa_bare(self):
+        assert codes("""
+            def program(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # noqa
+        """) == []
+
+    def test_noqa_other_code_does_not_suppress(self):
+        assert codes("""
+            def program(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # noqa: MPI005
+        """) == ["MPI001"]
+
+    def test_disable_argument(self):
+        src = "def program(comm):\n    if comm.rank == 0:\n        comm.barrier()\n"
+        assert lint_source(src, disable=["MPI001"]) == []
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_mpi000(self):
+        found = lint_source("def broken(:\n", "bad.py")
+        assert [f.code for f in found] == ["MPI000"]
+
+
+class TestCommDetection:
+    def test_self_comm_attribute_detected(self):
+        assert "MPI001" in codes("""
+            class Endpoint:
+                def exchange(self):
+                    if self.comm.rank == 0:
+                        self.comm.barrier()
+        """)
+
+    def test_split_result_is_comm_like(self):
+        assert "MPI001" in codes("""
+            def program(comm):
+                sub = comm.split(comm.rank % 2)
+                if sub.rank == 0:
+                    sub.barrier()
+        """)
+
+    def test_string_split_is_not_comm_like(self):
+        assert codes("""
+            def parse(text):
+                if text.rank == 0:
+                    parts = text.split(",")
+        """) == []
+
+
+class TestPaths:
+    def test_lint_paths_over_repo_targets_is_clean(self):
+        result = lint_paths(["src/repro/parallel", "examples"])
+        assert len(result.files) >= 15
+        assert result.clean, [f.render() for f in result.findings]
+
+    def test_iter_python_files_deduplicates(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        files = iter_python_files([tmp_path, f])
+        assert files == [f]
+
+    def test_rule_catalogue_covers_all_codes(self):
+        assert set(RULES) == {
+            "MPI000", "MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
+        }

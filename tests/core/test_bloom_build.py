@@ -1,6 +1,5 @@
 """Tests for the Bloom-prefiltered spectrum construction."""
 
-import numpy as np
 import pytest
 
 from repro.config import ReptileConfig

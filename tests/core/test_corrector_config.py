@@ -1,6 +1,5 @@
 """Config-sensitivity tests for the corrector: each knob does its job."""
 
-import numpy as np
 import pytest
 
 from repro.config import ReptileConfig

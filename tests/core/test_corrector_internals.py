@@ -6,8 +6,7 @@ import pytest
 from repro.config import ReptileConfig
 from repro.core.corrector import ReptileCorrector
 from repro.core.spectrum import LocalSpectrumView, SpectrumPair
-from repro.io.records import ReadBlock
-from repro.kmer.codec import INVALID_CODE, encode_sequence, window_ids
+from repro.kmer.codec import encode_sequence, window_ids
 
 
 def _corrector(k=4, overlap=2, **cfg_kwargs):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import ReptileConfig
 from repro.core.corrector import ReptileCorrector
 from repro.core.persist import load_spectra, save_spectra
 from repro.core.spectrum import LocalSpectrumView, build_spectra

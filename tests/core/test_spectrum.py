@@ -15,7 +15,6 @@ from repro.core.spectrum import (
 )
 from repro.io.records import ReadBlock
 from repro.kmer.codec import encode_sequence, window_ids
-from repro.kmer.tiles import TileShape
 
 
 @pytest.fixture

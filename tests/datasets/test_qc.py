@@ -1,6 +1,5 @@
 """Tests for the dataset QC statistics."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.genome import random_genome

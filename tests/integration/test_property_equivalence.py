@@ -6,7 +6,6 @@ implementation must reproduce the serial reference bit for bit.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Windows (CRLF) line endings must be tolerated by every reader."""
 
-import pytest
 
 from repro.io.fasta import read_fasta
 from repro.io.fastq import read_fastq

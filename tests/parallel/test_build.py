@@ -1,6 +1,5 @@
 """Tests for distributed spectrum construction (Steps II-III)."""
 
-import numpy as np
 import pytest
 
 from repro.config import ReptileConfig

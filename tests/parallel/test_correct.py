@@ -1,7 +1,6 @@
 """Tests for the distributed spectrum view's lookup ladder."""
 
 import numpy as np
-import pytest
 
 from repro.config import ReptileConfig
 from repro.hashing.counthash import CountHash

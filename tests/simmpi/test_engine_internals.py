@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import DeadlockError
-from repro.simmpi import ANY_SOURCE, ANY_TAG, run_spmd
-from repro.simmpi.engine import CooperativeEngine, _World
+from repro.simmpi import run_spmd
+from repro.simmpi.engine import _World
 from repro.simmpi.message import Message
 
 

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.simmpi import ANY_SOURCE, run_spmd, waitall
-from repro.simmpi.request import RecvRequest, SendRequest
+from repro.simmpi import run_spmd, waitall
+from repro.simmpi.request import RecvRequest
 
 ENGINES = ["cooperative", "threaded"]
 

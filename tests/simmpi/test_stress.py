@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+from repro.simmpi import ANY_SOURCE, run_spmd
 
 ENGINES = ["cooperative", "threaded"]
 

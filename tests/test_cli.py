@@ -128,6 +128,68 @@ class TestParser:
             )
 
 
+class TestLint:
+    def test_clean_target_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text(
+            "def program(comm):\n"
+            "    comm.send(1, None, tag=3)\n"
+            "    comm.recv(source=0, tag=3)\n"
+        )
+        rc = main(["lint", str(target)])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_location(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.barrier()\n"
+        )
+        rc = main(["lint", str(target)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert f"{target}:3" in out
+        assert "MPI001" in out
+        assert "finding(s)" in out
+
+    def test_disable_flag_suppresses(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "def program(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.barrier()\n"
+        )
+        rc = main(["lint", str(target), "--disable", "MPI001"])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", ".", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("MPI001", "MPI002", "MPI003", "MPI004", "MPI005"):
+            assert code in out
+
+    def test_missing_target_is_error(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_disable_code_is_error(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        rc = main(["lint", str(target), "--disable", "BOGUS999"])
+        assert rc == 2
+        assert "BOGUS999" in capsys.readouterr().err
+
+    def test_repo_parallel_sources_are_clean(self, capsys):
+        rc = main(["lint", "src/repro/parallel", "examples"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+
 class TestAutoThresholds:
     def test_correct_without_thresholds_uses_histogram(self, simulated,
                                                        tmp_path, capsys):

@@ -1,6 +1,5 @@
 """Tests for the self-check runner."""
 
-import pytest
 
 from repro import verify
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.stats import Summary, parallel_efficiency, relative_spread, summarize
+from repro.util.stats import parallel_efficiency, relative_spread, summarize
 
 
 class TestSummarize:
