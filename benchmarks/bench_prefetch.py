@@ -1,0 +1,133 @@
+"""Step IV lookup aggregation: bulk prefetch vs per-lookup messaging.
+
+Runs the same E.Coli-profile instance under four correction-phase modes —
+base, universal, prefetch, prefetch+universal — and reports the paper's
+aggregation argument as numbers: correction-phase messages, bytes, and
+wall time, each normalized per corrected read.  Prefetch must beat base
+by at least 5x on messages and never block inside ``correct_block``.
+
+Also runnable standalone, emitting the ``repro.experiment/1`` JSON shape::
+
+    PYTHONPATH=src python benchmarks/bench_prefetch.py --nranks 4 --out prefetch.json
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+NRANKS = 8
+
+#: Tags that constitute correction-phase traffic: count requests and
+#: responses (per-kind and universal) plus the two prefetch bulk tags.
+CORRECTION_TAGS = (1, 2, 3, 4, 7, 8)
+
+MODES = [
+    ("base", HeuristicConfig()),
+    ("universal", HeuristicConfig(universal=True)),
+    ("prefetch", HeuristicConfig(prefetch=True)),
+    ("prefetch+universal", HeuristicConfig(prefetch=True, universal=True)),
+]
+
+
+def _measure(scale, heuristics, nranks):
+    start = time.perf_counter()
+    result = ParallelReptile(
+        scale.config, heuristics, nranks=nranks, engine="cooperative"
+    ).run(scale.dataset.block)
+    wall = time.perf_counter() - start
+    total = result.stats[0].__class__()
+    for s in result.stats:
+        total.merge(s)
+    messages = sum(total.messages_by_tag.get(t, 0) for t in CORRECTION_TAGS)
+    bytes_ = sum(total.bytes_by_tag.get(t, 0) for t in CORRECTION_TAGS)
+    return result, total, messages, bytes_, wall
+
+
+def run_experiment(scale, nranks=NRANKS) -> ExperimentResult:
+    """The exhibit: one row per mode, metrics per corrected read."""
+    out = ExperimentResult(
+        experiment="prefetch.aggregation",
+        title=f"Step IV lookup aggregation at {nranks} ranks",
+        columns=[
+            "mode", "messages", "bytes", "wall_s",
+            "msgs_per_read", "bytes_per_read", "wall_us_per_read",
+            "blocking_lookups", "replans", "corrections",
+        ],
+    )
+    n_reads = len(scale.dataset.block)
+    baseline = None
+    for name, heuristics in MODES:
+        result, total, messages, bytes_, wall = _measure(
+            scale, heuristics, nranks
+        )
+        out.add(
+            name,
+            messages,
+            bytes_,
+            round(wall, 3),
+            round(messages / n_reads, 2),
+            round(bytes_ / n_reads, 1),
+            round(wall / n_reads * 1e6, 1),
+            total.get("blocking_request_counts"),
+            total.get("prefetch_replans"),
+            result.total_corrections,
+        )
+        if baseline is None:
+            baseline = (messages, result.total_corrections)
+        else:
+            # Every mode is an execution strategy, not an algorithm change.
+            assert result.total_corrections == baseline[1]
+        if heuristics.use_prefetch:
+            assert total.get("blocking_request_counts") == 0
+            assert messages * 5 <= baseline[0]
+    out.note(
+        "correction-phase traffic only (count + prefetch tags "
+        f"{CORRECTION_TAGS}); cooperative engine, {n_reads} reads"
+    )
+    return out
+
+
+@pytest.fixture(scope="module")
+def exhibit(ecoli_scale):
+    return run_experiment(ecoli_scale)
+
+
+def test_prefetch_aggregation(benchmark, exhibit, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n{exhibit}")
+    by_mode = {row[0]: row for row in exhibit.rows}
+    # >= 5x fewer correction-phase messages than base, and no blocking
+    # lookups at all once prefetch is on.
+    assert by_mode["prefetch"][1] * 5 <= by_mode["base"][1]
+    assert by_mode["prefetch"][7] == 0
+    assert by_mode["prefetch+universal"][7] == 0
+
+
+def main(argv=None) -> None:
+    """Standalone entry point: run the exhibit and write it as JSON."""
+    import argparse
+
+    from repro.bench.export import write_json
+    from repro.bench.harness import small_scale
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nranks", type=int, default=NRANKS)
+    parser.add_argument("--genome-size", type=int, default=10_000)
+    parser.add_argument("--out", default="bench_prefetch.json")
+    args = parser.parse_args(argv)
+    scale = small_scale(
+        "E.Coli", genome_size=args.genome_size, chunk_size=250
+    )
+    result = run_experiment(scale, nranks=args.nranks)
+    print(result)
+    write_json(result, args.out)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--chunk-size", type=int, default=2000)
     c.add_argument("--universal", action="store_true",
                    help="universal message heuristic")
+    c.add_argument("--prefetch", action="store_true",
+                   help="bulk-prefetch Step IV lookups per chunk "
+                        "(deduplicated, coalesced per owner, pipelined)")
     c.add_argument("--batch-reads", action="store_true",
                    help="batch reads table heuristic")
     c.add_argument("--read-tables", action="store_true",
@@ -121,6 +124,7 @@ def _heuristics_from_args(args: argparse.Namespace) -> HeuristicConfig:
         read_tiles=args.read_tables,
         allgather_kmers=args.allgather in ("kmers", "both"),
         allgather_tiles=args.allgather in ("tiles", "both"),
+        prefetch=args.prefetch,
         replication_group=args.replication_group,
         load_balance=not args.no_load_balance,
     )

@@ -222,6 +222,42 @@ class CountHash:
             pending = pending[rem]
         return out
 
+    def lookup_found(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(counts, found)`` for each key in a single probe sequence.
+
+        Unlike :meth:`lookup`, distinguishes an explicit zero entry (count 0,
+        found True) from an absent key (count 0, found False) — the
+        distinction the prefetch cache relies on to tell "known globally
+        absent" apart from "never fetched".
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        out = np.zeros(keys.shape[0], dtype=np.uint32)
+        found = np.zeros(keys.shape[0], dtype=bool)
+        if keys.size == 0 or self._size == 0:
+            return out, found
+        slots = (splitmix64(keys) & self._mask).astype(np.int64)
+        pending = np.arange(keys.shape[0], dtype=np.int64)
+        mask = int(self._mask)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise HashTableError("lookup probe loop exceeded capacity")
+            s = slots[pending]
+            occ = self._used[s]
+            matched = np.zeros(pending.shape[0], dtype=bool)
+            occ_idx = np.nonzero(occ)[0]
+            if occ_idx.size:
+                matched[occ_idx] = self._keys[s[occ_idx]] == keys[pending[occ_idx]]
+            hit = pending[matched]
+            out[hit] = self._counts[s[matched]]
+            found[hit] = True
+            resolved = matched | ~occ
+            rem = ~resolved
+            slots[pending[rem]] = (s[rem] + 1) & mask
+            pending = pending[rem]
+        return out, found
+
     def contains(self, keys: np.ndarray) -> np.ndarray:
         """Boolean membership per key (count may legitimately be 0 only for
         keys never inserted, so membership equals lookup > 0 except for keys

@@ -62,6 +62,37 @@ def neighbors_at_positions(
     return out.ravel()
 
 
+def substitute_at(
+    wids: np.ndarray, w: int, positions: np.ndarray
+) -> np.ndarray:
+    """Distance-1 substitutions for many (window, position) pairs at once.
+
+    ``wids[i]`` and ``positions[i]`` describe one substitution site; the
+    result row ``i`` holds the three ids obtained by replacing the base of
+    ``wids[i]`` at ``positions[i]`` with each alternative, in the same
+    ``(current+1, current+2, current+3) & 3`` order
+    :func:`neighbors_at_positions` uses — so flattening rows reproduces the
+    scalar enumeration exactly.  This is the batched kernel the corrector's
+    candidate generation and the Step IV prefetch planner share.
+    """
+    _check(w)
+    wids = np.ascontiguousarray(wids, dtype=np.uint64)
+    pos = np.ascontiguousarray(positions, dtype=np.int64)
+    if wids.shape != pos.shape:
+        raise CodecError(
+            f"wids shape {wids.shape} != positions shape {pos.shape}"
+        )
+    if pos.size == 0:
+        return np.empty((0, 3), dtype=np.uint64)
+    if pos.min() < 0 or pos.max() >= w:
+        raise CodecError(f"positions must be in [0, {w})")
+    shifts = ((w - 1 - pos) * 2).astype(np.uint64)
+    current = (wids >> shifts) & np.uint64(3)
+    alts = (current[:, None] + np.arange(1, 4, dtype=np.uint64)) & np.uint64(3)
+    cleared = wids & ~(np.uint64(3) << shifts)
+    return cleared[:, None] | (alts << shifts[:, None])
+
+
 def hamming_neighbors(wid: int, w: int, d: int = 1) -> np.ndarray:
     """All ids within Hamming distance exactly ``d`` of ``wid`` (d in {1, 2}).
 

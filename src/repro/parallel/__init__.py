@@ -17,7 +17,9 @@ not hold:
 * the paper's heuristics — universal messages, read-kmer/tile retention,
   allgather replication, remote-lookup caching, batched reads tables,
   and the future-work partial replication
-  (:mod:`repro.parallel.heuristics`, :mod:`repro.parallel.replication`).
+  (:mod:`repro.parallel.heuristics`, :mod:`repro.parallel.replication`),
+* Step IV lookup aggregation: deduplicated per-owner bulk prefetch with
+  pipelined chunk correction (:mod:`repro.parallel.prefetch`).
 """
 
 from repro.parallel.heuristics import HeuristicConfig
@@ -26,6 +28,12 @@ from repro.parallel.build import RankSpectra, build_rank_spectra
 from repro.parallel.loadbalance import redistribute_reads
 from repro.parallel.correct import DistributedSpectrumView, correct_distributed
 from repro.parallel.dynamicbalance import correct_dynamic
+from repro.parallel.prefetch import (
+    CachedChunkView,
+    ChunkCountCache,
+    PrefetchEndpoint,
+    PrefetchExecutor,
+)
 from repro.parallel.memory import RankMemoryReport
 from repro.parallel.report import run_report, write_run_report
 from repro.parallel.driver import ParallelReptile, ParallelRunResult, RankReport
@@ -41,6 +49,10 @@ __all__ = [
     "DistributedSpectrumView",
     "correct_distributed",
     "correct_dynamic",
+    "CachedChunkView",
+    "ChunkCountCache",
+    "PrefetchEndpoint",
+    "PrefetchExecutor",
     "RankMemoryReport",
     "run_report",
     "write_run_report",

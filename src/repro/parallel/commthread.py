@@ -46,11 +46,17 @@ class CommThreadProtocol:
         owned_kmers: CountHash,
         owned_tiles: CountHash,
         universal: bool = False,
+        autostart: bool = True,
     ) -> None:
         self.comm = comm
         self.owned_kmers = owned_kmers
         self.owned_tiles = owned_tiles
         self.universal = universal
+        #: Extra tag -> handler(Message) hooks, mirroring
+        #: :attr:`CorrectionProtocol.handlers`.  Handlers run ON THE
+        #: COMMUNICATION THREAD, so they must be thread-safe with respect
+        #: to the worker (the prefetch endpoint uses a condition variable).
+        self.handlers: dict[int, "callable"] = {}
         self._responses: "queue.Queue[Message]" = queue.Queue()
         self._shutdown = threading.Event()
         self._failure: BaseException | None = None
@@ -61,7 +67,21 @@ class CommThreadProtocol:
             name=f"comm-thread-{comm.rank}",
             daemon=True,
         )
-        self._thread.start()
+        self._started = False
+        if autostart:
+            self.start()
+
+    def start(self) -> None:
+        """Fork the communication thread (idempotent).
+
+        ``autostart=False`` + an explicit ``start()`` lets callers
+        register extra :attr:`handlers` first — otherwise a fast peer's
+        message under a not-yet-registered tag (e.g. a prefetch request)
+        could reach the thread before the handler exists.
+        """
+        if not self._started:
+            self._started = True
+            self._thread.start()
 
     # ------------------------------------------------------------------
     # worker side
@@ -76,6 +96,9 @@ class CommThreadProtocol:
             return np.empty(0, dtype=np.uint32)
         if self._done_sent:
             raise CommunicatorError("request_counts after finish()")
+        # Mirrors CorrectionProtocol: counts synchronous round trips so
+        # the prefetch engine's no-blocking guarantee can be asserted.
+        self.comm.stats.bump("blocking_request_counts")
         order = np.argsort(owners, kind="stable")
         sorted_ids = ids[order]
         sorted_owners = owners[order]
@@ -175,6 +198,8 @@ class CommThreadProtocol:
                 self._shutdown.set()
         elif tag == Tags.SHUTDOWN:
             self._shutdown.set()
+        elif tag in self.handlers:
+            self.handlers[tag](msg)
         else:
             raise CommunicatorError(
                 f"unexpected tag {tag} on the communication thread"

@@ -32,6 +32,7 @@ from repro.hashing.inthash import mix_to_rank
 from repro.io.records import ReadBlock
 from repro.parallel.build import RankSpectra
 from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.prefetch import PrefetchExecutor, local_ladder
 from repro.parallel.server import KIND_KMER, KIND_TILE, CorrectionProtocol
 from repro.simmpi.communicator import Communicator
 from repro.util.timer import PhaseTimer
@@ -92,56 +93,37 @@ class DistributedSpectrumView:
     ) -> np.ndarray:
         ids = np.ascontiguousarray(ids, dtype=np.uint64)
         stats = self.comm.stats
-        stats.bump(f"{counter}_lookups", int(ids.size))
-        if ids.size == 0:
-            return np.empty(0, dtype=np.uint32)
-        if replicated:
-            # Whole spectrum local: no messaging at all for this kind.
-            stats.bump(f"local_{counter}_lookups", int(ids.size))
-            return owned.lookup(ids)
+        counts, unresolved = local_ladder(
+            self.comm, self.spectra, ids,
+            owned=owned, replicated=replicated, group_table=group_table,
+            reads_table=reads_table, counter=counter,
+        )
+        if ids.size == 0 or not unresolved.any():
+            return counts
 
-        counts = np.zeros(ids.shape[0], dtype=np.uint32)
-        owners = np.asarray(mix_to_rank(ids, self.comm.size), dtype=np.int64)
-        unresolved = np.ones(ids.shape[0], dtype=bool)
-
-        mine = owners == self.comm.rank
-        if mine.any():
-            counts[mine] = owned.lookup(ids[mine])
-            unresolved &= ~mine
-            stats.bump(f"local_{counter}_lookups", int(mine.sum()))
-
-        if group_table is not None and unresolved.any():
-            in_group = unresolved & np.isin(owners, self.spectra.group_ranks)
-            if in_group.any():
-                counts[in_group] = group_table.lookup(ids[in_group])
-                unresolved &= ~in_group
-                stats.bump(f"group_{counter}_lookups", int(in_group.sum()))
-
-        if reads_table is not None and unresolved.any():
-            idx = np.nonzero(unresolved)[0]
-            cached = reads_table.contains(ids[idx])
-            hit = idx[cached]
-            if hit.size:
-                counts[hit] = reads_table.lookup(ids[hit])
-                unresolved[hit] = False
-                stats.bump(f"reads_table_{counter}_hits", int(hit.size))
-
-        if unresolved.any():
-            idx = np.nonzero(unresolved)[0]
-            remote_ids = ids[idx]
-            stats.bump(f"remote_{counter}_lookups", int(remote_ids.size))
-            start = time.perf_counter()
-            fetched = self.protocol.request_counts(kind, remote_ids, owners[idx])
-            self.timer.add(f"comm_{counter}", time.perf_counter() - start)
-            counts[idx] = fetched
-            if self.heuristics.add_remote_lookups and reads_table is not None:
-                # Cache what we learned (including global absence as 0).
-                uniq, first = np.unique(remote_ids, return_index=True)
-                fresh = ~reads_table.contains(uniq)
-                if fresh.any():
-                    reads_table.add_counts(
-                        uniq[fresh], fetched[first][fresh].astype(np.uint64)
-                    )
+        idx = np.nonzero(unresolved)[0]
+        remote_ids = ids[idx]
+        stats.bump(f"remote_{counter}_lookups", int(remote_ids.size))
+        # Duplicates within a lookup batch would travel repeatedly; send
+        # each distinct id once and scatter the answer back.
+        uniq, inverse = np.unique(remote_ids, return_inverse=True)
+        stats.bump(
+            f"remote_{counter}_ids_deduped", int(remote_ids.size - uniq.size)
+        )
+        uniq_owners = np.asarray(
+            mix_to_rank(uniq, self.comm.size), dtype=np.int64
+        )
+        start = time.perf_counter()
+        fetched = self.protocol.request_counts(kind, uniq, uniq_owners)
+        self.timer.add(f"comm_{counter}", time.perf_counter() - start)
+        counts[idx] = fetched[inverse]
+        if self.heuristics.add_remote_lookups and reads_table is not None:
+            # Cache what we learned (including global absence as 0).
+            fresh = ~reads_table.contains(uniq)
+            if fresh.any():
+                reads_table.add_counts(
+                    uniq[fresh], fetched[fresh].astype(np.uint64)
+                )
         return counts
 
 
@@ -169,11 +151,15 @@ def correct_distributed(
     if comm_thread:
         from repro.parallel.commthread import CommThreadProtocol
 
+        # Under prefetch the endpoint's handlers must be registered
+        # before the thread serves its first message (a fast peer's
+        # prefetch request could arrive that early), so start deferred.
         protocol = CommThreadProtocol(
             comm,
             owned_kmers=spectra.kmers,
             owned_tiles=spectra.tiles,
             universal=heuristics.universal,
+            autostart=not heuristics.use_prefetch,
         )
     else:
         protocol = CorrectionProtocol(
@@ -187,13 +173,24 @@ def correct_distributed(
 
     results: list[CorrectionResult] = []
     with timer.phase("error_correction"):
-        for chunk in block.chunks(config.chunk_size) if len(block) else ():
-            results.append(corrector.correct_block(chunk))
-            if not comm_thread:
-                # Give the "communication thread" a turn between chunks
-                # even if this chunk needed no remote lookups.
-                while protocol.pump(block=False):
-                    pass
+        chunks = list(block.chunks(config.chunk_size)) if len(block) else []
+        if heuristics.use_prefetch:
+            # Bulk-prefetch engine: plan, fetch, and pipeline so the
+            # corrector itself never blocks on request_counts.
+            executor = PrefetchExecutor(
+                comm, config, heuristics, spectra, protocol, timer
+            )
+            if comm_thread:
+                protocol.start()
+            results = executor.run(chunks)
+        else:
+            for chunk in chunks:
+                results.append(corrector.correct_block(chunk))
+                if not comm_thread:
+                    # Give the "communication thread" a turn between
+                    # chunks even if this chunk needed no remote lookups.
+                    while protocol.pump(block=False):
+                        pass
         protocol.finish()
 
     if not results:

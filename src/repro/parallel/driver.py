@@ -201,8 +201,19 @@ class ParallelReptile:
         whole read set and hands out chunks on demand (and corrects
         nothing itself).  Exists for the ablation against the paper's
         static scheme; requires ``nranks >= 2`` to be meaningful.
+
+        The prefetch heuristic is not supported here: its per-chunk
+        planning assumes the static chunk schedule of
+        :func:`~repro.parallel.correct.correct_distributed`.
         """
+        from repro.errors import ConfigError
         from repro.parallel.dynamicbalance import correct_dynamic
+
+        if self.heuristics.use_prefetch:
+            raise ConfigError(
+                "the dynamic work-allocation ablation does not support "
+                "the prefetch heuristic"
+            )
 
         n = len(block)
         bounds = [n * r // self.nranks for r in range(self.nranks + 1)]

@@ -75,8 +75,16 @@ def run_report(result: ParallelRunResult) -> dict[str, Any]:
             "remote_tile_lookups": int(
                 result.counter_per_rank("remote_tile_lookups").sum()
             ),
+            "remote_ids_deduped": int(
+                result.counter_per_rank("remote_kmer_ids_deduped").sum()
+                + result.counter_per_rank("remote_tile_ids_deduped").sum()
+            ),
+            "blocking_request_counts": total.get("blocking_request_counts"),
             "max_rank_memory_bytes": int(result.memory_per_rank().max()),
         },
+        # The whole prefetch_* counter family (hits, misses, dedup,
+        # fetches, messages, replans, served) summed over ranks.
+        "prefetch": total.prefixed("prefetch_"),
         "per_rank": per_rank,
     }
 

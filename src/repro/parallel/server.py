@@ -79,6 +79,9 @@ class CorrectionProtocol:
             return np.empty(0, dtype=np.uint32)
         if self._done_sent:
             raise CommunicatorError("request_counts after finish()")
+        # Every synchronous round trip is accounted: the prefetch engine's
+        # zero-mid-correction-messaging guarantee is asserted on this.
+        self.comm.stats.bump("blocking_request_counts")
         order = np.argsort(owners, kind="stable")
         sorted_ids = ids[order]
         sorted_owners = owners[order]

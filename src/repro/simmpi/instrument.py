@@ -89,6 +89,15 @@ class CommStats:
         """Read a named protocol counter (0 when never bumped)."""
         return self.counters.get(name, 0)
 
+    def prefixed(self, prefix: str) -> dict[str, int]:
+        """All counters whose name starts with ``prefix`` (e.g. the
+        per-phase ``prefetch_*`` family), as a plain dict for reports."""
+        return {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(prefix)
+        }
+
     def merge(self, other: "CommStats") -> None:
         """Fold another rank's counters into this one (for totals)."""
         self.messages_sent += other.messages_sent

@@ -32,6 +32,13 @@ class Tags:
     WORKER_DONE = 5
     #: Rank 0 announcing the whole correction phase is over.
     SHUTDOWN = 6
+    #: Bulk prefetch request: one coalesced message per owning rank
+    #: carrying a request id plus deduplicated k-mer AND tile ids
+    #: (payload: uint64 ``[req_id, n_kmer, kmer_ids..., tile_ids...]``).
+    PREFETCH_REQUEST = 7
+    #: Response to a bulk prefetch (payload: uint32
+    #: ``[req_id, kmer_counts..., tile_counts...]``).
+    PREFETCH_RESPONSE = 8
 
     #: First tag reserved for collectives; user tags must stay below.
     COLLECTIVE_BASE = 1 << 20

@@ -1,0 +1,193 @@
+"""Tests for the Step IV bulk-prefetch engine.
+
+The prefetch heuristic is a pure execution strategy: every test here pins
+it to the blocking protocol's output bit for bit, across engines and
+composed heuristics, and asserts the structural claims the paper's
+aggregation argument rests on — zero blocking lookups during correction
+and a deduplicated fetch stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import small_scale
+from repro.core.corrector import ReptileCorrector
+from repro.core.spectrum import LocalSpectrumView, build_spectra
+from repro.hashing.inthash import mix_to_rank
+from repro.parallel.driver import ParallelReptile
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.prefetch import ChunkCountCache, PrefetchEndpoint
+from repro.parallel.server import CorrectionProtocol
+from repro.simmpi import run_spmd
+
+
+@pytest.fixture(scope="module")
+def scale():
+    """Small E.Coli-profile instance shared by the equivalence tests."""
+    return small_scale("E.Coli", genome_size=4_000, chunk_size=100)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(scale):
+    """The single-process corrector's output — the equivalence anchor."""
+    block, cfg = scale.dataset.block, scale.config
+    spectra = build_spectra(block, cfg)
+    return ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(block)
+
+
+def _run(scale, heuristics, nranks=4, engine="cooperative", comm_thread=False):
+    return ParallelReptile(
+        scale.config,
+        heuristics,
+        nranks=nranks,
+        engine=engine,
+        comm_thread=comm_thread,
+    ).run(scale.dataset.block)
+
+
+def _totals(result):
+    total = result.stats[0].__class__()
+    for s in result.stats:
+        total.merge(s)
+    return total
+
+
+def _assert_identical(result, reference):
+    block = result.corrected_block
+    assert np.array_equal(block.codes, reference.block.codes)
+    assert np.array_equal(block.lengths, reference.block.lengths)
+
+
+class TestProtocolEquivalence:
+    """Prefetch on/off must be byte-identical, whatever it rides on."""
+
+    @pytest.mark.parametrize(
+        "engine,comm_thread",
+        [("cooperative", False), ("threaded", False), ("threaded", True)],
+    )
+    def test_engines(self, scale, serial_reference, engine, comm_thread):
+        for prefetch in (False, True):
+            res = _run(
+                scale,
+                HeuristicConfig(prefetch=prefetch),
+                engine=engine,
+                comm_thread=comm_thread,
+            )
+            _assert_identical(res, serial_reference)
+
+    @pytest.mark.parametrize(
+        "heuristics",
+        [
+            HeuristicConfig(prefetch=True, universal=True),
+            HeuristicConfig(
+                prefetch=True,
+                batch_reads=True,
+                read_kmers=True,
+                read_tiles=True,
+            ),
+            HeuristicConfig(prefetch=True, replication_group=2),
+            HeuristicConfig(prefetch=True, allgather_kmers=True),
+        ],
+        ids=["universal", "batch_reads", "replication_group", "allgather_kmers"],
+    )
+    def test_composed_heuristics(self, scale, serial_reference, heuristics):
+        _assert_identical(_run(scale, heuristics), serial_reference)
+        corrections = _run(scale, heuristics).reports
+        plain = _run(scale, heuristics.with_updates(prefetch=False)).reports
+        for a, b in zip(corrections, plain):
+            assert np.array_equal(a.corrections_per_read, b.corrections_per_read)
+
+    def test_bursty_errors_exercise_replay(self, serial_reference):
+        """Localized error bursts drift many windows, forcing the miss
+        replay loop — output must still match the serial corrector."""
+        bursty = small_scale(
+            "E.Coli", genome_size=4_000, localized_errors=True, chunk_size=100
+        )
+        spectra = build_spectra(bursty.dataset.block, bursty.config)
+        ref = ReptileCorrector(
+            bursty.config, LocalSpectrumView(spectra)
+        ).correct_block(bursty.dataset.block)
+        res = _run(bursty, HeuristicConfig(prefetch=True))
+        _assert_identical(res, ref)
+        assert _totals(res).get("prefetch_replans") > 0
+
+
+class TestStructuralClaims:
+    def test_zero_blocking_lookups_under_prefetch(self, scale):
+        """The tentpole guarantee: pass 2 never issues a blocking
+        request_counts round trip."""
+        with_pf = _totals(_run(scale, HeuristicConfig(prefetch=True)))
+        without = _totals(_run(scale, HeuristicConfig()))
+        assert with_pf.get("blocking_request_counts") == 0
+        assert without.get("blocking_request_counts") > 0
+
+    def test_fewer_correction_messages(self, scale):
+        """Aggregation collapses per-lookup round trips into a handful of
+        bulk exchanges per chunk."""
+        tags = (1, 2, 3, 4, 7, 8)
+        base = _totals(_run(scale, HeuristicConfig()))
+        pf = _totals(_run(scale, HeuristicConfig(prefetch=True)))
+        base_msgs = sum(base.messages_by_tag.get(t, 0) for t in tags)
+        pf_msgs = sum(pf.messages_by_tag.get(t, 0) for t in tags)
+        assert pf_msgs * 5 <= base_msgs
+
+    def test_remote_ids_deduped_counter(self, scale):
+        """The blocking view also dedups in-batch ids and accounts for
+        every id it kept off the wire."""
+        total = _totals(_run(scale, HeuristicConfig()))
+        deduped = total.get("remote_kmer_ids_deduped") + total.get(
+            "remote_tile_ids_deduped"
+        )
+        assert deduped > 0
+        served = total.get("kmer_ids_served") + total.get("tile_ids_served")
+        issued = total.get("remote_kmer_lookups") + total.get(
+            "remote_tile_lookups"
+        )
+        assert served == issued - deduped
+
+    def test_prefetch_hit_counters_reported(self, scale):
+        total = _totals(_run(scale, HeuristicConfig(prefetch=True)))
+        assert total.get("prefetch_fetches") > 0
+        assert total.get("prefetch_kmer_hits") > 0
+        assert total.get("prefetch_tile_hits") > 0
+
+
+class TestEndpoint:
+    def test_bulk_round_trip(self):
+        """issue/collect returns owner-authoritative counts aligned with
+        the requested ids, serving peers while waiting."""
+
+        def prog(comm):
+            keys = np.arange(400, dtype=np.uint64)
+            owners = np.asarray(mix_to_rank(keys, comm.size))
+            from repro.parallel.build import RankSpectra
+            from repro.kmer.tiles import TileShape
+
+            sp = RankSpectra(shape=TileShape(12, 4), rank=comm.rank, nranks=comm.size)
+            mine = keys[owners == comm.rank]
+            sp.kmers.add_counts(mine, mine + np.uint64(1))
+            sp.tiles.add_counts(mine, mine * np.uint64(2))
+            proto = CorrectionProtocol(comm, sp.kmers, sp.tiles, universal=False)
+            endpoint = PrefetchEndpoint(proto, comm)
+            foreign = keys[owners != comm.rank]
+            fetch = endpoint.issue(foreign, foreign)
+            kcounts, tcounts = endpoint.collect(fetch)
+            assert np.array_equal(kcounts, (foreign + 1).astype(np.uint32))
+            assert np.array_equal(tcounts, (foreign * 2).astype(np.uint32))
+            proto.finish()
+            return True
+
+        assert run_spmd(prog, 4, engine="cooperative").results == [True] * 4
+
+    def test_cache_is_idempotent(self):
+        cache = ChunkCountCache()
+        ids = np.array([5, 5, 9], dtype=np.uint64)
+        cache.add_kmers(ids, np.array([3, 3, 0], dtype=np.uint32))
+        # Re-adding must not accumulate; the first deposit wins.
+        cache.add_kmers(ids, np.array([7, 7, 7], dtype=np.uint32))
+        counts, found = cache.kmers.lookup_found(
+            np.array([5, 9, 11], dtype=np.uint64)
+        )
+        assert counts.tolist() == [3, 0, 0]
+        # An explicit zero is "known absent", an unseen key is not known.
+        assert found.tolist() == [True, True, False]
