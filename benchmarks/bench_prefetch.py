@@ -9,6 +9,10 @@ by at least 5x on messages and never block inside ``correct_block``.
 Also runnable standalone, emitting the ``repro.experiment/1`` JSON shape::
 
     PYTHONPATH=src python benchmarks/bench_prefetch.py --nranks 4 --out prefetch.json
+
+With ``--engines-out`` the standalone run additionally times the same
+prefetch workload on the threaded vs the process engine (frames over OS
+pipes) at 8 ranks and exports that comparison as a second JSON exhibit.
 """
 
 import time
@@ -33,10 +37,10 @@ MODES = [
 ]
 
 
-def _measure(scale, heuristics, nranks):
+def _measure(scale, heuristics, nranks, engine="cooperative"):
     start = time.perf_counter()
     result = ParallelReptile(
-        scale.config, heuristics, nranks=nranks, engine="cooperative"
+        scale.config, heuristics, nranks=nranks, engine=engine
     ).run(scale.dataset.block)
     wall = time.perf_counter() - start
     total = result.stats[0].__class__()
@@ -91,6 +95,49 @@ def run_experiment(scale, nranks=NRANKS) -> ExperimentResult:
     return out
 
 
+def run_engine_comparison(scale, nranks=NRANKS) -> ExperimentResult:
+    """Wall time of the same prefetch run, threaded vs process engine.
+
+    The frames are identical either way — shared-memory decode-on-enqueue
+    vs bytes over OS pipes — so the message/byte ledgers must match
+    exactly; only the wall clock (and the process engine's interpreter
+    spawn cost) differs.
+    """
+    out = ExperimentResult(
+        experiment="prefetch.engines",
+        title=f"Threaded vs process engine at {nranks} ranks, prefetch on",
+        columns=[
+            "engine", "wall_s", "wall_us_per_read",
+            "messages", "bytes", "corrections",
+        ],
+    )
+    n_reads = len(scale.dataset.block)
+    ledger = None
+    for engine in ("threaded", "process"):
+        result, _total, messages, bytes_, wall = _measure(
+            scale, HeuristicConfig(prefetch=True), nranks, engine=engine
+        )
+        out.add(
+            engine,
+            round(wall, 3),
+            round(wall / n_reads * 1e6, 1),
+            messages,
+            bytes_,
+            result.total_corrections,
+        )
+        if ledger is None:
+            ledger = (messages, bytes_, result.total_corrections)
+        else:
+            # Engines are transports, not algorithms: same frames, same
+            # exact byte accounting, same corrections.
+            assert (messages, bytes_, result.total_corrections) == ledger
+    out.note(
+        "identical encoded frames on both engines; process-engine wall "
+        "time includes spawning one interpreter per rank"
+    )
+    return out
+
+
 @pytest.fixture(scope="module")
 def exhibit(ecoli_scale):
     return run_experiment(ecoli_scale)
@@ -119,6 +166,12 @@ def main(argv=None) -> None:
     parser.add_argument("--nranks", type=int, default=NRANKS)
     parser.add_argument("--genome-size", type=int, default=10_000)
     parser.add_argument("--out", default="bench_prefetch.json")
+    parser.add_argument(
+        "--engines-out",
+        default=None,
+        help="also export the threaded-vs-process wall-time comparison "
+        f"(always at {NRANKS} ranks) to this JSON path",
+    )
     args = parser.parse_args(argv)
     scale = small_scale(
         "E.Coli", genome_size=args.genome_size, chunk_size=250
@@ -127,6 +180,11 @@ def main(argv=None) -> None:
     print(result)
     write_json(result, args.out)
     print(f"wrote {args.out}")
+    if args.engines_out:
+        engines = run_engine_comparison(scale, nranks=NRANKS)
+        print(engines)
+        write_json(engines, args.engines_out)
+        print(f"wrote {args.engines_out}")
 
 
 if __name__ == "__main__":

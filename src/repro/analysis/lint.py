@@ -17,6 +17,9 @@ MPI004   blocking ``recv`` inside an ``iprobe`` service loop that does
          not receive by the probed envelope
 MPI005   payload name mutated after ``isend`` before the request is
          completed (buffer-reuse hazard under real MPI semantics)
+MPI006   ``send``/``isend`` payload expression has no typed wire
+         encoding (dict/set literals, comprehensions, ``dict()`` and
+         friends) and would travel as a pickle-fallback frame
 ======== ==============================================================
 
 The pass is deliberately conservative: a tag it cannot resolve to a
@@ -50,7 +53,11 @@ RULES: dict[str, str] = {
     "MPI003": "orphaned send: tag is never received in this module",
     "MPI004": "blocking recv inside an iprobe service loop",
     "MPI005": "payload mutated after isend (buffer-reuse hazard)",
+    "MPI006": "send payload is not wire-codable (pickle-fallback frame)",
 }
+
+#: Constructor names whose result has no typed wire encoding (MPI006).
+NON_CODABLE_CALLS = frozenset({"dict", "set", "frozenset"})
 
 #: Methods that are collective: every rank of the communicator must call
 #: them, in the same order.
@@ -245,6 +252,7 @@ class _ModuleLinter:
         self._rule_rank_divergent_collectives(fn, comm_names)
         self._rule_recv_in_probe_loop(fn, comm_names)
         self._rule_mutation_after_isend(fn, comm_names)
+        self._rule_non_codable_payload(calls)
 
     def _comm_names(self, fn: ast.FunctionDef) -> set[str]:
         """Names bound to communicator-like objects inside ``fn``."""
@@ -474,6 +482,47 @@ class _ModuleLinter:
                             "under real MPI the send buffer must not be "
                             "touched until the request is waited on",
                         )
+
+    # MPI006 ------------------------------------------------------------
+    def _rule_non_codable_payload(self, calls: list[_CommCall]) -> None:
+        """Flag send payload expressions with no typed wire encoding.
+
+        The codec keeps such payloads sendable through its pickle
+        fallback, so this is a style-and-portability rule, not a
+        correctness one: a production MPI port would have to design a
+        real encoding for each flagged call-site.  Only syntactically
+        certain cases are reported (literals, comprehensions, and bare
+        ``dict()``/``set()``/``frozenset()`` constructors) — a name
+        whose runtime type is unknown is never guessed at.
+        """
+        for call in calls:
+            if call.method not in SEND_METHODS:
+                continue
+            payload = _call_arg(call.node, 1, "payload")
+            if payload is None:
+                continue
+            kind = self._non_codable_kind(payload)
+            if kind is not None:
+                self.report(
+                    payload, "MPI006",
+                    f"{call.method} payload is {kind}, which has no typed "
+                    "wire encoding and travels as a pickle-fallback "
+                    "frame; send arrays, scalars, bytes/str, or "
+                    "tuples/lists of them instead",
+                )
+
+    @staticmethod
+    def _non_codable_kind(expr: ast.expr) -> str | None:
+        if isinstance(expr, (ast.Dict, ast.DictComp)):
+            return "a dict"
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set"
+        if isinstance(expr, ast.GeneratorExp):
+            return "a generator"
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id in NON_CODABLE_CALLS:
+            return f"a {expr.func.id}() value"
+        return None
 
     # MPI002 / MPI003 ----------------------------------------------------
     def _lint_tag_ledger(self) -> None:

@@ -43,8 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--output", required=True, help="corrected fasta path")
     c.add_argument("--nranks", type=int, default=4,
                    help="simulated MPI ranks (default 4)")
-    c.add_argument("--engine", choices=["cooperative", "threaded"],
-                   default="cooperative")
+    c.add_argument("--engine",
+                   choices=["cooperative", "sequential", "threaded",
+                            "process"],
+                   default="cooperative",
+                   help="rank scheduler: cooperative/sequential "
+                        "(deterministic turns), threaded (free threads), "
+                        "process (shared-nothing spawned interpreters)")
     c.add_argument("--kmer-length", type=int, default=12)
     c.add_argument("--tile-overlap", type=int, default=4)
     c.add_argument("--kmer-threshold", type=int, default=0,

@@ -55,6 +55,12 @@ class RankMismatchError(CommunicatorError):
     """A collective was invoked with inconsistent arguments across ranks."""
 
 
+class WireFormatError(CommunicatorError):
+    """A payload could not be encoded to (or decoded from) the wire
+    format of :mod:`repro.simmpi.wire`: corrupt frame, unknown type
+    code, or a payload above the frame size limit."""
+
+
 def _fmt_pattern(source: int, tag: int) -> str:
     """Render a (source, tag) receive pattern; -1 is the wildcard."""
     src = "ANY_SOURCE" if source == -1 else str(source)

@@ -133,6 +133,177 @@ class ParallelRunResult:
         return n
 
 
+def _slice_bounds(n: int, nranks: int) -> list[int]:
+    """Contiguous per-rank chunk bounds (the paper's byte partitioning)."""
+    return [n * r // nranks for r in range(nranks + 1)]
+
+
+def _pipeline(
+    comm,
+    mine: ReadBlock,
+    timer: PhaseTimer,
+    config: ReptileConfig,
+    heuristics: HeuristicConfig,
+    comm_thread: bool,
+) -> RankReport:
+    """Steps II-IV on one rank's reads (after Step I input loading)."""
+    if heuristics.load_balance:
+        with timer.phase("load_balance"):
+            mine = redistribute_reads(comm, mine)
+    spectra = build_rank_spectra(comm, mine, config, heuristics, timer)
+    memory = RankMemoryReport.capture(
+        comm.rank, spectra, mine, phase="construction"
+    )
+    result = correct_distributed(
+        comm, mine, config, heuristics, spectra, timer,
+        comm_thread=comm_thread,
+    )
+    RankMemoryReport.capture(
+        comm.rank, spectra, mine, phase="correction", into=memory
+    )
+    return RankReport(
+        rank=comm.rank,
+        block=result.block,
+        corrections_per_read=result.corrections_per_read,
+        reads_reverted=int(result.reads_reverted.sum()),
+        tiles_examined=result.tiles_examined,
+        tiles_below_threshold=result.tiles_below_threshold,
+        timings=timer.as_dict(),
+        memory=memory,
+        table_sizes=spectra.table_sizes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rank programs.  These are module-level picklable callables rather than
+# closures inside ParallelReptile: the process engine ships each rank's
+# program to a spawned interpreter by pickle, and a closure cannot make
+# that trip.  Every engine runs the same program objects.
+# ----------------------------------------------------------------------
+@dataclass
+class _StaticProgram:
+    """Static scheme: a contiguous slice of the block, full pipeline."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    comm_thread: bool
+    block: ReadBlock
+    bounds: list[int]
+
+    def __call__(self, comm) -> RankReport:
+        timer = PhaseTimer()
+        with timer.phase("read_input"):
+            mine = self.block.slice(
+                self.bounds[comm.rank], self.bounds[comm.rank + 1]
+            )
+        return _pipeline(comm, mine, timer, self.config, self.heuristics,
+                         self.comm_thread)
+
+
+@dataclass
+class _FilesProgram:
+    """Static scheme over a fasta (+ quality) file pair (Step I)."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    comm_thread: bool
+    fasta_path: str
+    quality_path: str | None
+
+    def __call__(self, comm) -> RankReport:
+        timer = PhaseTimer()
+        with timer.phase("read_input"):
+            mine = load_rank_block(
+                self.fasta_path, self.quality_path, comm.size, comm.rank
+            )
+        return _pipeline(comm, mine, timer, self.config, self.heuristics,
+                         self.comm_thread)
+
+
+@dataclass
+class _BuildOnlyProgram:
+    """Steps I-III only (no correction) — for spectrum studies."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    block: ReadBlock
+    bounds: list[int]
+
+    def __call__(self, comm) -> RankReport:
+        timer = PhaseTimer()
+        with timer.phase("read_input"):
+            mine = self.block.slice(
+                self.bounds[comm.rank], self.bounds[comm.rank + 1]
+            )
+        if self.heuristics.load_balance:
+            with timer.phase("load_balance"):
+                mine = redistribute_reads(comm, mine)
+        spectra = build_rank_spectra(
+            comm, mine, self.config, self.heuristics, timer
+        )
+        memory = RankMemoryReport.capture(
+            comm.rank, spectra, mine, phase="construction"
+        )
+        return RankReport(
+            rank=comm.rank,
+            block=mine,
+            corrections_per_read=np.zeros(len(mine), dtype=np.int64),
+            reads_reverted=0,
+            tiles_examined=0,
+            tiles_below_threshold=0,
+            timings=timer.as_dict(),
+            memory=memory,
+            table_sizes=spectra.table_sizes,
+        )
+
+
+@dataclass
+class _DynamicProgram:
+    """The prior work's dynamic master-worker allocation ablation."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    block: ReadBlock
+    bounds: list[int]
+
+    def __call__(self, comm) -> RankReport:
+        from repro.parallel.dynamicbalance import correct_dynamic
+
+        timer = PhaseTimer()
+        with timer.phase("read_input"):
+            mine = self.block.slice(
+                self.bounds[comm.rank], self.bounds[comm.rank + 1]
+            )
+        spectra = build_rank_spectra(
+            comm, mine, self.config, self.heuristics, timer
+        )
+        memory = RankMemoryReport.capture(
+            comm.rank, spectra, mine, phase="construction"
+        )
+        with timer.phase("error_correction"):
+            result = correct_dynamic(
+                comm,
+                self.block if comm.rank == 0 else None,
+                self.config,
+                self.heuristics,
+                spectra,
+            )
+        RankMemoryReport.capture(
+            comm.rank, spectra, mine, phase="correction", into=memory
+        )
+        return RankReport(
+            rank=comm.rank,
+            block=result.block,
+            corrections_per_read=result.corrections_per_read,
+            reads_reverted=int(result.reads_reverted.sum()),
+            tiles_examined=result.tiles_examined,
+            tiles_below_threshold=result.tiles_below_threshold,
+            timings=timer.as_dict(),
+            memory=memory,
+            table_sizes=spectra.table_sizes,
+        )
+
+
 class ParallelReptile:
     """Distributed Reptile, configurable like the paper's runs.
 
@@ -145,8 +316,14 @@ class ParallelReptile:
     nranks:
         Number of simulated MPI ranks.
     engine:
-        ``"cooperative"`` (deterministic; default) or ``"threaded"``, or an
+        ``"cooperative"`` (deterministic; default, alias
+        ``"sequential"``), ``"threaded"``, ``"process"``
+        (shared-nothing, one spawned interpreter per rank), or an
         :class:`~repro.simmpi.engine.Engine` instance.
+    comm_thread:
+        The paper's two-thread Step IV (worker + communication thread
+        per rank); needs real concurrency inside a rank, so it requires
+        the threaded or process engine.
     """
 
     def __init__(
@@ -160,12 +337,15 @@ class ParallelReptile:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
         if comm_thread:
-            from repro.simmpi.engine import ThreadedEngine
+            from repro.simmpi.engine import ProcessEngine, ThreadedEngine
 
-            if not (engine == "threaded" or isinstance(engine, ThreadedEngine)):
+            concurrent = engine in ("threaded", "process") or isinstance(
+                engine, (ThreadedEngine, ProcessEngine)
+            )
+            if not concurrent:
                 raise ValueError(
                     "comm_thread=True (the paper's two-thread Step IV) "
-                    "requires the threaded engine"
+                    "requires the threaded or process engine"
                 )
         self.config = config
         self.heuristics = heuristics or HeuristicConfig()
@@ -182,16 +362,13 @@ class ParallelReptile:
         what makes localized error bursts land on few ranks unless load
         balancing is on.
         """
-        n = len(block)
-        bounds = [n * r // self.nranks for r in range(self.nranks + 1)]
-
-        def rank_fn(comm):
-            timer = PhaseTimer()
-            with timer.phase("read_input"):
-                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
-            return self._pipeline(comm, mine, timer)
-
-        return self._execute(rank_fn)
+        return self._execute(_StaticProgram(
+            config=self.config,
+            heuristics=self.heuristics,
+            comm_thread=self.comm_thread,
+            block=block,
+            bounds=_slice_bounds(len(block), self.nranks),
+        ))
 
     def run_dynamic(self, block: ReadBlock) -> ParallelRunResult:
         """Correct with the prior work's dynamic master-worker allocation.
@@ -207,51 +384,18 @@ class ParallelReptile:
         :func:`~repro.parallel.correct.correct_distributed`.
         """
         from repro.errors import ConfigError
-        from repro.parallel.dynamicbalance import correct_dynamic
 
         if self.heuristics.use_prefetch:
             raise ConfigError(
                 "the dynamic work-allocation ablation does not support "
                 "the prefetch heuristic"
             )
-
-        n = len(block)
-        bounds = [n * r // self.nranks for r in range(self.nranks + 1)]
-
-        def rank_fn(comm):
-            timer = PhaseTimer()
-            with timer.phase("read_input"):
-                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
-            spectra = build_rank_spectra(
-                comm, mine, self.config, self.heuristics, timer
-            )
-            memory = RankMemoryReport.capture(
-                comm.rank, spectra, mine, phase="construction"
-            )
-            with timer.phase("error_correction"):
-                result = correct_dynamic(
-                    comm,
-                    block if comm.rank == 0 else None,
-                    self.config,
-                    self.heuristics,
-                    spectra,
-                )
-            RankMemoryReport.capture(
-                comm.rank, spectra, mine, phase="correction", into=memory
-            )
-            return RankReport(
-                rank=comm.rank,
-                block=result.block,
-                corrections_per_read=result.corrections_per_read,
-                reads_reverted=int(result.reads_reverted.sum()),
-                tiles_examined=result.tiles_examined,
-                tiles_below_threshold=result.tiles_below_threshold,
-                timings=timer.as_dict(),
-                memory=memory,
-                table_sizes=spectra.table_sizes,
-            )
-
-        return self._execute(rank_fn)
+        return self._execute(_DynamicProgram(
+            config=self.config,
+            heuristics=self.heuristics,
+            block=block,
+            bounds=_slice_bounds(len(block), self.nranks),
+        ))
 
     def build_only(self, block: ReadBlock) -> ParallelRunResult:
         """Run Steps I-III only (no correction) — for spectrum studies.
@@ -260,77 +404,24 @@ class ParallelReptile:
         uncorrected; table sizes and memory reports reflect the built
         spectra.  Used by the Fig. 3 uniformity measurement.
         """
-        n = len(block)
-        bounds = [n * r // self.nranks for r in range(self.nranks + 1)]
-
-        def rank_fn(comm):
-            timer = PhaseTimer()
-            with timer.phase("read_input"):
-                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
-            if self.heuristics.load_balance:
-                with timer.phase("load_balance"):
-                    mine = redistribute_reads(comm, mine)
-            spectra = build_rank_spectra(
-                comm, mine, self.config, self.heuristics, timer
-            )
-            memory = RankMemoryReport.capture(
-                comm.rank, spectra, mine, phase="construction"
-            )
-            return RankReport(
-                rank=comm.rank,
-                block=mine,
-                corrections_per_read=np.zeros(len(mine), dtype=np.int64),
-                reads_reverted=0,
-                tiles_examined=0,
-                tiles_below_threshold=0,
-                timings=timer.as_dict(),
-                memory=memory,
-                table_sizes=spectra.table_sizes,
-            )
-
-        return self._execute(rank_fn)
+        return self._execute(_BuildOnlyProgram(
+            config=self.config,
+            heuristics=self.heuristics,
+            block=block,
+            bounds=_slice_bounds(len(block), self.nranks),
+        ))
 
     def run_files(self, fasta_path: str, quality_path: str | None) -> ParallelRunResult:
         """Correct a dataset from a fasta (+ quality) file pair (Step I)."""
-
-        def rank_fn(comm):
-            timer = PhaseTimer()
-            with timer.phase("read_input"):
-                mine = load_rank_block(
-                    fasta_path, quality_path, comm.size, comm.rank
-                )
-            return self._pipeline(comm, mine, timer)
-
-        return self._execute(rank_fn)
+        return self._execute(_FilesProgram(
+            config=self.config,
+            heuristics=self.heuristics,
+            comm_thread=self.comm_thread,
+            fasta_path=fasta_path,
+            quality_path=quality_path,
+        ))
 
     # ------------------------------------------------------------------
-    def _pipeline(self, comm, mine: ReadBlock, timer: PhaseTimer) -> RankReport:
-        if self.heuristics.load_balance:
-            with timer.phase("load_balance"):
-                mine = redistribute_reads(comm, mine)
-        spectra = build_rank_spectra(comm, mine, self.config, self.heuristics, timer)
-        memory = RankMemoryReport.capture(
-            comm.rank, spectra, mine, phase="construction"
-        )
-        result = correct_distributed(
-            comm, mine, self.config, self.heuristics, spectra, timer,
-            comm_thread=self.comm_thread,
-        )
-        RankMemoryReport.capture(
-            comm.rank, spectra, mine, phase="correction", into=memory
-        )
-        return RankReport(
-            rank=comm.rank,
-            block=result.block,
-            corrections_per_read=result.corrections_per_read,
-            reads_reverted=int(result.reads_reverted.sum()),
-            tiles_examined=result.tiles_examined,
-            tiles_below_threshold=result.tiles_below_threshold,
-            timings=timer.as_dict(),
-            memory=memory,
-            table_sizes=spectra.table_sizes,
-        )
-
     def _execute(self, rank_fn) -> ParallelRunResult:
         spmd = run_spmd(rank_fn, self.nranks, engine=self.engine)
         return ParallelRunResult(

@@ -3,29 +3,43 @@
 The paper's algorithm is written against MPI: tagged point-to-point
 send/recv, ``MPI_Iprobe``, ``MPI_Alltoallv``, ``MPI_Allgatherv``,
 ``MPI_Reduce`` and barriers.  mpi4py is not available in this environment,
-so this package implements those semantics over Python threads:
+so this package implements those semantics in three layers:
 
-* :class:`~repro.simmpi.engine.CooperativeEngine` — ranks take
-  deterministic turns, switching only at communication points.  Runs are
-  exactly reproducible (used by tests and by the instrumented runs that
-  feed the performance model).
-* :class:`~repro.simmpi.engine.ThreadedEngine` — ranks run as free
-  concurrent threads (used to exercise the paper's
-  correction-thread/communication-thread structure under real
-  concurrency).
+* **codec** (:mod:`repro.simmpi.wire`) — every payload is encoded into a
+  typed binary frame at the communicator's send boundary, so delivery is
+  a deep copy on every engine and byte accounting is exact;
+* **transport** (:mod:`repro.simmpi.transport`) — how encoded frames
+  move: shared-memory deques for the in-memory engines, multiprocessing
+  queues for the process engine;
+* **engines** (:mod:`repro.simmpi.engine`) — how ranks are scheduled:
 
-Payloads are numpy arrays or small immutable Python values; sends copy
-array payloads (MPI buffer semantics).  Every rank's traffic is counted by
-:class:`~repro.simmpi.instrument.CommStats`, which the performance model
-consumes.
+  - :class:`~repro.simmpi.engine.CooperativeEngine` — ranks take
+    deterministic turns, switching only at communication points.  Runs
+    are exactly reproducible (used by tests and by the instrumented runs
+    that feed the performance model).
+  - :class:`~repro.simmpi.engine.ThreadedEngine` — ranks run as free
+    concurrent threads (used to exercise the paper's
+    correction-thread/communication-thread structure under real
+    concurrency).
+  - :class:`~repro.simmpi.engine.ProcessEngine` — one spawned
+    interpreter per rank, shared-nothing state, frames over pipes: the
+    closest analogue of the paper's MPI deployment, and the only engine
+    that scales past the GIL.
+
+The communicator/collectives API is identical on every engine.  Each
+rank's traffic is counted by :class:`~repro.simmpi.instrument.CommStats`
+as exact encoded frame lengths, which the performance model consumes.
 """
 
+from repro.simmpi import wire
 from repro.simmpi.message import Message, ANY_SOURCE, ANY_TAG, Tags
 from repro.simmpi.instrument import CommStats
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.request import Request, RecvRequest, SendRequest, waitall
+from repro.simmpi.transport import LocalTransport, ProcessTransport, Transport
 from repro.simmpi.engine import (
     CooperativeEngine,
+    ProcessEngine,
     ThreadedEngine,
     run_spmd,
 )
@@ -42,6 +56,11 @@ __all__ = [
     "SendRequest",
     "waitall",
     "CooperativeEngine",
+    "ProcessEngine",
     "ThreadedEngine",
     "run_spmd",
+    "Transport",
+    "LocalTransport",
+    "ProcessTransport",
+    "wire",
 ]

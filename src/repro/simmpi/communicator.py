@@ -11,17 +11,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-import numpy as np
-
 from repro.errors import CommunicatorError, RankMismatchError
+from repro.simmpi import wire
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
-
-
-def _copy_payload(payload: Any) -> Any:
-    """MPI buffer semantics: the sender may reuse its buffer after send."""
-    if isinstance(payload, np.ndarray):
-        return payload.copy()
-    return payload
 
 
 class Communicator:
@@ -55,15 +47,18 @@ class Communicator:
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
         """Deliver ``payload`` to ``dest`` under ``tag`` (non-blocking).
 
-        Array payloads are copied at send time.  Self-sends are legal (the
+        The payload is encoded to a wire frame here, at the communicator
+        boundary: the receiver always gets an independent deep copy
+        (copy-on-send, on every engine), and the stats ledger records
+        the frame's exact encoded length.  Self-sends are legal (the
         message lands in this rank's own mailbox).
         """
         self._check_peer(dest)
         if tag < 0:
             raise CommunicatorError(f"tag must be non-negative, got {tag}")
-        msg = Message(source=self._rank, tag=tag, payload=_copy_payload(payload))
-        self.stats.record_send(tag, payload, dest=dest)
-        self._engine.deposit(self._world, self._rank, dest, msg)
+        frame = wire.encode_frame(self._rank, tag, payload)
+        self.stats.record_send(tag, payload, dest=dest, nbytes=len(frame))
+        self._engine.deposit(self._world, self._rank, dest, frame)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
         """Block until a matching message arrives; remove and return it."""
@@ -142,7 +137,9 @@ class Communicator:
         out: list[Any] = [None] * self.size
         for dest in range(self.size):
             if dest == self._rank:
-                out[dest] = _copy_payload(chunks[dest])
+                # Self-delivery never crosses an engine but must behave
+                # as if it had: a wire round-trip is the exact semantics.
+                out[dest] = wire.clone(chunks[dest])
             else:
                 self.send(dest, chunks[dest], tag=tag)
         for _ in range(self.size - 1):

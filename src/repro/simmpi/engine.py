@@ -1,7 +1,9 @@
 """Execution engines: how SPMD ranks are scheduled.
 
-Both engines run each rank's function on its own Python thread and share
-per-rank mailboxes; they differ in scheduling:
+Delivery itself lives one layer down, in :mod:`repro.simmpi.transport`:
+every engine receives *encoded wire frames* from the communicator and
+hands them to a transport, so copy-on-send and exact byte accounting
+hold identically everywhere.  The engines differ only in scheduling:
 
 * :class:`CooperativeEngine` — exactly one rank runs at a time, and control
   switches only at communication points (blocking receive, probe-yield,
@@ -11,15 +13,24 @@ per-rank mailboxes; they differ in scheduling:
   rank, someone waiting) and reported as :class:`DeadlockError` instead of
   hanging.
 
-* :class:`ThreadedEngine` — ranks run freely and block on condition
-  variables; this exercises the paper's two-threads-per-rank correction
-  design under real concurrency.  Blocking receives take a timeout so an
-  accidental deadlock surfaces as an error.
+* :class:`ThreadedEngine` — ranks run freely on threads of one process
+  and block on condition variables; this exercises the paper's
+  two-threads-per-rank correction design under real concurrency.
+  Blocking receives take a timeout so an accidental deadlock surfaces as
+  an error.
+
+* :class:`ProcessEngine` — every rank is a spawned interpreter with
+  shared-nothing state; frames cross real process boundaries over the
+  :class:`~repro.simmpi.transport.ProcessTransport`.  This is the
+  closest analogue of the paper's MPI deployment and the only engine
+  that scales past the GIL.
 """
 
 from __future__ import annotations
 
+import queue as queue_mod
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -27,20 +38,27 @@ from typing import Any, Callable
 from repro.errors import CommunicatorError, DeadlockError
 from repro.simmpi.instrument import CommStats
 from repro.simmpi.message import Message
+from repro.simmpi.transport import LocalTransport, process_rank_main
 
 
 class _World:
-    """State shared by all ranks of one SPMD run."""
+    """State shared by all ranks of one in-memory SPMD run."""
 
     def __init__(self, nranks: int) -> None:
         self.nranks = nranks
-        self.mailboxes: list[deque[Message]] = [deque() for _ in range(nranks)]
+        self.transport = LocalTransport(nranks)
         self.stats: list[CommStats] = [CommStats() for _ in range(nranks)]
         self.error: BaseException | None = None
         self.lock = threading.RLock()
         #: Optional :class:`~repro.analysis.verifier.RuntimeVerifier`;
         #: attached by ``run_spmd(..., verify=True)``.
         self.verifier = None
+
+    @property
+    def mailboxes(self) -> list[deque[Message]]:
+        """The transport's per-rank decoded-message queues (the verifier
+        and white-box tests inspect these directly)."""
+        return self.transport.boxes
 
     def fail(self, error: BaseException) -> None:
         """Record the run's first error (caller holds the lock)."""
@@ -49,23 +67,17 @@ class _World:
 
     def find_message(self, rank: int, source: int, tag: int, remove: bool) -> Message | None:
         """First matching message in ``rank``'s mailbox (caller holds lock)."""
-        box = self.mailboxes[rank]
-        for i, msg in enumerate(box):
-            if msg.matches(source, tag):
-                if remove:
-                    del box[i]
-                return msg
-        return None
+        return self.transport.poll(rank, source, tag, remove)
 
 
 class Engine:
-    """Interface both engines implement (see module docstring)."""
+    """Interface all engines implement (see module docstring)."""
 
     def create_world(self, nranks: int) -> _World:
         raise NotImplementedError
 
-    def deposit(self, world: _World, rank: int, dest: int, msg: Message) -> None:
-        """Deliver ``msg`` into ``dest``'s mailbox (called by ``rank``)."""
+    def deposit(self, world: _World, rank: int, dest: int, frame: bytes) -> None:
+        """Deliver an encoded frame into ``dest``'s mailbox (called by ``rank``)."""
         raise NotImplementedError
 
     def wait_message(self, world: _World, rank: int, source: int, tag: int) -> Message:
@@ -143,12 +155,12 @@ class CooperativeEngine(Engine):
             raise world.error
 
     # -- Engine interface ----------------------------------------------
-    def deposit(self, world: _World, rank: int, dest: int, msg: Message) -> None:
-        """Deliver a message; re-arm the destination if it was waiting."""
+    def deposit(self, world: _World, rank: int, dest: int, frame: bytes) -> None:
+        """Decode and deliver a frame; re-arm a waiting destination."""
         with world.lock:
             if world.error is not None:
                 raise world.error
-            world.mailboxes[dest].append(msg)
+            msg = world.transport.enqueue(dest, frame)
             st: _CoopState = world.coop  # type: ignore[attr-defined]
             pattern = st.waiting.get(dest)
             if pattern is not None and msg.matches(*pattern):
@@ -274,12 +286,12 @@ class ThreadedEngine(Engine):
         ]
         return world
 
-    def deposit(self, world: _World, rank: int, dest: int, msg: Message) -> None:
-        """Deliver a message and wake any blocked receiver."""
+    def deposit(self, world: _World, rank: int, dest: int, frame: bytes) -> None:
+        """Decode and deliver a frame; wake any blocked receiver."""
         with world.lock:
             if world.error is not None:
                 raise world.error
-            world.mailboxes[dest].append(msg)
+            world.transport.enqueue(dest, frame)
             world.conds[dest].notify_all()  # type: ignore[attr-defined]
 
     def wait_message(self, world: _World, rank: int, source: int, tag: int) -> Message:
@@ -357,6 +369,155 @@ class ThreadedEngine(Engine):
 
 
 # ----------------------------------------------------------------------
+# Shared-nothing multiprocessing engine
+# ----------------------------------------------------------------------
+class ProcessEngine(Engine):
+    """One spawned interpreter per rank; frames cross real process
+    boundaries (see :class:`~repro.simmpi.transport.ProcessTransport`).
+
+    The rank function must be picklable (a module-level function or a
+    picklable callable object — the driver's rank programs are).  Each
+    child builds its own world, communicator and stats ledger; the
+    parent only distributes the program, collects results and folds the
+    children's :class:`CommStats` back into ``world.stats``.
+
+    ``timeout`` bounds every blocking receive inside the children, as on
+    the threaded engine; the parent additionally watches for child
+    processes dying without reporting (a crash surfaces as
+    :class:`CommunicatorError` rather than a hang).
+    """
+
+    #: Extra parent-side patience beyond the children's receive timeout.
+    _GRACE = 30.0
+
+    def __init__(self, timeout: float = 120.0) -> None:
+        if timeout <= 0:
+            raise CommunicatorError("timeout must be positive")
+        self.timeout = timeout
+
+    def create_world(self, nranks: int) -> _World:
+        """A parent-side world: holds ``nranks`` and, after the run, the
+        per-rank stats shipped back from the children.  Its transport
+        and mailboxes are never used — ranks communicate entirely inside
+        their own processes."""
+        return _World(nranks)
+
+    def _no_endpoint(self) -> CommunicatorError:
+        return CommunicatorError(
+            "the process engine has no parent-side endpoint; "
+            "communicators exist only inside the spawned ranks"
+        )
+
+    def deposit(self, world: _World, rank: int, dest: int, frame: bytes) -> None:
+        """Unavailable in the parent: each spawned rank deposits through
+        its own :class:`~repro.simmpi.transport.ProcessTransport`."""
+        raise self._no_endpoint()
+
+    def wait_message(self, world: _World, rank: int, source: int, tag: int) -> Message:
+        """Unavailable in the parent (see :meth:`deposit`)."""
+        raise self._no_endpoint()
+
+    def probe(self, world: _World, rank: int, source: int, tag: int) -> Message | None:
+        """Unavailable in the parent (see :meth:`deposit`)."""
+        raise self._no_endpoint()
+
+    def run(self, fn, world: _World, make_comm) -> list[Any]:
+        """Spawn all ranks, collect per-rank results and stats."""
+        import multiprocessing as mp
+        import pickle
+
+        ctx = mp.get_context("spawn")
+        n = world.nranks
+        queues = [ctx.Queue() for _ in range(n)]
+        result_queue = ctx.Queue()
+        procs: list = []
+        try:
+            for rank in range(n):
+                proc = ctx.Process(
+                    target=process_rank_main,
+                    args=(rank, n, fn, queues, result_queue, self.timeout),
+                    name=f"proc-rank-{rank}",
+                )
+                try:
+                    proc.start()
+                except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                    raise CommunicatorError(
+                        "the process engine requires a picklable rank "
+                        "function (module-level, no closures); pickling "
+                        f"failed: {exc}"
+                    ) from exc
+                procs.append(proc)
+            results: list[Any] = [None] * n
+            deadline = time.monotonic() + self.timeout + self._GRACE
+            pending = n
+            while pending:
+                try:
+                    status = result_queue.get(timeout=1.0)
+                except queue_mod.Empty:
+                    self._check_children(procs, result_queue, deadline)
+                    continue
+                kind, rank, value, stats = status
+                if kind == "error":
+                    raise value
+                results[rank] = value
+                world.stats[rank] = stats
+                pending -= 1
+            return results
+        finally:
+            self._teardown(procs, queues, result_queue)
+
+    def _check_children(self, procs, result_queue, deadline: float) -> None:
+        """No result within the poll slice: diagnose dead or hung ranks."""
+        dead = [p for p in procs if not p.is_alive() and p.exitcode != 0]
+        if dead:
+            # A failing child reports before exiting; give that report a
+            # moment to surface so the real exception wins over the
+            # generic died-without-reporting diagnosis.
+            try:
+                status = result_queue.get(timeout=2.0)
+            except queue_mod.Empty:
+                codes = ", ".join(
+                    f"{p.name} exit code {p.exitcode}" for p in dead
+                )
+                raise CommunicatorError(
+                    f"rank process(es) died without reporting: {codes}"
+                ) from None
+            kind, rank, value, _stats = status
+            if kind == "error":
+                raise value
+            # A success slipped in; push it back through the main loop.
+            result_queue.put(status)
+            return
+        if time.monotonic() > deadline:
+            raise CommunicatorError(
+                f"no rank reported within {self.timeout + self._GRACE}s; "
+                "terminating the process world"
+            )
+
+    @staticmethod
+    def _teardown(procs, queues, result_queue) -> None:
+        """Drain, join and reap the process world.
+
+        Draining the data queues first unblocks any child whose queue
+        feeder thread is still flushing frames nobody will receive.
+        """
+        for q in [*queues, result_queue]:
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                pass
+        for p in procs:
+            p.join(timeout=10.0)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for q in [*queues, result_queue]:
+            q.close()
+
+
+# ----------------------------------------------------------------------
 @dataclass
 class SpmdResult:
     """Return bundle of :func:`run_spmd`."""
@@ -381,26 +542,34 @@ def run_spmd(
     """Run ``fn(comm)`` as an SPMD program on ``nranks`` ranks.
 
     ``engine`` may be an :class:`Engine` instance or one of the names
-    ``"cooperative"`` / ``"threaded"``.  With ``verify=True`` the run is
-    instrumented by :class:`~repro.analysis.verifier.RuntimeVerifier`:
-    wait-for-graph deadlock detection at every blocking receive, and a
-    finalize-time audit (undrained mailboxes, unmatched sends,
-    collective generation skew) that raises
-    :class:`~repro.errors.VerifierError` after an otherwise successful
-    run.  Returns per-rank results and the per-rank communication
-    statistics.
+    ``"cooperative"`` (alias ``"sequential"``), ``"threaded"``, or
+    ``"process"``.  With ``verify=True`` the run is instrumented by
+    :class:`~repro.analysis.verifier.RuntimeVerifier`: wait-for-graph
+    deadlock detection at every blocking receive, and a finalize-time
+    audit (undrained mailboxes, unmatched sends, collective generation
+    skew) that raises :class:`~repro.errors.VerifierError` after an
+    otherwise successful run.  The verifier needs a shared-memory view
+    of every mailbox, so it is unavailable on the process engine.
+    Returns per-rank results and the per-rank communication statistics.
     """
     from repro.simmpi.communicator import Communicator
 
     if nranks < 1:
         raise CommunicatorError("nranks must be >= 1")
     if isinstance(engine, str):
-        if engine == "cooperative":
+        if engine in ("cooperative", "sequential"):
             engine = CooperativeEngine()
         elif engine == "threaded":
             engine = ThreadedEngine()
+        elif engine == "process":
+            engine = ProcessEngine()
         else:
             raise CommunicatorError(f"unknown engine {engine!r}")
+    if verify and isinstance(engine, ProcessEngine):
+        raise CommunicatorError(
+            "verify=True needs a shared-memory view of every mailbox and "
+            "is not supported on the shared-nothing process engine"
+        )
     world = engine.create_world(nranks)
     if verify:
         from repro.analysis.verifier import RuntimeVerifier

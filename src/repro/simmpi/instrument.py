@@ -16,14 +16,27 @@ import numpy as np
 
 
 def _payload_nbytes(payload) -> int:
+    """Data-byte size of a payload, without wire framing overhead.
+
+    The communicator passes the exact encoded frame length straight to
+    :meth:`CommStats.record_send`, so this sizer only serves callers
+    that account traffic without encoding (tests, ad-hoc tooling).
+    Payloads with no cheap analytic size — dicts, strings, arbitrary
+    objects — are sized by actually encoding them, not the old
+    one-machine-word guess.
+    """
     if isinstance(payload, np.ndarray):
         return payload.nbytes
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, (tuple, list)):
         return sum(_payload_nbytes(p) for p in payload)
-    # Scalars / None: count a machine word.
-    return 8
+    if payload is None or isinstance(payload, (bool, int, float, np.generic)):
+        # Scalars / None: count a machine word.
+        return 8
+    from repro.simmpi import wire
+
+    return len(wire.encode_payload(payload))
 
 
 @dataclass
@@ -45,9 +58,27 @@ class CommStats:
     #: (the two-thread Step IV mode), so updates are locked.
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record_send(self, tag: int, payload, dest: int | None = None) -> None:
-        """Account one outgoing message (thread-safe)."""
-        nbytes = _payload_nbytes(payload)
+    # The process engine ships each child's ledger back to the parent by
+    # pickle; the lock is process-local state and is rebuilt on arrival.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def record_send(self, tag: int, payload, dest: int | None = None,
+                    nbytes: int | None = None) -> None:
+        """Account one outgoing message (thread-safe).
+
+        ``nbytes`` is the exact encoded frame length when the caller has
+        it (the communicator send boundary always does); without it the
+        payload is sized by :func:`_payload_nbytes`.
+        """
+        if nbytes is None:
+            nbytes = _payload_nbytes(payload)
         with self._lock:
             self.messages_sent += 1
             self.bytes_sent += nbytes

@@ -151,14 +151,13 @@ class SubCommunicator:
             raise RankMismatchError(
                 f"alltoallv needs exactly {self.size} chunks, got {len(chunks)}"
             )
-        import numpy as np
+        from repro.simmpi import wire
 
         tag = self._next_tag()
         out: list[Any] = [None] * self.size
         for dest in range(self.size):
             if dest == self._rank:
-                chunk = chunks[dest]
-                out[dest] = chunk.copy() if isinstance(chunk, np.ndarray) else chunk
+                out[dest] = wire.clone(chunks[dest])
             else:
                 self._coll_send(dest, chunks[dest], tag)
         for _ in range(self.size - 1):

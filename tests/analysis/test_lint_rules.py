@@ -198,6 +198,75 @@ class TestMutationAfterIsend:
         """) == []
 
 
+class TestNonCodablePayload:
+    def test_dict_literal_payload_flagged(self):
+        found = lint("""
+            def program(comm):
+                comm.send(1, {"served": 3}, tag=1)
+                comm.recv(tag=1)
+        """)
+        assert [f.code for f in found] == ["MPI006"]
+        assert "dict" in found[0].message
+
+    def test_set_literal_and_comprehensions_flagged(self):
+        assert codes("""
+            def program(comm, ids):
+                comm.send(1, {1, 2}, tag=1)
+                comm.isend(2, {i: 0 for i in ids}, tag=1)
+                comm.send(3, {i for i in ids}, tag=1)
+                comm.recv(tag=1)
+        """) == ["MPI006", "MPI006", "MPI006"]
+
+    def test_constructor_calls_flagged(self):
+        assert codes("""
+            def program(comm):
+                comm.send(1, dict(a=1), tag=1)
+                comm.send(1, set(), tag=1)
+                comm.recv(tag=1)
+        """) == ["MPI006", "MPI006"]
+
+    def test_keyword_payload_flagged(self):
+        assert codes("""
+            def program(comm):
+                comm.send(1, tag=1, payload={"x": 0})
+                comm.recv(tag=1)
+        """) == ["MPI006"]
+
+    def test_typed_payloads_pass(self):
+        assert codes("""
+            import numpy as np
+
+            def program(comm, block):
+                comm.send(1, np.zeros(4), tag=1)
+                comm.send(1, (block.ids, block.codes, 7), tag=1)
+                comm.send(1, None, tag=1)
+                comm.send(1, [b"x", "y", 2.5], tag=1)
+                comm.recv(tag=1)
+        """) == []
+
+    def test_opaque_name_is_not_guessed(self):
+        """A bare name might be a dict at runtime, but the rule only
+        reports syntactically certain cases."""
+        assert codes("""
+            def program(comm, payload):
+                comm.send(1, payload, tag=1)
+                comm.recv(tag=1)
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("""
+            def program(comm):
+                comm.send(1, {"a": 1}, tag=1)  # noqa: MPI006
+                comm.recv(tag=1)
+        """) == []
+
+    def test_non_comm_receiver_ignored(self):
+        assert codes("""
+            def program(sock):
+                sock.send(1, {"a": 1}, tag=1)
+        """) == []
+
+
 class TestSuppression:
     def test_noqa_with_code(self):
         assert codes("""
@@ -271,4 +340,5 @@ class TestPaths:
     def test_rule_catalogue_covers_all_codes(self):
         assert set(RULES) == {
             "MPI000", "MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
+            "MPI006",
         }

@@ -101,7 +101,7 @@ class TestDriverIntegration:
         )
 
     def test_requires_threaded_engine(self, scale):
-        with pytest.raises(ValueError, match="threaded engine"):
+        with pytest.raises(ValueError, match="threaded or process engine"):
             ParallelReptile(
                 scale.config, HeuristicConfig(), nranks=2,
                 engine="cooperative", comm_thread=True,

@@ -63,7 +63,13 @@ class TestProtocolEquivalence:
 
     @pytest.mark.parametrize(
         "engine,comm_thread",
-        [("cooperative", False), ("threaded", False), ("threaded", True)],
+        [
+            ("cooperative", False),
+            ("threaded", False),
+            ("threaded", True),
+            ("process", False),
+            ("process", True),
+        ],
     )
     def test_engines(self, scale, serial_reference, engine, comm_thread):
         for prefetch in (False, True):

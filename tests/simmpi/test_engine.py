@@ -12,8 +12,12 @@ from repro.simmpi import (
     CooperativeEngine,
     ThreadedEngine,
     run_spmd,
+    wire,
 )
 
+# The in-memory engines, which accept closure rank functions.  The
+# process engine needs picklable programs and is exercised in
+# test_process_engine.py.
 ENGINES = ["cooperative", "threaded"]
 
 
@@ -61,6 +65,12 @@ class TestBasicExecution:
         assert res.results[1] == ("first", "second")
 
     def test_stats_recorded(self, engine):
+        payload = np.zeros(100, dtype=np.int64)
+        # The ledger counts the exact encoded frame: header + typed
+        # array encoding, not just the raw data bytes.
+        expected = len(wire.encode_frame(0, 3, payload))
+        assert expected > payload.nbytes
+
         def prog(comm):
             if comm.rank == 0:
                 comm.send(1, np.zeros(100, dtype=np.int64), tag=3)
@@ -69,7 +79,8 @@ class TestBasicExecution:
 
         res = run_spmd(prog, 2, engine=engine)
         assert res.stats[0].messages_sent == 1
-        assert res.stats[0].bytes_sent == 800
+        assert res.stats[0].bytes_sent == expected
+        assert res.stats[0].bytes_by_tag == {3: expected}
         assert res.total_stats().messages_sent == 1
 
 
@@ -169,6 +180,30 @@ class TestPayloadSemantics:
 
         res = run_spmd(prog, 2, engine=engine)
         assert res.results[1] == [1, 2, 3]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_receiver_mutation_cannot_corrupt_sender(self, engine):
+        """Regression: tuple-wrapped arrays used to be delivered by
+        reference (only a top-level ndarray was copied), so a receiver
+        writing into its delivered payload silently corrupted the
+        sender's arrays.  Encode-at-the-boundary makes every delivery an
+        independent deep copy."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                arrays = (np.arange(4, dtype=np.int64),
+                          np.ones(2, dtype=np.float64))
+                comm.send(1, arrays, tag=2)
+                comm.recv(source=1, tag=3)  # receiver has mutated its copy
+                return arrays[0].tolist()
+            msg = comm.recv(source=0, tag=2)
+            msg.payload[0][:] = -1
+            comm.send(0, None, tag=3)
+            return msg.payload[0].tolist()
+
+        res = run_spmd(prog, 2, engine=engine)
+        assert res.results[1] == [-1, -1, -1, -1]  # receiver's copy changed
+        assert res.results[0] == [0, 1, 2, 3]      # sender's did not
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_self_send(self, engine):

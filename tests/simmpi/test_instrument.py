@@ -1,7 +1,11 @@
 """Tests for communication accounting."""
 
+import pickle
+import threading
+
 import numpy as np
 
+from repro.simmpi import wire
 from repro.simmpi.instrument import CommStats, _payload_nbytes
 
 
@@ -19,6 +23,19 @@ class TestPayloadSizing:
     def test_scalar_counts_word(self):
         assert _payload_nbytes(None) == 8
         assert _payload_nbytes(42) == 8
+
+    def test_dict_sized_by_encoding(self):
+        """Regression: a dict used to count as one 8-byte machine word;
+        it is now sized by its actual encoded length."""
+        payload = {"served": 12345, "phase": "correction"}
+        nbytes = _payload_nbytes(payload)
+        assert nbytes == len(wire.encode_payload(payload))
+        assert nbytes > 8
+
+    def test_string_sized_by_encoding(self):
+        nbytes = _payload_nbytes("x" * 100)
+        assert nbytes == len(wire.encode_payload("x" * 100))
+        assert nbytes >= 100
 
 
 class TestCommStats:
@@ -38,6 +55,36 @@ class TestCommStats:
         s.bump("remote_tile_lookups")
         assert s.get("remote_tile_lookups") == 101
         assert s.get("never") == 0
+
+    def test_record_send_with_dict_payload_pins_encoded_bytes(self):
+        """Regression for the 8-bytes-per-dict undercount: bytes_by_tag
+        now reflects the payload's true encoded size."""
+        payload = {"remote_lookups": 7, "reads": [1, 2, 3]}
+        expected = len(wire.encode_payload(payload))
+        s = CommStats()
+        s.record_send(9, payload, dest=1)
+        assert s.bytes_by_tag == {9: expected}
+        assert s.bytes_by_peer == {1: expected}
+        assert expected > 8
+
+    def test_exact_nbytes_overrides_estimate(self):
+        s = CommStats()
+        s.record_send(4, np.zeros(2, np.uint64), dest=0, nbytes=123)
+        assert s.bytes_sent == 123
+        assert s.bytes_by_tag == {4: 123}
+
+    def test_pickle_roundtrip_rebuilds_lock(self):
+        """The process engine ships ledgers across processes by pickle;
+        the thread lock is dropped and rebuilt."""
+        s = CommStats()
+        s.record_send(2, b"abc", dest=1)
+        s.bump("served", 3)
+        t = pickle.loads(pickle.dumps(s))
+        assert t.bytes_sent == s.bytes_sent
+        assert t.counters == {"served": 3}
+        assert isinstance(t._lock, type(threading.Lock()))
+        t.bump("served")  # the rebuilt lock actually works
+        assert t.get("served") == 4
 
     def test_merge(self):
         a, b = CommStats(), CommStats()

@@ -1,0 +1,251 @@
+"""Tests for the wire codec: typed frames, round trips, limits."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.simmpi import wire
+from repro.simmpi.message import Message
+
+
+def assert_roundtrip(value):
+    """Encode/decode and compare exactly (dtype, shape, type, value)."""
+    back = wire.decode_payload(wire.encode_payload(value))
+    _assert_equal(value, back)
+    return back
+
+
+def _assert_equal(a, b):
+    if isinstance(a, np.ndarray):
+        assert isinstance(b, np.ndarray)
+        assert a.dtype == b.dtype
+        assert a.shape == b.shape
+        assert (a == b).all() or (a != a).any()  # NaNs compare unequal
+    elif isinstance(a, (tuple, list)):
+        assert type(a) is type(b)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_equal(x, y)
+    elif isinstance(a, np.generic):
+        assert type(a) is type(b)
+        assert a == b or a != a
+    else:
+        assert type(a) is type(b)
+        assert a == b or a != a
+
+
+class TestScalarRoundTrips:
+    @pytest.mark.parametrize("value", [
+        None, True, False,
+        0, 1, -1, 2**62, -(2**62), 2**100, -(2**100),
+        0.0, -2.5, float("inf"),
+        "", "hello", "ünïcode ✓",
+        b"", b"raw\x00bytes",
+    ])
+    def test_roundtrip(self, value):
+        assert_roundtrip(value)
+
+    def test_bool_stays_bool(self):
+        """bool is an int subclass; the codec must not flatten it."""
+        assert wire.decode_payload(wire.encode_payload(True)) is True
+        assert wire.decode_payload(wire.encode_payload(False)) is False
+
+    @pytest.mark.parametrize("value", [
+        np.uint64(2**63 + 1), np.uint32(7), np.int64(-9), np.float64(0.25),
+        np.int8(-3), np.bool_(True),
+    ])
+    def test_numpy_scalars_keep_their_type(self, value):
+        back = assert_roundtrip(value)
+        assert back.dtype == np.asarray(value).dtype
+
+
+class TestArrayRoundTrips:
+    @pytest.mark.parametrize("dtype", [
+        np.uint64, np.uint32, np.int64, np.int8, np.float64, np.float32,
+        np.bool_, np.complex128,
+    ])
+    def test_dtypes(self, dtype):
+        assert_roundtrip(np.arange(17).astype(dtype))
+
+    @pytest.mark.parametrize("shape", [(0,), (0, 4), (3, 0, 2)])
+    def test_zero_length_arrays(self, shape):
+        assert_roundtrip(np.zeros(shape, dtype=np.uint64))
+
+    def test_multidimensional(self):
+        assert_roundtrip(np.arange(24, dtype=np.int64).reshape(2, 3, 4))
+
+    def test_noncontiguous_input(self):
+        arr = np.arange(20, dtype=np.uint32)[::2]
+        assert not arr.flags["C_CONTIGUOUS"] or arr.base is not None
+        assert_roundtrip(arr)
+
+    def test_fixed_width_strings(self):
+        assert_roundtrip(np.array([b"ac", b"gt"], dtype="S2"))
+
+    def test_decoded_array_is_writable_and_independent(self):
+        frame = wire.encode_frame(0, 1, np.arange(4, dtype=np.int64))
+        a = wire.decode_frame(frame).payload
+        b = wire.decode_frame(frame).payload
+        a[:] = -1  # must not raise (frombuffer views are read-only)
+        assert b.tolist() == [0, 1, 2, 3]
+
+
+class TestControlRecords:
+    def test_nested_control_tuples(self):
+        """The shape of real protocol payloads (e.g. dynamic balancing's
+        WORK_ASSIGN chunks: a tuple of parallel arrays plus scalars)."""
+        payload = (
+            np.arange(5, dtype=np.uint64),           # ids
+            np.zeros((5, 8), dtype=np.uint8),        # codes
+            np.full(5, 8, dtype=np.int32),           # lengths
+            ("done", 3, None, (True, 2.5)),          # nested control
+        )
+        assert_roundtrip(payload)
+
+    def test_lists_stay_lists(self):
+        back = assert_roundtrip([1, [2, 3], (4, 5)])
+        assert isinstance(back, list)
+        assert isinstance(back[1], list)
+        assert isinstance(back[2], tuple)
+
+
+class TestFallback:
+    @pytest.mark.parametrize("value", [
+        {"a": 1}, {1, 2, 3}, {"nested": {"x": [1, 2]}},
+    ])
+    def test_pickle_fallback_roundtrips(self, value):
+        assert not wire.is_wire_codable(value)
+        assert wire.decode_payload(wire.encode_payload(value)) == value
+
+    def test_object_dtype_array_falls_back(self):
+        arr = np.array([{"a": 1}, None], dtype=object)
+        assert not wire.is_wire_codable(arr)
+        back = wire.decode_payload(wire.encode_payload(arr))
+        assert back.dtype == object and back[0] == {"a": 1}
+
+    @pytest.mark.parametrize("value", [
+        None, 3, np.zeros(2), (np.zeros(2), 1), [b"x"], "s",
+    ])
+    def test_typed_payloads_are_codable(self, value):
+        assert wire.is_wire_codable(value)
+
+    def test_container_with_dict_is_not_codable(self):
+        assert not wire.is_wire_codable((np.zeros(2), {"a": 1}))
+
+
+class TestFrames:
+    def test_header_fields(self):
+        frame = wire.encode_frame(3, 17, None)
+        assert frame[0] == wire.MAGIC
+        assert frame[1] == wire.VERSION
+        assert wire.frame_header(frame) == (3, 17)
+
+    def test_decode_frame_is_a_message(self):
+        msg = wire.decode_frame(wire.encode_frame(2, 5, "payload"))
+        assert isinstance(msg, Message)
+        assert (msg.source, msg.tag, msg.payload) == (2, 5, "payload")
+
+    def test_bad_magic(self):
+        frame = bytearray(wire.encode_frame(0, 0, None))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.frame_header(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(wire.encode_frame(0, 0, None))
+        frame[1] = wire.VERSION + 1
+        with pytest.raises(WireFormatError, match="version"):
+            wire.frame_header(bytes(frame))
+
+    def test_short_frame(self):
+        with pytest.raises(WireFormatError, match="header"):
+            wire.frame_header(b"\xc5\x01")
+
+    def test_truncated_payload(self):
+        frame = wire.encode_frame(0, 1, np.arange(10, dtype=np.int64))
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.decode_frame(frame[:-3])
+
+    def test_trailing_bytes(self):
+        frame = wire.encode_frame(0, 1, 7)
+        with pytest.raises(WireFormatError, match="trailing"):
+            wire.decode_frame(frame + b"\x00")
+
+    def test_unknown_type_code(self):
+        bad = struct.pack("<BBiq", wire.MAGIC, wire.VERSION, 0, 0) + b"\x42"
+        with pytest.raises(WireFormatError, match="type code"):
+            wire.decode_frame(bad)
+
+    def test_frame_size_limit(self, monkeypatch):
+        """Payloads above the frame limit are refused at encode time
+        (patched down so the test does not allocate gigabytes)."""
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(WireFormatError, match="frame limit"):
+            wire.encode_payload(np.zeros(100, dtype=np.uint64))
+        wire.encode_payload(np.zeros(2, dtype=np.uint64))  # under the limit
+
+    def test_large_frame_roundtrips(self):
+        """A multi-megabyte array (the scale of a real tile exchange)."""
+        arr = np.arange(1 << 20, dtype=np.uint64)
+        frame = wire.encode_frame(1, 2, arr)
+        assert len(frame) > arr.nbytes
+        _assert_equal(arr, wire.decode_frame(frame).payload)
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        payload = (np.arange(3, dtype=np.int64), [np.ones(2)])
+        copy = wire.clone(payload)
+        copy[0][:] = 9
+        copy[1][0][:] = 9
+        assert payload[0].tolist() == [0, 1, 2]
+        assert payload[1][0].tolist() == [1.0, 1.0]
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+_arrays = st.tuples(
+    st.sampled_from([np.uint64, np.uint32, np.int64, np.float64]),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=2**32),
+).map(lambda t: (np.arange(t[1]).astype(t[0]) + t[0](t[2] % 7)))
+
+_payloads = st.recursive(
+    st.one_of(_scalars, _arrays),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+    ),
+    max_leaves=8,
+)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_payloads)
+    def test_roundtrip_exact(self, payload):
+        assert_roundtrip(payload)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_payloads, st.integers(0, 2**31 - 1),
+           st.integers(-(2**31), 2**31 - 1))
+    def test_frame_roundtrip(self, payload, tag, source):
+        frame = wire.encode_frame(source, tag, payload)
+        assert wire.frame_header(frame) == (source, tag)
+        msg = wire.decode_frame(frame)
+        assert (msg.source, msg.tag) == (source, tag)
+        _assert_equal(payload, msg.payload)
