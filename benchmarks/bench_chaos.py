@@ -1,0 +1,164 @@
+"""Chaos smoke: Step IV under injected faults must not change a byte.
+
+Runs the same E.Coli-profile instance three ways on the process engine —
+fault-free, with seeded frame drops, and with drops plus one scripted
+mid-correction rank crash — and asserts the survivability contract:
+every mode's merged corrected output is bit-identical to the fault-free
+serial reference, with the losses fully accounted for in the retry and
+recovery ledgers (and all of them zero when no plan is armed).
+
+Also runnable standalone, emitting the ``repro.experiment/1`` JSON shape
+(the CI ``chaos-smoke`` job's uploaded artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --out chaos.json
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.core.corrector import ReptileCorrector
+from repro.core.spectrum import LocalSpectrumView, build_spectra
+from repro.faults import CrashFault, FaultPlan
+from repro.parallel import HeuristicConfig, ParallelReptile
+
+NRANKS = 4
+
+#: The seeded chaos script: >= 5% of droppable frames lost (capped per
+#: frame so the plan stays survivable) and rank 2 killed early in its
+#: correction phase.
+DROP_PLAN = FaultPlan(
+    seed=1234,
+    drop_rate=0.06,
+    max_drops_per_frame=2,
+    base_timeout_s=0.1,
+    max_retries=8,
+)
+CRASH_PLAN = FaultPlan(
+    seed=1234,
+    drop_rate=0.06,
+    max_drops_per_frame=2,
+    crashes=(CrashFault(rank=2, after_events=4),),
+    base_timeout_s=0.1,
+    max_retries=8,
+)
+
+MODES = [
+    ("fault-free", None),
+    ("drops", DROP_PLAN),
+    ("drops+crash", CRASH_PLAN),
+]
+
+#: Resilience ledger columns pulled from the merged counters.
+LEDGER = (
+    "frames_dropped", "lookup_retries", "lookup_timeouts",
+    "crashes_injected", "takeover_reads",
+)
+
+
+def _measure(scale, plan, nranks, engine="process"):
+    start = time.perf_counter()
+    result = ParallelReptile(
+        scale.config,
+        HeuristicConfig(prefetch=True),
+        nranks=nranks,
+        engine=engine,
+        faults=plan,
+    ).run(scale.dataset.block)
+    wall = time.perf_counter() - start
+    total = result.stats[0].__class__()
+    for s in result.stats:
+        total.merge(s)
+    return result, total, wall
+
+
+def run_experiment(scale, nranks=NRANKS, engine="process") -> ExperimentResult:
+    """One row per mode; every mode must reproduce the serial output."""
+    out = ExperimentResult(
+        experiment="faults.chaos_smoke",
+        title=f"Step IV under injected faults at {nranks} ranks "
+              f"({engine} engine)",
+        columns=["mode", "wall_s", "crashed", *LEDGER, "identical"],
+    )
+    block, cfg = scale.dataset.block, scale.config
+    spectra = build_spectra(block, cfg)
+    reference = ReptileCorrector(
+        cfg, LocalSpectrumView(spectra)
+    ).correct_block(block)
+
+    for name, plan in MODES:
+        result, total, wall = _measure(scale, plan, nranks, engine=engine)
+        merged = result.corrected_block
+        # Zero silent losses: exactly the input ids survive, and every
+        # read equals the fault-free serial reference byte for byte.
+        identical = (
+            np.array_equal(merged.ids, block.ids)
+            and np.array_equal(merged.codes, reference.block.codes)
+            and np.array_equal(merged.lengths, reference.block.lengths)
+        )
+        out.add(
+            name,
+            round(wall, 3),
+            ",".join(map(str, result.crashed_ranks)) or "-",
+            *(total.get(c) for c in LEDGER),
+            identical,
+        )
+        assert identical, f"{name}: corrected output diverged"
+        if plan is None:
+            # Zero-overhead contract: no plan, no resilience trace.
+            assert all(total.get(c) == 0 for c in LEDGER)
+        else:
+            assert total.get("frames_dropped") > 0
+            assert total.get("lookup_retries") > 0
+        if plan is CRASH_PLAN:
+            assert result.crashed_ranks == [2]
+            assert total.get("takeover_reads") > 0
+    out.note(
+        f"plan seed {CRASH_PLAN.seed}: {CRASH_PLAN.drop_rate:.0%} drop "
+        f"rate (<= {CRASH_PLAN.max_drops_per_frame} losses/frame), "
+        "rank 2 killed mid-correction; prefetch heuristic on"
+    )
+    return out
+
+
+@pytest.fixture(scope="module")
+def exhibit(ecoli_scale):
+    return run_experiment(ecoli_scale)
+
+
+def test_chaos_smoke(benchmark, exhibit, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n{exhibit}")
+    by_mode = {row[0]: row for row in exhibit.rows}
+    assert all(row[-1] for row in exhibit.rows)  # identical everywhere
+    assert by_mode["drops+crash"][2] == "2"
+
+
+def main(argv=None) -> None:
+    """Standalone entry point: run the exhibit and write it as JSON."""
+    import argparse
+
+    from repro.bench.export import write_json
+    from repro.bench.harness import small_scale
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nranks", type=int, default=NRANKS)
+    parser.add_argument("--genome-size", type=int, default=4_000)
+    parser.add_argument("--engine", default="process",
+                        choices=["cooperative", "threaded", "process"])
+    parser.add_argument("--out", default="bench_chaos.json")
+    args = parser.parse_args(argv)
+    scale = small_scale(
+        "E.Coli", genome_size=args.genome_size, chunk_size=250
+    )
+    result = run_experiment(scale, nranks=args.nranks, engine=args.engine)
+    print(result)
+    write_json(result, args.out)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,7 @@ from repro.datasets import (
     ReadSimulator,
     ErrorModel,
 )
+from repro.faults import CrashFault, FaultPlan, StallFault
 from repro.io import ReadBlock
 from repro.parallel import (
     ParallelReptile,
@@ -84,6 +85,9 @@ __all__ = [
     "ParallelReptile",
     "ParallelRunResult",
     "HeuristicConfig",
+    "FaultPlan",
+    "CrashFault",
+    "StallFault",
     "BGQMachine",
     "PerformancePredictor",
     "ScalingStudy",

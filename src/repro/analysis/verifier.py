@@ -149,8 +149,11 @@ class RuntimeVerifier:
                 specific = [w for w in waits.values() if w[0] != ANY_SOURCE]
                 blocked[r] = specific[0] if specific else \
                     next(iter(waits.values()))
+        from repro.faults import describe_faults
+
         return DeadlockError.from_blocked(blocked, detail=detail,
-                                          cycle=cycle)
+                                          cycle=cycle,
+                                          faults=describe_faults(self._world))
 
     # ------------------------------------------------------------------
     # finalize audit

@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--stats", action="store_true",
                    help="print per-rank statistics")
     c.add_argument("--report", help="write a JSON run report to this path")
+    c.add_argument("--faults", metavar="PLAN.json",
+                   help="inject faults from a FaultPlan JSON file "
+                        "(see docs/FAULTS.md); the run must still produce "
+                        "bit-identical output")
 
     # ---------------------------------------------------------- simulate
     s = sub.add_parser("simulate", help="synthesize a dataset")
@@ -176,12 +180,22 @@ def cmd_correct(args: argparse.Namespace) -> int:
 
     cfg = _config_from_args(args)
     heur = _heuristics_from_args(args)
-    runner = ParallelReptile(cfg, heur, nranks=args.nranks, engine=args.engine)
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.from_file(args.faults)
+    runner = ParallelReptile(
+        cfg, heur, nranks=args.nranks, engine=args.engine, faults=faults
+    )
     result = runner.run_files(cfg.fasta_file, cfg.quality_file or None)
     block = result.corrected_block
     write_fasta(args.output, block.to_strings(), start_id=int(block.ids[0]))
     print(f"corrected {len(block)} reads "
           f"({result.total_corrections} substitutions) -> {args.output}")
+    if result.crashed_ranks:
+        print(f"recovered from injected crash of rank(s) "
+              f"{result.crashed_ranks}")
     if args.report:
         from repro.parallel.report import write_run_report
 

@@ -24,6 +24,9 @@ from repro.kmer.tiles import TileShape
 #: Format marker stored in the file.
 _FORMAT = "repro.spectra/1"
 
+#: Format marker of a rank's recovery bundle (spill-mode replication).
+_RECOVERY_FORMAT = "repro.recovery/1"
+
 
 def save_spectra(spectra: SpectrumPair, path: str | os.PathLike) -> None:
     """Write a spectrum pair as compressed npz."""
@@ -60,3 +63,64 @@ def load_spectra(path: str | os.PathLike) -> SpectrumPair:
             data["tile_keys"], data["tile_counts"].astype(np.uint64)
         )
     return SpectrumPair(shape=shape, kmers=kmers, tiles=tiles)
+
+
+def save_recovery_bundle(
+    path: str | os.PathLike,
+    *,
+    kmer_keys: np.ndarray,
+    kmer_counts: np.ndarray,
+    tile_keys: np.ndarray,
+    tile_counts: np.ndarray,
+    ids: np.ndarray,
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    quals: np.ndarray,
+) -> None:
+    """Write one rank's recoverable state (spectrum shard + read
+    partition) as compressed npz — the ``recovery="spill"`` alternative
+    to holding the replica in a partner's memory."""
+    np.savez_compressed(
+        path,
+        format=np.array(_RECOVERY_FORMAT),
+        kmer_keys=kmer_keys,
+        kmer_counts=kmer_counts,
+        tile_keys=tile_keys,
+        tile_counts=tile_counts,
+        ids=ids,
+        codes=codes,
+        lengths=lengths,
+        quals=quals,
+    )
+
+
+def load_recovery_bundle(path: str | os.PathLike) -> dict:
+    """Read a bundle written by :func:`save_recovery_bundle`.
+
+    Returns a dict with ``kmers``/``tiles`` rebuilt as
+    :class:`CountHash` tables plus the raw ``codes``/``lengths``/
+    ``quals`` arrays of the read partition."""
+    with np.load(path) as data:
+        fmt = str(data["format"])
+        if fmt != _RECOVERY_FORMAT:
+            raise SpectrumError(
+                f"{path}: unsupported recovery format {fmt!r} "
+                f"(expected {_RECOVERY_FORMAT!r})"
+            )
+        kmers = CountHash(capacity=2 * max(1, data["kmer_keys"].shape[0]))
+        kmers.add_counts(
+            data["kmer_keys"], data["kmer_counts"].astype(np.uint64)
+        )
+        tiles = CountHash(capacity=2 * max(1, data["tile_keys"].shape[0]))
+        tiles.add_counts(
+            data["tile_keys"], data["tile_counts"].astype(np.uint64)
+        )
+        out = {
+            "kmers": kmers,
+            "tiles": tiles,
+            "ids": data["ids"],
+            "codes": data["codes"],
+            "lengths": data["lengths"],
+            "quals": data["quals"],
+        }
+    return out

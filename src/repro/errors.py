@@ -79,12 +79,16 @@ class DeadlockError(CommunicatorError):
     """
 
     def __init__(self, message: str, *, blocked: dict[int, tuple[int, int]] | None = None,
-                 cycle: list[int] | None = None) -> None:
+                 cycle: list[int] | None = None, faults: str | None = None) -> None:
         super().__init__(message)
         #: rank -> (source, tag) each blocked rank was waiting on.
         self.blocked = dict(blocked or {})
         #: The ranks forming a wait-for cycle, when one was found.
         self.cycle = list(cycle or [])
+        #: Rendering of the fault injector's pending/fired state when
+        #: injection was active, so a chaos hang is attributable in one
+        #: read (None on fault-free runs).
+        self.faults = faults
 
     @classmethod
     def from_blocked(
@@ -93,12 +97,16 @@ class DeadlockError(CommunicatorError):
         *,
         detail: str,
         cycle: list[int] | None = None,
+        faults: str | None = None,
     ) -> "DeadlockError":
         """The single code path that renders a deadlock diagnosis.
 
         ``blocked`` maps each stuck rank to the (source, tag) pattern it
         is blocked on; ``detail`` says which detector fired and why;
-        ``cycle`` optionally names the ranks of a wait-for cycle.
+        ``cycle`` optionally names the ranks of a wait-for cycle;
+        ``faults`` is the fault injector's self-description when a
+        :class:`~repro.faults.FaultPlan` is active, so an injected stall
+        is distinguishable from a genuine deadlock.
         """
         waits = "; ".join(
             f"rank {rank} blocked in {_fmt_pattern(src, tag)}"
@@ -108,7 +116,39 @@ class DeadlockError(CommunicatorError):
         if cycle:
             chain = " -> ".join(str(r) for r in cycle)
             message += f" (wait-for cycle: {chain})"
-        return cls(message, blocked=blocked, cycle=cycle)
+        if faults:
+            message += f" [fault injection active: {faults}]"
+        return cls(message, blocked=blocked, cycle=cycle, faults=faults)
+
+
+class RankCrashError(ReproError):
+    """A scripted :class:`~repro.faults.CrashFault` fired: the rank dies
+    mid-correction.  Raised *inside* the doomed rank and absorbed by the
+    engines (the rank is marked crashed rather than failing the run);
+    never propagates to callers of a survivable plan."""
+
+    def __init__(self, rank: int, event: int) -> None:
+        super().__init__(
+            f"rank {rank} crashed by fault plan after correction-phase "
+            f"event {event}"
+        )
+        self.rank = rank
+        self.event = event
+
+
+class LookupTimeoutError(CommunicatorError):
+    """A resilient Step IV lookup exhausted its retry budget: some owner
+    never answered within ``max_retries`` exponential-backoff rounds.
+    The plan was not survivable for the fault sequence it produced."""
+
+    def __init__(self, message: str, *, rank: int | None = None,
+                 pending: list[int] | None = None,
+                 attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.rank = rank
+        #: Owner ranks still owing a response when the budget ran out.
+        self.pending = list(pending or [])
+        self.attempts = attempts
 
 
 class VerifierError(CommunicatorError):

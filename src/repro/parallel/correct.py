@@ -28,11 +28,13 @@ import numpy as np
 
 from repro.config import ReptileConfig
 from repro.core.corrector import CorrectionResult, ReptileCorrector
+from repro.errors import ConfigError
 from repro.hashing.inthash import mix_to_rank
 from repro.io.records import ReadBlock
 from repro.parallel.build import RankSpectra
 from repro.parallel.heuristics import HeuristicConfig
 from repro.parallel.prefetch import PrefetchExecutor, local_ladder
+from repro.parallel.recovery import RecoveryState, replicate_state
 from repro.parallel.server import KIND_KMER, KIND_TILE, CorrectionProtocol
 from repro.simmpi.communicator import Communicator
 from repro.util.timer import PhaseTimer
@@ -146,8 +148,31 @@ def correct_distributed(
     thread (requires the free-threaded engine); the default services
     requests at communication points instead, which behaves identically
     and also runs on the deterministic engine.
+
+    When a :class:`~repro.faults.FaultPlan` is armed on the communicator,
+    the phase becomes survivable: doomed ranks replicate their spectrum
+    shard and read partition to a partner first, lookups run the
+    sequence-numbered retry protocol, and each partner re-owns and
+    replays its dead ward's reads before the DONE/SHUTDOWN handshake —
+    so the run's corrected output stays bit-identical to the fault-free
+    reference.
     """
     timer = timer or PhaseTimer()
+    plan = comm.fault_plan
+    resilient = plan is not None and plan.needs_resilient_lookups
+    if comm_thread and resilient:
+        raise ConfigError(
+            "comm_thread=True cannot combine with a FaultPlan that drops "
+            "frames or crashes ranks; use the pump-mode protocol"
+        )
+    recovery = RecoveryState()
+    if plan is not None and plan.doomed_ranks():
+        recovery = replicate_state(comm, plan, spectra, block)
+    injector = comm.fault_injector
+    if injector is not None:
+        # Scripted crash/stall triggers count communication events only
+        # from here on — replication traffic above must stay reliable.
+        injector.enter_phase(comm.rank, "correction")
     if comm_thread:
         from repro.parallel.commthread import CommThreadProtocol
 
@@ -167,6 +192,8 @@ def correct_distributed(
             owned_kmers=spectra.kmers,
             owned_tiles=spectra.tiles,
             universal=heuristics.universal,
+            faults=plan,
+            replicas=recovery.replicas,
         )
     view = DistributedSpectrumView(comm, spectra, heuristics, protocol, timer)
     corrector = ReptileCorrector(config, view)
@@ -174,6 +201,7 @@ def correct_distributed(
     results: list[CorrectionResult] = []
     with timer.phase("error_correction"):
         chunks = list(block.chunks(config.chunk_size)) if len(block) else []
+        executor = None
         if heuristics.use_prefetch:
             # Bulk-prefetch engine: plan, fetch, and pipeline so the
             # corrector itself never blocks on request_counts.
@@ -189,6 +217,32 @@ def correct_distributed(
                 if not comm_thread:
                     # Give the "communication thread" a turn between
                     # chunks even if this chunk needed no remote lookups.
+                    while protocol.pump(block=False):
+                        pass
+        if plan is not None and comm.rank in plan.doomed_ranks():
+            # Surviving one's own scripted crash means the plan was
+            # mis-calibrated (after_events beyond the rank's event
+            # count): the partner would replay these reads *as well*.
+            raise ConfigError(
+                f"rank {comm.rank} finished correction but its scripted "
+                "crash never fired; lower the fault's after_events"
+            )
+        # Re-own and replay each dead ward's reads from the replica.
+        # The ward's owned ids resolve from the held replica tables; the
+        # rest go through the same (resilient) lookup ladder, so the
+        # replayed output is identical to what the ward would have
+        # produced.  Replay precedes finish(): peers are still serving.
+        for ward in sorted(recovery.ward_blocks):
+            wblock = recovery.ward_blocks[ward]
+            comm.stats.bump("takeover_reads", len(wblock))
+            wchunks = (
+                list(wblock.chunks(config.chunk_size)) if len(wblock) else []
+            )
+            if executor is not None:
+                results.extend(executor.run(wchunks))
+            else:
+                for chunk in wchunks:
+                    results.append(corrector.correct_block(chunk))
                     while protocol.pump(block=False):
                         pass
         protocol.finish()

@@ -17,6 +17,7 @@ import numpy as np
 from repro.config import ReptileConfig
 from repro.core.metrics import AccuracyReport, evaluate_correction
 from repro.datasets.reads import SimulatedDataset
+from repro.faults import FaultPlan
 from repro.io.partition import load_rank_block
 from repro.io.records import ReadBlock
 from repro.parallel.build import build_rank_spectra
@@ -57,6 +58,10 @@ class ParallelRunResult:
     stats: list[CommStats]
     config: ReptileConfig
     heuristics: HeuristicConfig
+    #: Ranks killed by the active fault plan (their reports are empty
+    #: placeholders; the reads they owned appear in their recovery
+    #: partner's block instead).
+    crashed_ranks: list[int] = field(default_factory=list)
     _corrected: ReadBlock | None = field(default=None, repr=False)
 
     @property
@@ -324,6 +329,13 @@ class ParallelReptile:
         The paper's two-thread Step IV (worker + communication thread
         per rank); needs real concurrency inside a rank, so it requires
         the threaded or process engine.
+    faults:
+        An optional :class:`~repro.faults.FaultPlan`.  Frame faults are
+        injected into the transport, scripted crashes/stalls into the
+        engines; Step IV runs its retry/recovery protocol, and a
+        crashed rank's reads reappear in its partner's block — the run's
+        merged output stays bit-identical to the fault-free reference
+        for any survivable plan.
     """
 
     def __init__(
@@ -333,6 +345,7 @@ class ParallelReptile:
         nranks: int = 4,
         engine: Engine | str = "cooperative",
         comm_thread: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -347,11 +360,21 @@ class ParallelReptile:
                     "comm_thread=True (the paper's two-thread Step IV) "
                     "requires the threaded or process engine"
                 )
+        if faults is not None:
+            faults.validate(nranks)
+            if comm_thread and faults.needs_resilient_lookups:
+                from repro.errors import ConfigError
+
+                raise ConfigError(
+                    "comm_thread=True cannot combine with a FaultPlan "
+                    "that drops frames or crashes ranks"
+                )
         self.config = config
         self.heuristics = heuristics or HeuristicConfig()
         self.nranks = nranks
         self.engine = engine
         self.comm_thread = comm_thread
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def run(self, block: ReadBlock) -> ParallelRunResult:
@@ -423,10 +446,40 @@ class ParallelReptile:
 
     # ------------------------------------------------------------------
     def _execute(self, rank_fn) -> ParallelRunResult:
-        spmd = run_spmd(rank_fn, self.nranks, engine=self.engine)
+        spmd = run_spmd(
+            rank_fn, self.nranks, engine=self.engine, faults=self.faults
+        )
+        reports: list[RankReport] = []
+        crashed: list[int] = []
+        for r, report in enumerate(spmd.results):
+            if isinstance(report, RankReport):
+                reports.append(report)
+                continue
+            # A CrashedRank sentinel: the plan killed this rank mid-
+            # correction.  Its reads live on in the partner's report;
+            # stand in an empty placeholder so per-rank series keep
+            # one entry per rank.
+            crashed.append(r)
+            width = 0
+            for other in spmd.results:
+                if isinstance(other, RankReport):
+                    width = other.block.max_length
+                    break
+            reports.append(RankReport(
+                rank=r,
+                block=ReadBlock.empty(width),
+                corrections_per_read=np.empty(0, dtype=np.int64),
+                reads_reverted=0,
+                tiles_examined=0,
+                tiles_below_threshold=0,
+                timings={},
+                memory=RankMemoryReport(rank=r),
+                table_sizes={},
+            ))
         return ParallelRunResult(
-            reports=list(spmd.results),
+            reports=reports,
             stats=spmd.stats,
             config=self.config,
             heuristics=self.heuristics,
+            crashed_ranks=crashed,
         )

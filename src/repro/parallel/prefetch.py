@@ -68,12 +68,13 @@ import numpy as np
 
 from repro.config import ReptileConfig
 from repro.core.corrector import CorrectionResult, ReptileCorrector
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, LookupTimeoutError
 from repro.hashing.counthash import CountHash
 from repro.hashing.inthash import mix_to_rank
 from repro.io.records import ReadBlock
 from repro.parallel.build import RankSpectra
 from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.server import KIND_KMER, KIND_TILE
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import Message, Tags
 from repro.util.timer import PhaseTimer
@@ -217,6 +218,10 @@ class BulkFetch:
         #: Owner -> (kmer positions, tile positions) into the result
         #: arrays, in the order that owner's ids were sent.
         self.slices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: dest -> the exact request payload sent there, retained in
+        #: fault mode so a timed-out collect can resend it verbatim
+        #: (the shared ``req_id`` makes the retransmit idempotent).
+        self.payloads: dict[int, np.ndarray] = {}
 
     @property
     def complete(self) -> bool:
@@ -244,6 +249,17 @@ class PrefetchEndpoint:
         # CorrectionProtocol exposes a pump; CommThreadProtocol serves on
         # its own thread and exposes none.
         self._pump = getattr(protocol, "pump", None)
+        #: The active FaultPlan, inherited from the protocol (None on
+        #: fault-free runs; comm_thread mode rejects fault plans, so the
+        #: resilient paths below only ever run in pump mode).
+        self.faults = getattr(protocol, "faults", None)
+        self._resilient = (
+            self.faults is not None and self.faults.needs_resilient_lookups
+        )
+        self._doomed = (
+            self.faults.doomed_ranks() if self.faults is not None
+            else frozenset()
+        )
         protocol.handlers[Tags.PREFETCH_REQUEST] = self._on_request
         protocol.handlers[Tags.PREFETCH_RESPONSE] = self._on_response
 
@@ -284,10 +300,29 @@ class PrefetchEndpoint:
             # Snapshot: on the communication thread a response may pop
             # its slice entry while this loop is still sending.
             for dest, (kpos, tpos) in list(fetch.slices.items()):
+                if dest == self.comm.rank:
+                    # Fault mode only: this rank is the recovery partner
+                    # of a dead owner, so the ward's ids resolve from the
+                    # replica it holds — no message at all.
+                    kc = self.protocol._lookup_with_replicas(
+                        KIND_KMER, kmer_ids[kpos]
+                    )
+                    tc = self.protocol._lookup_with_replicas(
+                        KIND_TILE, tile_ids[tpos]
+                    )
+                    with self._cond:
+                        fetch.kmer_counts[kpos] = kc
+                        fetch.tile_counts[tpos] = tc
+                        fetch.slices.pop(dest, None)
+                        fetch.pending.discard(dest)
+                    stats.bump("failover_requests_served")
+                    continue
                 header = np.array([req_id, kpos.size], dtype=np.uint64)
                 payload = np.concatenate(
                     [header, kmer_ids[kpos], tile_ids[tpos]]
                 )
+                if self._resilient:
+                    fetch.payloads[dest] = payload
                 self.comm.isend(dest, payload, tag=Tags.PREFETCH_REQUEST)
                 stats.bump("prefetch_messages")
         return fetch
@@ -302,8 +337,11 @@ class PrefetchEndpoint:
         deadlock-free.
         """
         if self._pump is not None:
-            while not fetch.complete:
-                self._pump(block=True)
+            if self._resilient:
+                self._collect_resilient(fetch)
+            else:
+                while not fetch.complete:
+                    self._pump(block=True)
         else:
             deadline = time.monotonic() + PREFETCH_TIMEOUT
             check = getattr(self.protocol, "_check_failure", None)
@@ -322,6 +360,46 @@ class PrefetchEndpoint:
             self._fetches.pop(fetch.req_id, None)
         return fetch.kmer_counts, fetch.tile_counts
 
+    def _collect_resilient(self, fetch: BulkFetch) -> None:
+        """Pump-mode wait with timeout + bounded exponential backoff.
+
+        Each expired deadline resends the retained payload of every
+        still-pending destination; the shared ``req_id`` and the
+        slice-pop in :meth:`_on_response` make retransmits and duplicate
+        answers idempotent."""
+        plan = self.faults
+        sleep_hint = 0.0 if self.comm.probe_yields else 0.002
+        attempt = 0
+        deadline = time.monotonic() + plan.timeout_for(attempt)
+        while not fetch.complete:
+            progressed = self._pump(block=False)
+            if fetch.complete:
+                break
+            if progressed:
+                continue
+            if time.monotonic() > deadline:
+                self.comm.stats.bump("lookup_timeouts")
+                attempt += 1
+                if attempt > plan.max_retries:
+                    raise LookupTimeoutError(
+                        f"rank {self.comm.rank}: prefetch owners "
+                        f"{sorted(fetch.pending)} never answered request "
+                        f"{fetch.req_id} within {plan.max_retries} retries "
+                        f"({plan.total_budget():.2f}s budget)",
+                        rank=self.comm.rank,
+                        pending=sorted(fetch.pending),
+                        attempts=attempt,
+                    )
+                for dest in sorted(fetch.pending):
+                    self.comm.isend(
+                        dest, fetch.payloads[dest],
+                        tag=Tags.PREFETCH_REQUEST,
+                    )
+                    self.comm.stats.bump("lookup_retries")
+                deadline = time.monotonic() + plan.timeout_for(attempt)
+            elif sleep_hint:
+                time.sleep(sleep_hint)
+
     def drain(self) -> None:
         """Service any already-arrived peer traffic (pump mode only)."""
         if self._pump is not None:
@@ -329,10 +407,23 @@ class PrefetchEndpoint:
                 pass
 
     def _by_owner(self, ids: np.ndarray) -> dict[int, np.ndarray]:
-        """Positions of ``ids`` grouped by owning rank."""
+        """Positions of ``ids`` grouped by destination rank.
+
+        Normally the destination is the owning rank.  In fault mode a
+        doomed owner's ids are redirected to its recovery partner (the
+        scripted plan stands in for a failure detector), so one payload
+        may mix ids owned by the partner itself and by its dead ward —
+        the server recomputes per-id ownership when answering.  When the
+        partner is *this* rank, the self entry is resolved locally from
+        the held replica in :meth:`issue`.
+        """
         if ids.size == 0:
             return {}
         owners = np.asarray(mix_to_rank(ids, self.comm.size), dtype=np.int64)
+        for doomed in self._doomed:
+            owners[owners == doomed] = self.faults.partner_of(
+                doomed, self.comm.size
+            )
         order = np.argsort(owners, kind="stable")
         bounds = np.searchsorted(
             owners[order], np.arange(self.comm.size + 1)
@@ -342,7 +433,7 @@ class PrefetchEndpoint:
             lo, hi = bounds[dest], bounds[dest + 1]
             if lo == hi:
                 continue
-            if dest == self.comm.rank:
+            if dest == self.comm.rank and not self._resilient:
                 raise CommunicatorError("prefetch given locally-owned ids")
             out[dest] = order[lo:hi]
         return out
@@ -354,8 +445,18 @@ class PrefetchEndpoint:
         payload = np.asarray(msg.payload, dtype=np.uint64)
         req_id, n_kmer = int(payload[0]), int(payload[1])
         ids = payload[2:]
-        kcounts = self.protocol.owned_kmers.lookup(ids[:n_kmer])
-        tcounts = self.protocol.owned_tiles.lookup(ids[n_kmer:])
+        if self._resilient:
+            # A payload addressed here may mix our own ids with a dead
+            # ward's; ownership is recomputed per id against the replica.
+            kcounts = self.protocol._lookup_with_replicas(
+                KIND_KMER, ids[:n_kmer]
+            )
+            tcounts = self.protocol._lookup_with_replicas(
+                KIND_TILE, ids[n_kmer:]
+            )
+        else:
+            kcounts = self.protocol.owned_kmers.lookup(ids[:n_kmer])
+            tcounts = self.protocol.owned_tiles.lookup(ids[n_kmer:])
         response = np.concatenate(
             [np.array([req_id], dtype=np.uint32), kcounts, tcounts]
         )
@@ -371,6 +472,11 @@ class PrefetchEndpoint:
         with self._cond:
             fetch = self._fetches.get(req_id)
             if fetch is None or msg.source not in fetch.slices:
+                if self._resilient:
+                    # A retry raced its original answer, or a duplicated
+                    # frame: the slice was already filled once.
+                    self.comm.stats.bump("stale_responses")
+                    return
                 raise CommunicatorError(
                     f"unmatched prefetch response {req_id} from {msg.source}"
                 )

@@ -14,6 +14,7 @@ import os
 from typing import Any
 
 from repro.parallel.driver import ParallelRunResult
+from repro.simmpi.instrument import RESILIENCE_COUNTERS
 
 
 def run_report(result: ParallelRunResult) -> dict[str, Any]:
@@ -85,6 +86,12 @@ def run_report(result: ParallelRunResult) -> dict[str, Any]:
         # The whole prefetch_* counter family (hits, misses, dedup,
         # fetches, messages, replans, served) summed over ranks.
         "prefetch": total.prefixed("prefetch_"),
+        # Fault-injection and recovery counters (all zero on a
+        # fault-free run); see RESILIENCE_COUNTERS for the glossary.
+        "resilience": {
+            "crashed_ranks": list(result.crashed_ranks),
+            **{name: total.get(name) for name in RESILIENCE_COUNTERS},
+        },
         "per_rank": per_rank,
     }
 

@@ -27,10 +27,13 @@ probes first, then receives by the probed tag.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, LookupTimeoutError
 from repro.hashing.counthash import CountHash
+from repro.hashing.inthash import mix_to_rank
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
 
@@ -48,11 +51,20 @@ class CorrectionProtocol:
         owned_kmers: CountHash,
         owned_tiles: CountHash,
         universal: bool = False,
+        faults=None,
+        replicas: dict | None = None,
     ) -> None:
         self.comm = comm
         self.owned_kmers = owned_kmers
         self.owned_tiles = owned_tiles
         self.universal = universal
+        #: The active :class:`~repro.faults.FaultPlan` (or None): with
+        #: frame faults or crashes scripted, lookups switch to the
+        #: sequence-numbered RESILIENT_* tags with timeout + retry.
+        self.faults = faults
+        #: owner rank -> (kmer CountHash, tile CountHash) replicas this
+        #: rank holds as recovery partner for a doomed ward.
+        self.replicas = dict(replicas or {})
         #: Extra tag -> handler(Message) hooks; lets higher layers (e.g.
         #: the dynamic work-allocation ablation) ride the same pump.
         self.handlers: dict[int, "callable"] = {}
@@ -60,6 +72,24 @@ class CorrectionProtocol:
         self._done_seen = 0      # rank 0 only
         self._shutdown = False
         self._done_sent = False
+        self._resilient = faults is not None and faults.needs_resilient_lookups
+        self._doomed = faults.doomed_ranks() if faults is not None else frozenset()
+        self._req_seq = 0
+        self._active_seq = -1
+        #: owner rank -> (effective dest, stored request payload); kept
+        #: so a timed-out round can resend the identical frame.
+        self._resilient_pending: dict[int, tuple[int, np.ndarray]] = {}
+        self._resilient_responses: dict[int, np.ndarray] = {}
+
+    def _effective_dest(self, owner: int) -> int:
+        """Where to address a lookup for ``owner``'s shard.
+
+        The scripted plan is globally known, standing in for a failure
+        detector: requests for a doomed owner go straight to its
+        recovery partner, which holds the replica."""
+        if owner in self._doomed:
+            return self.faults.partner_of(owner, self.comm.size)
+        return owner
 
     # ------------------------------------------------------------------
     # client side
@@ -79,6 +109,8 @@ class CorrectionProtocol:
             return np.empty(0, dtype=np.uint32)
         if self._done_sent:
             raise CommunicatorError("request_counts after finish()")
+        if self._resilient:
+            return self._request_counts_resilient(kind, ids, owners)
         # Every synchronous round trip is accounted: the prefetch engine's
         # zero-mid-correction-messaging guarantee is asserted on this.
         self.comm.stats.bump("blocking_request_counts")
@@ -128,6 +160,126 @@ class CorrectionProtocol:
         self._responses.clear()
         return out
 
+    def _request_counts_resilient(
+        self, kind: int, ids: np.ndarray, owners: np.ndarray
+    ) -> np.ndarray:
+        """The fault-mode twin of :meth:`request_counts`.
+
+        One RESILIENT_REQUEST goes to each distinct *true* owner — at its
+        effective destination, i.e. the recovery partner when the owner
+        is doomed — carrying a sequence number (so retransmits and stale
+        responses are unambiguous) and the owner id (so the partner knows
+        which shard to answer from).  The caller pumps while waiting;
+        each expired deadline resends every still-pending request with
+        an exponentially longer next deadline, up to ``max_retries``.
+        """
+        plan = self.faults
+        self.comm.stats.bump("blocking_request_counts")
+        order = np.argsort(owners, kind="stable")
+        sorted_ids = ids[order]
+        sorted_owners = owners[order]
+        boundaries = np.searchsorted(
+            sorted_owners, np.arange(self.comm.size + 1)
+        )
+        self._req_seq += 1
+        seq = self._req_seq
+        self._active_seq = seq
+        self._resilient_pending.clear()
+        self._resilient_responses.clear()
+        for owner in range(self.comm.size):
+            lo, hi = boundaries[owner], boundaries[owner + 1]
+            if lo == hi:
+                continue
+            if owner == self.comm.rank:
+                raise CommunicatorError("request_counts given locally-owned ids")
+            chunk = sorted_ids[lo:hi]
+            dest = self._effective_dest(owner)
+            if dest == self.comm.rank:
+                # This rank is the dead owner's partner: answer from the
+                # replica it holds, no message needed.
+                self._resilient_responses[owner] = self._lookup_with_replicas(
+                    kind, chunk
+                )
+                continue
+            payload = np.concatenate(
+                [np.array([seq, owner, kind], dtype=np.uint64), chunk]
+            )
+            self._resilient_pending[owner] = (dest, payload)
+            self.comm.send(dest, payload, tag=Tags.RESILIENT_REQUEST)
+
+        # Serve-while-waiting with timeout + bounded exponential backoff.
+        # On the cooperative engine an empty probe yields the turn, so
+        # the loop needs no wall-clock sleep to let peers progress.
+        sleep_hint = 0.0 if self.comm.probe_yields else 0.002
+        attempt = 0
+        deadline = time.monotonic() + plan.timeout_for(attempt)
+        while self._resilient_pending:
+            progressed = self.pump(block=False)
+            if not self._resilient_pending:
+                break
+            if progressed:
+                continue
+            if time.monotonic() > deadline:
+                self.comm.stats.bump("lookup_timeouts")
+                attempt += 1
+                if attempt > plan.max_retries:
+                    pending = sorted(self._resilient_pending)
+                    self._active_seq = -1
+                    raise LookupTimeoutError(
+                        f"rank {self.comm.rank}: owners {pending} never "
+                        f"answered lookup seq {seq} within "
+                        f"{plan.max_retries} retries "
+                        f"({plan.total_budget():.2f}s budget)",
+                        rank=self.comm.rank,
+                        pending=pending,
+                        attempts=attempt,
+                    )
+                for owner, (dest, payload) in self._resilient_pending.items():
+                    self.comm.send(dest, payload, tag=Tags.RESILIENT_REQUEST)
+                    self.comm.stats.bump("lookup_retries")
+                deadline = time.monotonic() + plan.timeout_for(attempt)
+            elif sleep_hint:
+                time.sleep(sleep_hint)
+        self._active_seq = -1
+
+        assembled = np.empty(ids.shape[0], dtype=np.uint32)
+        at = 0
+        for owner in sorted(self._resilient_responses):
+            resp = self._resilient_responses[owner]
+            assembled[at : at + resp.shape[0]] = resp
+            at += resp.shape[0]
+        if at != ids.shape[0]:
+            raise CommunicatorError(
+                f"response length mismatch: got {at}, wanted {ids.shape[0]}"
+            )
+        out = np.empty_like(assembled)
+        out[order] = assembled
+        self._resilient_responses.clear()
+        return out
+
+    def _lookup_with_replicas(self, kind: int, ids: np.ndarray) -> np.ndarray:
+        """Counts for ids owned by this rank *or* any ward whose replica
+        it holds (ownership recomputed per id, so one payload may mix
+        both — the prefetch path sends such mixes to a partner)."""
+        table = self.owned_kmers if kind == KIND_KMER else self.owned_tiles
+        if not self.replicas:
+            return np.asarray(table.lookup(ids), dtype=np.uint32)
+        owners = np.asarray(mix_to_rank(ids, self.comm.size), dtype=np.int64)
+        counts = np.zeros(ids.shape[0], dtype=np.uint32)
+        for owner in np.unique(owners):
+            sel = owners == owner
+            if owner == self.comm.rank:
+                counts[sel] = table.lookup(ids[sel])
+            elif owner in self.replicas:
+                rep = self.replicas[owner][0 if kind == KIND_KMER else 1]
+                counts[sel] = rep.lookup(ids[sel])
+            else:
+                raise CommunicatorError(
+                    f"rank {self.comm.rank} asked for ids owned by rank "
+                    f"{int(owner)} but holds no replica for it"
+                )
+        return counts
+
     # ------------------------------------------------------------------
     # server side (the "communication thread")
     # ------------------------------------------------------------------
@@ -170,12 +322,35 @@ class CorrectionProtocol:
             self._serve(msg.source, KIND_TILE, np.asarray(msg.payload, np.uint64))
         elif tag == Tags.COUNT_RESPONSE:
             self._responses[msg.source] = np.asarray(msg.payload, np.uint32)
+        elif tag == Tags.RESILIENT_REQUEST:
+            payload = np.asarray(msg.payload, dtype=np.uint64)
+            self._serve_resilient(
+                msg.source, int(payload[0]), int(payload[1]),
+                int(payload[2]), payload[3:],
+            )
+        elif tag == Tags.RESILIENT_RESPONSE:
+            payload = np.asarray(msg.payload, np.uint32)
+            seq, owner = int(payload[0]), int(payload[1])
+            if seq == self._active_seq and owner in self._resilient_pending:
+                self._resilient_responses[owner] = payload[2:]
+                del self._resilient_pending[owner]
+            else:
+                # A retry raced its original answer, or a duplicated
+                # frame: already satisfied, safe to ignore.
+                self.comm.stats.bump("stale_responses")
         elif tag == Tags.WORKER_DONE:
             self._done_seen += 1
         elif tag == Tags.SHUTDOWN:
             self._shutdown = True
         elif tag in self.handlers:
             self.handlers[tag](msg)
+        elif self.faults is not None and tag in (
+            Tags.EXCHANGE_QUERY, Tags.EXCHANGE_ANSWER,
+            Tags.EXCHANGE_DONE, Tags.EXCHANGE_RELEASE,
+        ):
+            # A delayed or duplicated Step III exchange frame flushed out
+            # mid-correction; its sequence round is long satisfied.
+            self.comm.stats.bump("stale_responses")
         else:
             raise CommunicatorError(f"unexpected tag {tag} in correction phase")
 
@@ -195,6 +370,26 @@ class CorrectionProtocol:
             int(ids.shape[0]),
         )
 
+    def _serve_resilient(self, source: int, seq: int, owner: int,
+                         kind: int, ids: np.ndarray) -> None:
+        """Answer one sequence-numbered request, possibly for a ward.
+
+        The seq/owner pair is echoed in the response header so the
+        client can discard answers from superseded retry rounds."""
+        counts = self._lookup_with_replicas(kind, ids)
+        header = np.array([seq, owner], dtype=np.uint32)
+        self.comm.send(
+            source, np.concatenate([header, counts]),
+            tag=Tags.RESILIENT_RESPONSE,
+        )
+        self.comm.stats.bump("requests_served")
+        if owner != self.comm.rank:
+            self.comm.stats.bump("failover_requests_served")
+        self.comm.stats.bump(
+            "kmer_ids_served" if kind == KIND_KMER else "tile_ids_served",
+            int(ids.shape[0]),
+        )
+
     # ------------------------------------------------------------------
     # termination
     # ------------------------------------------------------------------
@@ -206,14 +401,18 @@ class CorrectionProtocol:
         if self._done_sent:
             return
         self._done_sent = True
+        # Doomed ranks never report DONE (they are dead) and must not be
+        # sent SHUTDOWN (nobody drains a dead rank's mailbox).
+        expected = self.comm.size - len(self._doomed)
         if self.comm.rank == 0:
             self._done_seen += 1  # rank 0's own completion
         else:
             self.comm.send(0, None, tag=Tags.WORKER_DONE)
         while not self._shutdown:
-            if self.comm.rank == 0 and self._done_seen == self.comm.size:
+            if self.comm.rank == 0 and self._done_seen == expected:
                 for dest in range(1, self.comm.size):
-                    self.comm.send(dest, None, tag=Tags.SHUTDOWN)
+                    if dest not in self._doomed:
+                        self.comm.send(dest, None, tag=Tags.SHUTDOWN)
                 self._shutdown = True
                 break
             self.pump(block=True)

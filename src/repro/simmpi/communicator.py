@@ -24,6 +24,9 @@ class Communicator:
         self._engine = engine
         self._rank = rank
         self._generation = 0
+        # Armed only when a FaultPlan is active; cached so the fault-free
+        # send path pays exactly one `is not None` check.
+        self._injector = getattr(world, "injector", None)
 
     # ------------------------------------------------------------------
     @property
@@ -41,6 +44,22 @@ class Communicator:
         """This rank's :class:`~repro.simmpi.instrument.CommStats`."""
         return self._world.stats[self._rank]
 
+    @property
+    def fault_plan(self):
+        """The active :class:`~repro.faults.FaultPlan`, or None."""
+        return getattr(self._world, "fault_plan", None)
+
+    @property
+    def fault_injector(self):
+        """The active :class:`~repro.faults.FaultInjector`, or None."""
+        return self._injector
+
+    @property
+    def probe_yields(self) -> bool:
+        """True when an empty probe yields the rank's turn (cooperative
+        engine), so resilient retry loops need no wall-clock sleeps."""
+        return getattr(self._engine, "PROBE_YIELDS", False)
+
     # ------------------------------------------------------------------
     # point to point
     # ------------------------------------------------------------------
@@ -56,6 +75,8 @@ class Communicator:
         self._check_peer(dest)
         if tag < 0:
             raise CommunicatorError(f"tag must be non-negative, got {tag}")
+        if self._injector is not None:
+            self._injector.at_event(self._rank)
         frame = wire.encode_frame(self._rank, tag, payload)
         self.stats.record_send(tag, payload, dest=dest, nbytes=len(frame))
         self._engine.deposit(self._world, self._rank, dest, frame)

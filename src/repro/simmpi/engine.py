@@ -53,6 +53,12 @@ class _World:
         #: Optional :class:`~repro.analysis.verifier.RuntimeVerifier`;
         #: attached by ``run_spmd(..., verify=True)``.
         self.verifier = None
+        #: Optional :class:`~repro.faults.FaultPlan` /
+        #: :class:`~repro.faults.FaultInjector`; attached by
+        #: ``run_spmd(..., faults=plan)``.  ``None`` on fault-free runs,
+        #: keeping the hot path a single attribute check.
+        self.fault_plan = None
+        self.injector = None
 
     @property
     def mailboxes(self) -> list[deque[Message]]:
@@ -93,6 +99,16 @@ class Engine:
         """Execute ``fn(comm)`` on every rank; returns per-rank results."""
         raise NotImplementedError
 
+    def attach_faults(self, world: _World, plan) -> None:
+        """Arm a :class:`~repro.faults.FaultPlan` on this world.
+
+        In-memory engines build the injector and wrap the transport here
+        (wiring their own wake-up hook for delayed frames); the process
+        engine ships the plan to each child instead, which builds its
+        private injector in ``process_rank_main``.
+        """
+        raise NotImplementedError
+
 
 # ----------------------------------------------------------------------
 # Cooperative (deterministic) engine
@@ -112,11 +128,36 @@ class _CoopState:
 class CooperativeEngine(Engine):
     """Deterministic turn-taking engine (the default for tests/benchmarks)."""
 
+    #: A probe miss yields one scheduler turn, so resilient spin loops
+    #: make progress without sleeping (read by Communicator.probe_yields).
+    PROBE_YIELDS = True
+
     def create_world(self, nranks: int) -> _World:
         """World plus the cooperative scheduler state."""
         world = _World(nranks)
         world.coop = _CoopState(nranks)  # type: ignore[attr-defined]
         return world
+
+    def attach_faults(self, world: _World, plan) -> None:
+        """Wrap the transport; delayed-frame flushes re-arm receivers."""
+        from repro.faults import FaultInjector, FaultyTransport
+
+        injector = FaultInjector(plan, world.nranks, stats=world.stats)
+        transport = FaultyTransport(world.transport, injector)
+        st: _CoopState = world.coop  # type: ignore[attr-defined]
+
+        def on_deliver(dest: int, msg: Message) -> None:
+            # Caller already holds world.lock (flushes happen inside
+            # deposit/poll): same re-arm as a direct deposit.
+            pattern = st.waiting.get(dest)
+            if msg is not None and pattern is not None and msg.matches(*pattern):
+                del st.waiting[dest]
+                st.runnable.append(dest)
+
+        transport.on_deliver = on_deliver
+        world.fault_plan = plan
+        world.injector = injector
+        world.transport = transport
 
     # -- scheduling core (callers hold world.lock) ----------------------
     def _schedule_next(self, world: _World) -> None:
@@ -132,10 +173,13 @@ class CooperativeEngine(Engine):
             # Nobody can run and someone is blocked: deadlock.  Keep the
             # first diagnosis — teardown re-entries would otherwise
             # overwrite it with a shrinking rank list.
+            from repro.faults import describe_faults
+
             world.fail(DeadlockError.from_blocked(
                 {r: st.waiting[r] for r in live_waiting},
                 detail="all runnable ranks exhausted with no matching "
                        "messages in flight",
+                faults=describe_faults(world),
             ))
             for r in live_waiting:
                 st.events[r].set()
@@ -160,10 +204,12 @@ class CooperativeEngine(Engine):
         with world.lock:
             if world.error is not None:
                 raise world.error
+            # enqueue returns None when a fault injector swallowed the
+            # frame (dropped / corrupted / delayed): nothing to match.
             msg = world.transport.enqueue(dest, frame)
             st: _CoopState = world.coop  # type: ignore[attr-defined]
             pattern = st.waiting.get(dest)
-            if pattern is not None and msg.matches(*pattern):
+            if msg is not None and pattern is not None and msg.matches(*pattern):
                 del st.waiting[dest]
                 st.runnable.append(dest)
 
@@ -222,11 +268,19 @@ class CooperativeEngine(Engine):
         threads: list[threading.Thread] = []
 
         def body(rank: int) -> None:
+            from repro.errors import RankCrashError
+            from repro.faults import CrashedRank
+
             st.events[rank].wait()
             if world.error is not None:
                 return
             try:
                 results[rank] = fn(make_comm(world, rank))
+            except RankCrashError:
+                # A scripted crash: this rank is dead, the run goes on —
+                # recovery (replay by the partner) happens at the
+                # protocol layer, not here.
+                results[rank] = CrashedRank(rank)
             except BaseException as exc:  # noqa: BLE001 - repropagated below
                 with world.lock:
                     if world.error is None or isinstance(world.error, DeadlockError):
@@ -286,6 +340,22 @@ class ThreadedEngine(Engine):
         ]
         return world
 
+    def attach_faults(self, world: _World, plan) -> None:
+        """Wrap the transport; delayed-frame flushes notify receivers."""
+        from repro.faults import FaultInjector, FaultyTransport
+
+        injector = FaultInjector(plan, world.nranks, stats=world.stats)
+        transport = FaultyTransport(world.transport, injector)
+
+        def on_deliver(dest: int, msg: Message) -> None:
+            # Caller holds world.lock (the conds share it).
+            world.conds[dest].notify_all()  # type: ignore[attr-defined]
+
+        transport.on_deliver = on_deliver
+        world.fault_plan = plan
+        world.injector = injector
+        world.transport = transport
+
     def deposit(self, world: _World, rank: int, dest: int, frame: bytes) -> None:
         """Decode and deliver a frame; wake any blocked receiver."""
         with world.lock:
@@ -314,10 +384,13 @@ class ThreadedEngine(Engine):
                             c.notify_all()
                         raise world.error
                 if not cond.wait(timeout=self.timeout):
+                    from repro.faults import describe_faults
+
                     err = DeadlockError.from_blocked(
                         {rank: (source, tag)},
                         detail=f"no matching message within the "
                                f"{self.timeout}s receive timeout",
+                        faults=describe_faults(world),
                     )
                     world.fail(err)
                     for c in world.conds:  # type: ignore[attr-defined]
@@ -338,8 +411,15 @@ class ThreadedEngine(Engine):
         threads: list[threading.Thread] = []
 
         def body(rank: int) -> None:
+            from repro.errors import RankCrashError
+            from repro.faults import CrashedRank
+
             try:
                 results[rank] = fn(make_comm(world, rank))
+            except RankCrashError:
+                # Scripted crash: the rank dies quietly; survivors (and
+                # the recovery partner's replay) finish the run.
+                results[rank] = CrashedRank(rank)
             except BaseException as exc:  # noqa: BLE001 - repropagated below
                 with world.lock:
                     if world.error is None or isinstance(world.error, DeadlockError):
@@ -402,6 +482,11 @@ class ProcessEngine(Engine):
         their own processes."""
         return _World(nranks)
 
+    def attach_faults(self, world: _World, plan) -> None:
+        """Record the plan; each spawned child builds its own injector
+        (equivalent decisions — they are content-hash based)."""
+        world.fault_plan = plan
+
     def _no_endpoint(self) -> CommunicatorError:
         return CommunicatorError(
             "the process engine has no parent-side endpoint; "
@@ -435,7 +520,8 @@ class ProcessEngine(Engine):
             for rank in range(n):
                 proc = ctx.Process(
                     target=process_rank_main,
-                    args=(rank, n, fn, queues, result_queue, self.timeout),
+                    args=(rank, n, fn, queues, result_queue, self.timeout,
+                          world.fault_plan),
                     name=f"proc-rank-{rank}",
                 )
                 try:
@@ -459,6 +545,10 @@ class ProcessEngine(Engine):
                 kind, rank, value, stats = status
                 if kind == "error":
                     raise value
+                if kind == "crashed":
+                    from repro.faults import CrashedRank
+
+                    value = CrashedRank(rank)
                 results[rank] = value
                 world.stats[rank] = stats
                 pending -= 1
@@ -538,6 +628,7 @@ def run_spmd(
     nranks: int,
     engine: Engine | str = "cooperative",
     verify: bool = False,
+    faults=None,
 ) -> SpmdResult:
     """Run ``fn(comm)`` as an SPMD program on ``nranks`` ranks.
 
@@ -550,6 +641,16 @@ def run_spmd(
     skew) that raises :class:`~repro.errors.VerifierError` after an
     otherwise successful run.  The verifier needs a shared-memory view
     of every mailbox, so it is unavailable on the process engine.
+
+    ``faults`` optionally arms a :class:`~repro.faults.FaultPlan`: the
+    engine's transport is wrapped by a
+    :class:`~repro.faults.FaultyTransport` (frame faults) and scripted
+    crash/stall faults are injected at the communicator's send boundary.
+    A rank killed by its CrashFault yields a
+    :class:`~repro.faults.CrashedRank` sentinel in ``results`` instead
+    of failing the run.  Plans that swallow or reorder frames are
+    incompatible with the verifier's mailbox audit, so ``verify=True``
+    only combines with stall-only plans.
     Returns per-rank results and the per-rank communication statistics.
     """
     from repro.simmpi.communicator import Communicator
@@ -570,7 +671,18 @@ def run_spmd(
             "verify=True needs a shared-memory view of every mailbox and "
             "is not supported on the shared-nothing process engine"
         )
+    if faults is not None:
+        faults.validate(nranks)
+        if verify and not faults.stall_only:
+            raise CommunicatorError(
+                "verify=True audits that every send is matched, which a "
+                "FaultPlan that drops, corrupts, duplicates, delays, or "
+                "crashes violates by design; only stall-only plans can be "
+                "verified"
+            )
     world = engine.create_world(nranks)
+    if faults is not None:
+        engine.attach_faults(world, faults)
     if verify:
         from repro.analysis.verifier import RuntimeVerifier
 

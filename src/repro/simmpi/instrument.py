@@ -15,6 +15,41 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+#: The resilience counter family (all live in :attr:`CommStats.counters`,
+#: bumped only when a :class:`~repro.faults.FaultPlan` is active; see
+#: ``docs/FAULTS.md`` for the full glossary):
+#:
+#: * ``frames_dropped`` / ``frames_corrupted`` / ``frames_duplicated`` /
+#:   ``frames_delayed`` — injector verdicts, charged to the sender.
+#: * ``lookup_retries`` — resilient lookup rounds re-sent after a
+#:   timeout; ``lookup_timeouts`` — deadlines that expired (each timeout
+#:   that still has budget left becomes a retry).
+#: * ``stale_responses`` — responses for an already-satisfied sequence
+#:   number (a retry raced its original answer); benign, never lost data.
+#: * ``crashes_injected`` / ``stalls_injected`` — scripted faults fired.
+#: * ``replicas_sent`` / ``replicas_held`` — recovery shards shipped by
+#:   doomed ranks / held by partners.
+#: * ``takeover_reads`` — ward reads a partner re-corrected after its
+#:   ward crashed.
+#: * ``failover_requests_served`` — lookups a partner answered from a
+#:   held replica on behalf of a dead owner.
+RESILIENCE_COUNTERS = (
+    "frames_dropped",
+    "frames_corrupted",
+    "frames_duplicated",
+    "frames_delayed",
+    "lookup_retries",
+    "lookup_timeouts",
+    "stale_responses",
+    "crashes_injected",
+    "stalls_injected",
+    "replicas_sent",
+    "replicas_held",
+    "takeover_reads",
+    "failover_requests_served",
+)
+
+
 def _payload_nbytes(payload) -> int:
     """Data-byte size of a payload, without wire framing overhead.
 

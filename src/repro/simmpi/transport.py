@@ -159,6 +159,8 @@ class _ProcessWorld:
         self.transport = transport
         self.stats = [CommStats() for _ in range(nranks)]
         self.verifier = None
+        self.fault_plan = None
+        self.injector = None
 
     def find_message(self, rank: int, source: int, tag: int,
                      remove: bool) -> Message | None:
@@ -191,11 +193,14 @@ class _ProcessEndpoint:
                 return msg
             transport.drain(block=True)
             if time.monotonic() > deadline:
+                from repro.faults import describe_faults
+
                 raise DeadlockError.from_blocked(
                     {rank: (source, tag)},
                     detail=f"no matching message within the "
                            f"{self.timeout}s receive timeout "
                            "(process engine)",
+                    faults=describe_faults(world),
                 )
 
     def probe(self, world: _ProcessWorld, rank: int, source: int,
@@ -218,20 +223,40 @@ def _portable_exception(exc: BaseException) -> BaseException:
 
 
 def process_rank_main(rank: int, nranks: int, fn, queues, result_queue,
-                      timeout: float) -> None:
+                      timeout: float, fault_plan=None) -> None:
     """Entry point of one spawned rank (must be importable by spawn).
 
     Builds the rank's private world, runs ``fn(comm)``, and reports
-    ``("ok", rank, result, stats)`` or ``("error", rank, exc, None)``
-    on the result queue.
+    ``("ok", rank, result, stats)``, ``("error", rank, exc, None)``, or
+    — when the rank's scripted :class:`~repro.faults.CrashFault` fires —
+    ``("crashed", rank, None, stats)`` on the result queue.
+
+    Each child builds its *own* injector from the shared picklable
+    ``fault_plan``.  Fault decisions are drawn from the frame's content
+    hash keyed by the plan seed, so per-child injectors agree with a
+    single shared one frame-for-frame.
     """
+    from repro.errors import RankCrashError
     from repro.simmpi.communicator import Communicator
 
     try:
         world = _ProcessWorld(nranks, rank, ProcessTransport(queues, rank))
+        if fault_plan is not None:
+            from repro.faults import FaultInjector, FaultyTransport
+
+            injector = FaultInjector(fault_plan, nranks, stats=world.stats)
+            world.transport = FaultyTransport(world.transport, injector)
+            world.fault_plan = fault_plan
+            world.injector = injector
         comm = Communicator(world, rank, _ProcessEndpoint(timeout))
         result = fn(comm)
         result_queue.put(("ok", rank, result, world.stats[rank]))
+    except RankCrashError:
+        # Scripted crash: report the partial stats so the parent's
+        # ledger stays complete, then die with exit code 0 — the
+        # engine's child-exit sweep must not flag a planned death.
+        result_queue.put(("crashed", rank, None, world.stats[rank]))
+        raise SystemExit(0)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         try:
             result_queue.put(("error", rank, _portable_exception(exc), None))

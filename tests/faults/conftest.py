@@ -1,0 +1,56 @@
+"""Shared fixtures for the fault-injection and recovery tests.
+
+Everything here pins one claim: a survivable :class:`FaultPlan` may
+slow a run down but must never change its output.  The serial
+single-process corrector is the equivalence anchor, exactly as in the
+Step IV protocol tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import small_scale
+from repro.core.corrector import ReptileCorrector
+from repro.core.spectrum import LocalSpectrumView, build_spectra
+from repro.parallel.driver import ParallelReptile
+from repro.parallel.heuristics import HeuristicConfig
+
+
+@pytest.fixture(scope="package")
+def scale():
+    """Small E.Coli-profile instance shared by the chaos tests."""
+    return small_scale("E.Coli", genome_size=3_000, chunk_size=100)
+
+
+@pytest.fixture(scope="package")
+def serial_reference(scale):
+    """The single-process corrector's output — the equivalence anchor."""
+    block, cfg = scale.dataset.block, scale.config
+    spectra = build_spectra(block, cfg)
+    return ReptileCorrector(cfg, LocalSpectrumView(spectra)).correct_block(block)
+
+
+def run_plan(scale, plan, nranks=4, engine="cooperative", heuristics=None):
+    return ParallelReptile(
+        scale.config,
+        heuristics or HeuristicConfig(),
+        nranks=nranks,
+        engine=engine,
+        faults=plan,
+    ).run(scale.dataset.block)
+
+
+def totals(result):
+    total = result.stats[0].__class__()
+    for s in result.stats:
+        total.merge(s)
+    return total
+
+
+def assert_identical(result, reference, scale):
+    """No silent losses, no altered corrections: the merged output holds
+    exactly the input read ids, with the reference's codes/lengths."""
+    block = result.corrected_block
+    assert np.array_equal(block.ids, scale.dataset.block.ids)
+    assert np.array_equal(block.codes, reference.block.codes)
+    assert np.array_equal(block.lengths, reference.block.lengths)

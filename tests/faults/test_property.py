@@ -1,0 +1,57 @@
+"""Property: any survivable drop-only plan preserves the output.
+
+The survivability rule under test is the plan's own documentation:
+with losses capped at ``max_drops_per_frame`` per frame, a retry
+budget of ``max_retries >= 2 * max_drops_per_frame`` always converges
+— whatever the seed, whatever the rate — and the corrected reads are
+bit-identical to the fault-free serial reference.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+
+from tests.faults.conftest import assert_identical, run_plan, totals
+
+
+class TestDropOnlySurvivability:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        drop_rate=st.floats(min_value=0.01, max_value=0.15),
+        cap=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    def test_bit_identical_under_any_drop_plan(
+        self, scale, serial_reference, seed, drop_rate, cap
+    ):
+        plan = FaultPlan(
+            seed=seed,
+            drop_rate=drop_rate,
+            max_drops_per_frame=cap,
+            base_timeout_s=0.05,
+            max_retries=max(6, 2 * cap),
+        )
+        assert plan.max_retries >= 2 * plan.max_drops_per_frame
+        result = run_plan(scale, plan, nranks=4)
+        assert_identical(result, serial_reference, scale)
+
+
+class TestCrossEngineEquivalence:
+    """One fixed-seed plan, three engines: identical output and — the
+    content-hash determinism claim — identical drop ledgers."""
+
+    PLAN = FaultPlan(seed=7, drop_rate=0.05, max_drops_per_frame=2)
+
+    def test_engines_agree(self, scale, serial_reference):
+        drops = {}
+        for engine in ("cooperative", "threaded", "process"):
+            result = run_plan(scale, self.PLAN, nranks=4, engine=engine)
+            assert_identical(result, serial_reference, scale)
+            total = totals(result)
+            drops[engine] = total.get("frames_dropped")
+            assert total.get("frames_dropped") > 0
+            assert total.get("lookup_retries") > 0
+        # Fault decisions hash frame content, not wall-clock or
+        # interleaving: every engine loses exactly the same frames.
+        assert len(set(drops.values())) == 1, drops

@@ -1,0 +1,141 @@
+"""Crash recovery: replication, takeover, and replay.
+
+A doomed rank's spectrum shard and read partition must survive it —
+in its partner's memory or on disk — and the partner must re-own the
+dead rank's reads so the merged output is exactly what a fault-free
+run produces.  Recovery correctness is output *identity*, not output
+plausibility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.persist import load_recovery_bundle, save_recovery_bundle
+from repro.errors import ConfigError, SpectrumError
+from repro.faults import CrashFault, FaultPlan
+from repro.parallel.driver import ParallelReptile
+from repro.parallel.heuristics import HeuristicConfig
+
+from tests.faults.conftest import assert_identical, run_plan, totals
+
+
+class TestRecoveryBundle:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rank1.npz"
+        rng = np.random.default_rng(0)
+        keys = rng.integers(1, 2**60, size=50, dtype=np.uint64)
+        save_recovery_bundle(
+            path,
+            kmer_keys=keys,
+            kmer_counts=np.full(50, 3, dtype=np.uint64),
+            tile_keys=keys[:10],
+            tile_counts=np.full(10, 2, dtype=np.uint64),
+            ids=np.arange(4, dtype=np.int64),
+            codes=rng.integers(0, 4, size=(4, 8)).astype(np.uint8),
+            lengths=np.full(4, 8, dtype=np.int32),
+            quals=np.full((4, 8), 30, dtype=np.uint8),
+        )
+        bundle = load_recovery_bundle(path)
+        assert np.array_equal(
+            bundle["kmers"].lookup(keys), np.full(50, 3, dtype=np.uint64)
+        )
+        assert np.array_equal(
+            bundle["tiles"].lookup(keys[:10]), np.full(10, 2, dtype=np.uint64)
+        )
+        assert bundle["codes"].shape == (4, 8)
+        assert np.array_equal(bundle["ids"], np.arange(4))
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "spectra.npz"
+        np.savez_compressed(path, format=np.array("repro.spectra/1"))
+        with pytest.raises(SpectrumError):
+            load_recovery_bundle(path)
+
+
+class TestPartnerRecovery:
+    def test_crash_recovers_bit_identically(self, scale, serial_reference):
+        plan = FaultPlan(
+            seed=1, crashes=(CrashFault(rank=1, after_events=4),)
+        )
+        result = run_plan(scale, plan, nranks=4)
+        assert result.crashed_ranks == [1]
+        assert_identical(result, serial_reference, scale)
+        total = totals(result)
+        assert total.get("crashes_injected") == 1
+        assert total.get("replicas_sent") == 1
+        assert total.get("replicas_held") == 1
+        assert total.get("takeover_reads") > 0
+        # The crashed rank's report is an empty placeholder.
+        assert len(result.reports[1].block) == 0
+        # Its reads resurface in the partner's block.
+        assert len(result.reports[2].block) > len(result.reports[3].block)
+
+    def test_partner_wraps_to_rank_zero(self, scale, serial_reference):
+        plan = FaultPlan(
+            seed=2, crashes=(CrashFault(rank=3, after_events=4),)
+        )
+        result = run_plan(scale, plan, nranks=4)
+        assert result.crashed_ranks == [3]
+        assert_identical(result, serial_reference, scale)
+
+    def test_crash_with_prefetch(self, scale, serial_reference):
+        plan = FaultPlan(
+            seed=3, crashes=(CrashFault(rank=2, after_events=3),)
+        )
+        result = run_plan(
+            scale, plan, nranks=4, heuristics=HeuristicConfig(prefetch=True)
+        )
+        assert result.crashed_ranks == [2]
+        assert_identical(result, serial_reference, scale)
+
+    def test_misfire_is_an_error(self, scale):
+        # after_events far beyond the rank's event count: the crash
+        # never fires, and silently continuing would double-correct the
+        # "dead" rank's reads (partner replays them too).
+        plan = FaultPlan(
+            seed=4, crashes=(CrashFault(rank=1, after_events=10**9),)
+        )
+        with pytest.raises(ConfigError, match="never fired"):
+            run_plan(scale, plan, nranks=4)
+
+
+class TestSpillRecovery:
+    def test_spill_recovers_bit_identically(
+        self, scale, serial_reference, tmp_path
+    ):
+        plan = FaultPlan(
+            seed=5,
+            crashes=(CrashFault(rank=1, after_events=4),),
+            recovery="spill",
+            spill_dir=str(tmp_path),
+        )
+        result = run_plan(scale, plan, nranks=4)
+        assert result.crashed_ranks == [1]
+        assert_identical(result, serial_reference, scale)
+        assert (tmp_path / "rank1.npz").exists()
+        total = totals(result)
+        assert total.get("replicas_sent") == 1
+        assert total.get("replicas_held") == 1
+
+    def test_spill_without_dir_is_rejected(self, scale):
+        plan = FaultPlan(
+            crashes=(CrashFault(rank=1),), recovery="spill"
+        )
+        with pytest.raises(ConfigError):
+            ParallelReptile(
+                scale.config, HeuristicConfig(), nranks=4, faults=plan
+            )
+
+
+class TestProcessEngineCrash:
+    def test_spawned_interpreter_crash_recovers(self, scale, serial_reference):
+        # The real thing: a child interpreter dies mid-correction
+        # (SystemExit after RankCrashError) and the run still converges
+        # to the fault-free output.
+        plan = FaultPlan(
+            seed=6, crashes=(CrashFault(rank=1, after_events=4),)
+        )
+        result = run_plan(scale, plan, nranks=2, engine="process")
+        assert result.crashed_ranks == [1]
+        assert_identical(result, serial_reference, scale)
+        assert totals(result).get("takeover_reads") > 0
