@@ -51,6 +51,20 @@ def _measure(scale, heuristics, nranks, engine="cooperative"):
     return result, total, messages, bytes_, wall
 
 
+def _tier_hits(total) -> str:
+    """Per-tier hit summary from the stack's ``lookup_*`` ledger, e.g.
+    ``"chunk_cache:950/owned:210/remote:40"`` (tiers that saw no
+    requests are omitted)."""
+    from repro.parallel.lookup.stack import TIER_NAMES
+
+    parts = [
+        f"{tier}:{total.get(f'lookup_{tier}_hits')}"
+        for tier in TIER_NAMES
+        if total.get(f"lookup_{tier}_requests")
+    ]
+    return "/".join(parts)
+
+
 def run_experiment(scale, nranks=NRANKS) -> ExperimentResult:
     """The exhibit: one row per mode, metrics per corrected read."""
     out = ExperimentResult(
@@ -59,7 +73,7 @@ def run_experiment(scale, nranks=NRANKS) -> ExperimentResult:
         columns=[
             "mode", "messages", "bytes", "wall_s",
             "msgs_per_read", "bytes_per_read", "wall_us_per_read",
-            "blocking_lookups", "replans", "corrections",
+            "blocking_lookups", "replans", "corrections", "tier_hits",
         ],
     )
     n_reads = len(scale.dataset.block)
@@ -79,6 +93,7 @@ def run_experiment(scale, nranks=NRANKS) -> ExperimentResult:
             total.get("blocking_request_counts"),
             total.get("prefetch_replans"),
             result.total_corrections,
+            _tier_hits(total),
         )
         if baseline is None:
             baseline = (messages, result.total_corrections)

@@ -20,6 +20,11 @@ MPI005   payload name mutated after ``isend`` before the request is
 MPI006   ``send``/``isend`` payload expression has no typed wire
          encoding (dict/set literals, comprehensions, ``dict()`` and
          friends) and would travel as a pickle-fallback frame
+MPI007   direct spectrum-table probe (``.lookup``/``.lookup_found`` on
+         a count table) in :mod:`repro.parallel` outside the
+         :mod:`repro.parallel.lookup` package — count resolution must
+         go through the compiled tier stack (serving sites that answer
+         for a table they own suppress with ``# noqa: MPI007``)
 ======== ==============================================================
 
 The pass is deliberately conservative: a tag it cannot resolve to a
@@ -54,10 +59,29 @@ RULES: dict[str, str] = {
     "MPI004": "blocking recv inside an iprobe service loop",
     "MPI005": "payload mutated after isend (buffer-reuse hazard)",
     "MPI006": "send payload is not wire-codable (pickle-fallback frame)",
+    "MPI007": "direct spectrum-table lookup bypasses the tier stack",
 }
 
 #: Constructor names whose result has no typed wire encoding (MPI006).
 NON_CODABLE_CALLS = frozenset({"dict", "set", "frozenset"})
+
+#: Receiver attributes that name a spectrum count table (MPI007).  The
+#: rule matches ``<expr>.<one of these>.lookup(...)`` — a probe against
+#: a raw table — but deliberately not ``shards.lookup``, which is the
+#: stack's own serving surface.
+SPECTRUM_TABLE_ATTRS = frozenset(
+    {"kmers", "tiles", "owned", "owned_kmers", "owned_tiles",
+     "reads_kmers", "reads_tiles", "group_kmers", "group_tiles",
+     "table", "spectra"}
+)
+
+#: Table-probe method names (MPI007).
+TABLE_PROBE_METHODS = frozenset({"lookup", "lookup_found"})
+
+#: MPI007 only polices these paths...
+_LOOKUP_POLICED_PART = "repro/parallel"
+#: ...and exempts the package that is allowed to probe tables.
+_LOOKUP_EXEMPT_PART = "repro/parallel/lookup"
 
 #: Methods that are collective: every rank of the communicator must call
 #: them, in the same order.
@@ -237,6 +261,7 @@ class _ModuleLinter:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._lint_function(node)
         self._lint_tag_ledger()
+        self._rule_direct_spectrum_lookup()
         return self.findings
 
     # -- function-scope rules ------------------------------------------
@@ -523,6 +548,52 @@ class _ModuleLinter:
                 and expr.func.id in NON_CODABLE_CALLS:
             return f"a {expr.func.id}() value"
         return None
+
+    # MPI007 ------------------------------------------------------------
+    def _rule_direct_spectrum_lookup(self) -> None:
+        """Flag raw count-table probes outside the lookup package.
+
+        After the tier-stack refactor every count resolution in
+        :mod:`repro.parallel` flows through a compiled
+        :class:`~repro.parallel.lookup.stack.LookupStack` (or the
+        :class:`~repro.parallel.lookup.routing.ShardServer` on the
+        serving side).  A ``<table>.lookup(...)`` anywhere else is a
+        layering regression: it answers from one table instead of the
+        configured resolution order, silently skipping replicas, the
+        reads table, caching and the per-tier ledger.  Sites that
+        legitimately answer from a table they own (e.g. the Step III
+        exchange serving its partial counts) carry ``# noqa: MPI007``.
+        """
+        if not self._polices_lookups(self.path):
+            return
+        for node in ast.walk(self.tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Attribute) and
+                    node.func.attr in TABLE_PROBE_METHODS):
+                continue
+            recv = _dotted(node.func.value)
+            if recv is None:
+                continue
+            last = recv.rsplit(".", 1)[-1]
+            if last not in SPECTRUM_TABLE_ATTRS and \
+                    not last.endswith("_table"):
+                continue
+            self.report(
+                node, "MPI007",
+                f"direct spectrum-table probe '{recv}.{node.func.attr}' "
+                "bypasses the compiled lookup tier stack; resolve counts "
+                "through repro.parallel.lookup (LookupStack / ShardServer) "
+                "or mark a table-serving site with '# noqa: MPI007'",
+            )
+
+    @staticmethod
+    def _polices_lookups(path: str) -> bool:
+        """MPI007 scope: repro/parallel minus the lookup package."""
+        posix = Path(path).as_posix()
+        return (
+            _LOOKUP_POLICED_PART in posix
+            and _LOOKUP_EXEMPT_PART not in posix
+        )
 
     # MPI002 / MPI003 ----------------------------------------------------
     def _lint_tag_ledger(self) -> None:

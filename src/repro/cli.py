@@ -210,6 +210,23 @@ def cmd_correct(args: argparse.Namespace) -> int:
                   f"{result.stats[r].get('remote_kmer_lookups'):>12,d} "
                   f"{result.stats[r].get('remote_tile_lookups'):>12,d} "
                   f"{report.memory.peak:>12,d}")
+        from repro.parallel.lookup.stack import TIER_NAMES, resolution_order
+
+        totals = result.stats[0].__class__()
+        for s in result.stats:
+            totals.merge(s)
+        order = resolution_order(result.heuristics)
+        print(f"lookup order: kmers={order['kmers']} tiles={order['tiles']}")
+        print(f"{'tier':>12} {'requests':>12} {'hits':>12} "
+              f"{'misses':>12} {'bytes':>14}")
+        for tier in TIER_NAMES:
+            requests = totals.get(f"lookup_{tier}_requests")
+            if not requests:
+                continue
+            print(f"{tier:>12} {requests:>12,d} "
+                  f"{totals.get(f'lookup_{tier}_hits'):>12,d} "
+                  f"{totals.get(f'lookup_{tier}_misses'):>12,d} "
+                  f"{totals.get(f'lookup_{tier}_bytes'):>14,d}")
     return 0
 
 

@@ -145,23 +145,73 @@ class LookupStats:
         self.tile_hits += other.tile_hits
 
 
+class _SerialStats:
+    """Minimal stats sink for the serial view's private tier stack."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+
+class _SerialComm:
+    """The degenerate single-rank "communicator" of the serial stack."""
+
+    rank = 0
+    size = 1
+
+    def __init__(self) -> None:
+        self.stats = _SerialStats()
+
+
 class LocalSpectrumView:
-    """Serial view: every lookup is a local hash-table probe."""
+    """Serial view: a one-tier lookup stack per spectrum.
+
+    Serial is the degenerate world where every table is "replicated", so
+    each stack is a single
+    :class:`~repro.parallel.lookup.tiers.AllgatherReplicaTier` over the
+    whole spectrum — the same machinery every distributed view runs,
+    which is what makes serial-vs-parallel equivalence exact by
+    construction.  The per-tier counters land in :attr:`tier_counters`;
+    the public :attr:`stats` keeps its historical semantics (hits are
+    ids with count > 0).
+    """
 
     def __init__(self, spectra: SpectrumPair) -> None:
+        # Imported here, not at module top: repro.parallel imports this
+        # module, so a top-level import would be circular.
+        from repro.parallel.lookup.stack import LookupStack
+        from repro.parallel.lookup.tiers import AllgatherReplicaTier
+
         self._spectra = spectra
         self.stats = LookupStats()
+        self._comm = _SerialComm()
+        self._kmer_stack = LookupStack(
+            "kmer", [AllgatherReplicaTier("kmer", spectra.kmers)], self._comm
+        )
+        self._tile_stack = LookupStack(
+            "tile", [AllgatherReplicaTier("tile", spectra.tiles)], self._comm
+        )
+
+    @property
+    def tier_counters(self) -> dict[str, int]:
+        """Per-tier ``lookup_*`` (and ladder) counters of this view."""
+        return dict(self._comm.stats.counters)
 
     def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Local hash-table lookup of k-mer counts (with stats)."""
-        counts = self._spectra.kmers.lookup(ids)
+        """K-mer counts through the one-tier stack (with stats)."""
+        counts = self._kmer_stack.counts(ids)
         self.stats.kmer_lookups += int(np.asarray(ids).size)
         self.stats.kmer_hits += int((counts > 0).sum())
         return counts
 
     def tile_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Local hash-table lookup of tile counts (with stats)."""
-        counts = self._spectra.tiles.lookup(ids)
+        """Tile counts through the one-tier stack (with stats)."""
+        counts = self._tile_stack.counts(ids)
         self.stats.tile_lookups += int(np.asarray(ids).size)
         self.stats.tile_hits += int((counts > 0).sum())
         return counts

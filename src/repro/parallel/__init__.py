@@ -18,8 +18,12 @@ not hold:
   allgather replication, remote-lookup caching, batched reads tables,
   and the future-work partial replication
   (:mod:`repro.parallel.heuristics`, :mod:`repro.parallel.replication`),
+* count resolution as an ordered stack of composable tiers, compiled
+  once per rank and shared by every resolution path
+  (:mod:`repro.parallel.lookup`),
 * Step IV lookup aggregation: deduplicated per-owner bulk prefetch with
-  pipelined chunk correction (:mod:`repro.parallel.prefetch`).
+  pipelined chunk correction (:mod:`repro.parallel.prefetch` for the
+  wire endpoint, :mod:`repro.parallel.lookup.planner` for the engine).
 """
 
 from repro.parallel.heuristics import HeuristicConfig
@@ -28,12 +32,19 @@ from repro.parallel.build import RankSpectra, build_rank_spectra
 from repro.parallel.loadbalance import redistribute_reads
 from repro.parallel.correct import DistributedSpectrumView, correct_distributed
 from repro.parallel.dynamicbalance import correct_dynamic
-from repro.parallel.prefetch import (
+from repro.parallel.lookup import (
     CachedChunkView,
     ChunkCountCache,
-    PrefetchEndpoint,
+    LookupStack,
     PrefetchExecutor,
+    RouteTable,
+    ShardServer,
+    StackPair,
+    compile_stacks,
+    resolution_order,
+    tier_order,
 )
+from repro.parallel.prefetch import PrefetchEndpoint
 from repro.parallel.memory import RankMemoryReport
 from repro.parallel.report import run_report, write_run_report
 from repro.parallel.driver import ParallelReptile, ParallelRunResult, RankReport
@@ -51,8 +62,15 @@ __all__ = [
     "correct_dynamic",
     "CachedChunkView",
     "ChunkCountCache",
+    "LookupStack",
     "PrefetchEndpoint",
     "PrefetchExecutor",
+    "RouteTable",
+    "ShardServer",
+    "StackPair",
+    "compile_stacks",
+    "resolution_order",
+    "tier_order",
     "RankMemoryReport",
     "run_report",
     "write_run_report",

@@ -28,9 +28,14 @@ import numpy as np
 
 from repro.errors import CommunicatorError
 from repro.hashing.counthash import CountHash
+from repro.parallel.lookup.routing import (
+    KIND_KMER,
+    KIND_TILE,
+    ShardServer,
+    partition_by_dest,
+)
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
-from repro.parallel.server import KIND_KMER, KIND_TILE
 
 #: How long the worker waits for a single response before concluding the
 #: run is wedged (seconds).
@@ -52,6 +57,9 @@ class CommThreadProtocol:
         self.owned_kmers = owned_kmers
         self.owned_tiles = owned_tiles
         self.universal = universal
+        #: The serving half (no wards are ever bound here: comm_thread
+        #: mode rejects fault plans, so the shard stays single-probe).
+        self.shards = ShardServer(comm.rank, comm.size, owned_kmers, owned_tiles)
         #: Extra tag -> handler(Message) hooks, mirroring
         #: :attr:`CorrectionProtocol.handlers`.  Handlers run ON THE
         #: COMMUNICATION THREAD, so they must be thread-safe with respect
@@ -99,10 +107,8 @@ class CommThreadProtocol:
         # Mirrors CorrectionProtocol: counts synchronous round trips so
         # the prefetch engine's no-blocking guarantee can be asserted.
         self.comm.stats.bump("blocking_request_counts")
-        order = np.argsort(owners, kind="stable")
+        order, boundaries = partition_by_dest(owners, self.comm.size)
         sorted_ids = ids[order]
-        sorted_owners = owners[order]
-        boundaries = np.searchsorted(sorted_owners, np.arange(self.comm.size + 1))
         pending: set[int] = set()
         for dest in range(self.comm.size):
             lo, hi = boundaries[dest], boundaries[dest + 1]
@@ -206,8 +212,7 @@ class CommThreadProtocol:
             )
 
     def _serve(self, source: int, kind: int, ids: np.ndarray) -> None:
-        table = self.owned_kmers if kind == KIND_KMER else self.owned_tiles
-        counts = table.lookup(ids)
+        counts = self.shards.lookup(kind, ids)
         self.comm.send(source, counts, tag=Tags.COUNT_RESPONSE)
         self.comm.stats.bump("requests_served")
         self.comm.stats.bump(

@@ -1,19 +1,13 @@
 """Step IV: distributed error correction.
 
 :class:`DistributedSpectrumView` implements the corrector's
-:class:`~repro.core.spectrum.SpectrumView` interface with the paper's
-lookup ladder:
-
-1. the rank's **owned** table — authoritative (an absent owned key does
-   not exist anywhere);
-2. the **replicated** table when an allgather heuristic is on (also
-   authoritative);
-3. the **group** table under partial replication (authoritative for keys
-   owned inside the group);
-4. the **reads** table when the read-kmers/tiles heuristic is on — a
-   global-count cache for keys occurring in this rank's reads;
-5. a **message to the owning rank** for everything left, with the counts
-   optionally cached back (*add remote lookups*).
+:class:`~repro.core.spectrum.SpectrumView` interface over the compiled
+lookup tier stack (:func:`repro.parallel.lookup.compile_stacks`): the
+paper's ladder — owned shard, allgather replica, replication group,
+reads table, message to the owning rank — as an ordered stack of
+composable tiers, compiled once per rank and bottoming out in a
+:class:`~repro.parallel.lookup.tiers.RemoteFetchTier` that runs the
+blocking (or resilient) wire protocol.  See ``docs/RUNTIME.md``.
 
 The same :class:`~repro.core.corrector.ReptileCorrector` used serially
 drives correction, so the distributed result is bit-identical to the
@@ -22,26 +16,24 @@ serial reference on the same spectra.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.config import ReptileConfig
 from repro.core.corrector import CorrectionResult, ReptileCorrector
 from repro.errors import ConfigError
-from repro.hashing.inthash import mix_to_rank
 from repro.io.records import ReadBlock
 from repro.parallel.build import RankSpectra
 from repro.parallel.heuristics import HeuristicConfig
-from repro.parallel.prefetch import PrefetchExecutor, local_ladder
+from repro.parallel.lookup.planner import PrefetchExecutor
+from repro.parallel.lookup.stack import StackPair, compile_stacks
 from repro.parallel.recovery import RecoveryState, replicate_state
-from repro.parallel.server import KIND_KMER, KIND_TILE, CorrectionProtocol
+from repro.parallel.server import CorrectionProtocol
 from repro.simmpi.communicator import Communicator
 from repro.util.timer import PhaseTimer
 
 
 class DistributedSpectrumView:
-    """Spectrum lookups backed by local tables plus remote requests."""
+    """Spectrum lookups through the rank's compiled tier stack."""
 
     def __init__(
         self,
@@ -56,77 +48,19 @@ class DistributedSpectrumView:
         self.heuristics = heuristics
         self.protocol = protocol
         self.timer = timer or PhaseTimer()
+        #: Compiled once; every lookup this view serves runs it.
+        self.stacks: StackPair = compile_stacks(
+            comm, spectra, heuristics, protocol=protocol, timer=self.timer
+        )
 
     # ------------------------------------------------------------------
     def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Global k-mer counts via the lookup ladder (see class doc)."""
-        return self._counts(
-            ids,
-            kind=KIND_KMER,
-            owned=self.spectra.kmers,
-            replicated=self.spectra.kmers_replicated,
-            group_table=self.spectra.group_kmers,
-            reads_table=self.spectra.reads_kmers,
-            counter="kmer",
-        )
+        """Global k-mer counts via the tier stack (see class doc)."""
+        return self.stacks.kmers.counts(ids)
 
     def tile_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Global tile counts via the lookup ladder (see class doc)."""
-        return self._counts(
-            ids,
-            kind=KIND_TILE,
-            owned=self.spectra.tiles,
-            replicated=self.spectra.tiles_replicated,
-            group_table=self.spectra.group_tiles,
-            reads_table=self.spectra.reads_tiles,
-            counter="tile",
-        )
-
-    # ------------------------------------------------------------------
-    def _counts(
-        self,
-        ids: np.ndarray,
-        kind: int,
-        owned,
-        replicated: bool,
-        group_table,
-        reads_table,
-        counter: str,
-    ) -> np.ndarray:
-        ids = np.ascontiguousarray(ids, dtype=np.uint64)
-        stats = self.comm.stats
-        counts, unresolved = local_ladder(
-            self.comm, self.spectra, ids,
-            owned=owned, replicated=replicated, group_table=group_table,
-            reads_table=reads_table, counter=counter,
-        )
-        if ids.size == 0 or not unresolved.any():
-            return counts
-
-        idx = np.nonzero(unresolved)[0]
-        remote_ids = ids[idx]
-        stats.bump(f"remote_{counter}_lookups", int(remote_ids.size))
-        # Duplicates within a lookup batch would travel repeatedly; send
-        # each distinct id once and scatter the answer back.
-        uniq, inverse = np.unique(remote_ids, return_inverse=True)
-        stats.bump(
-            f"remote_{counter}_ids_deduped", int(remote_ids.size - uniq.size)
-        )
-        uniq_owners = np.asarray(
-            mix_to_rank(uniq, self.comm.size), dtype=np.int64
-        )
-        start = time.perf_counter()
-        fetched = self.protocol.request_counts(kind, uniq, uniq_owners)
-        self.timer.add(f"comm_{counter}", time.perf_counter() - start)
-        counts[idx] = fetched[inverse]
-        if self.heuristics.add_remote_lookups and reads_table is not None:
-            # Cache what we learned (including global absence as 0).
-            fresh = ~reads_table.contains(uniq)
-            if fresh.any():
-                reads_table.add_counts(
-                    uniq[fresh], fetched[fresh].astype(np.uint64)
-                )
-        return counts
+        """Global tile counts via the tier stack (see class doc)."""
+        return self.stacks.tiles.counts(ids)
 
 
 def correct_distributed(
@@ -193,8 +127,13 @@ def correct_distributed(
             owned_tiles=spectra.tiles,
             universal=heuristics.universal,
             faults=plan,
-            replicas=recovery.replicas,
         )
+    # Recovery as a re-bind: each ward replica this rank holds becomes
+    # part of its serving shard, so every protocol path (pump, comm
+    # thread, prefetch endpoint) answers for the ward with no special
+    # casing — see repro.parallel.lookup.routing.ShardServer.
+    for ward, (ward_kmers, ward_tiles) in recovery.replicas.items():
+        protocol.shards.bind_ward(ward, ward_kmers, ward_tiles)
     view = DistributedSpectrumView(comm, spectra, heuristics, protocol, timer)
     corrector = ReptileCorrector(config, view)
 

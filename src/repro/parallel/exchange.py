@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import CommunicatorError, LookupTimeoutError
 from repro.hashing.counthash import CountHash
 from repro.hashing.inthash import mix_to_rank
+from repro.parallel.lookup.routing import partition_by_dest
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Tags
 
@@ -31,11 +32,10 @@ def bucket_by_owner(
     counts = np.ascontiguousarray(counts, dtype=np.uint64)
     if keys.shape != counts.shape:
         raise ValueError("keys and counts must have equal shapes")
-    owners = mix_to_rank(keys, nranks)
-    order = np.argsort(owners, kind="stable")
+    owners = np.asarray(mix_to_rank(keys, nranks), dtype=np.int64)
+    order, boundaries = partition_by_dest(owners, nranks)
     sorted_keys = keys[order]
     sorted_counts = counts[order]
-    boundaries = np.searchsorted(owners[order], np.arange(nranks + 1))
     out: list[np.ndarray] = []
     for d in range(nranks):
         lo, hi = boundaries[d], boundaries[d + 1]
@@ -85,15 +85,16 @@ def fetch_global_counts(
     plan = comm.fault_plan
     if plan is not None and plan.has_frame_faults:
         return _fetch_global_counts_resilient(comm, wanted, owned, plan)
-    owners = mix_to_rank(wanted, comm.size)
-    order = np.argsort(owners, kind="stable")
+    owners = np.asarray(mix_to_rank(wanted, comm.size), dtype=np.int64)
+    order, boundaries = partition_by_dest(owners, comm.size)
     sorted_keys = wanted[order]
-    boundaries = np.searchsorted(owners[order], np.arange(comm.size + 1))
     queries = [
         sorted_keys[boundaries[d] : boundaries[d + 1]] for d in range(comm.size)
     ]
     incoming = comm.alltoallv(queries)
-    answers = [owned.lookup(q).astype(np.uint64) for q in incoming]
+    # Step III serve side: answering peers' queries from the owned table
+    # is this rank acting as the authority, not resolving counts.
+    answers = [owned.lookup(q).astype(np.uint64) for q in incoming]  # noqa: MPI007
     replies = comm.alltoallv(answers)
     counts_sorted = np.concatenate(replies) if replies else np.empty(0, np.uint64)
     # Undo the owner sort to align with `wanted`.
@@ -122,10 +123,9 @@ def _fetch_global_counts_resilient(
     """
     seq = getattr(comm, "_exchange_seq", 0) + 1
     comm._exchange_seq = seq
-    owners = mix_to_rank(wanted, comm.size)
-    order = np.argsort(owners, kind="stable")
+    owners = np.asarray(mix_to_rank(wanted, comm.size), dtype=np.int64)
+    order, boundaries = partition_by_dest(owners, comm.size)
     sorted_keys = wanted[order]
-    boundaries = np.searchsorted(owners[order], np.arange(comm.size + 1))
     counts_sorted = np.zeros(wanted.shape[0], dtype=np.uint64)
 
     queries: dict[int, np.ndarray] = {}
@@ -134,7 +134,8 @@ def _fetch_global_counts_resilient(
         if lo == hi:
             continue
         if d == comm.rank:
-            counts_sorted[lo:hi] = owned.lookup(sorted_keys[lo:hi])
+            # Serve-side self-answer from the authoritative shard.
+            counts_sorted[lo:hi] = owned.lookup(sorted_keys[lo:hi])  # noqa: MPI007
             continue
         queries[d] = np.concatenate(
             [np.array([seq], dtype=np.uint64), sorted_keys[lo:hi]]
@@ -154,7 +155,7 @@ def _fetch_global_counts_resilient(
         if msg.tag == Tags.EXCHANGE_QUERY:
             payload = np.asarray(msg.payload, dtype=np.uint64)
             answer = np.concatenate(
-                [payload[:1], owned.lookup(payload[1:]).astype(np.uint64)]
+                [payload[:1], owned.lookup(payload[1:]).astype(np.uint64)]  # noqa: MPI007
             )
             comm.send(msg.source, answer, tag=Tags.EXCHANGE_ANSWER)
         elif msg.tag == Tags.EXCHANGE_ANSWER:

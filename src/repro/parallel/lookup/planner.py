@@ -1,0 +1,457 @@
+"""The prefetch planner/executor: plan → fetch → correct per chunk.
+
+Moved out of the monolithic ``repro.parallel.prefetch`` when count
+resolution was unified into this package.  The wire endpoint
+(:class:`~repro.parallel.prefetch.PrefetchEndpoint`) stayed behind —
+it is a message protocol, not a resolution tier — while everything
+that *resolves counts* here rides the compiled
+:class:`~repro.parallel.lookup.stack.LookupStack` pair: the chunk cache
+is tier 0, the messaging-free ladder tiers follow, and whatever is left
+unresolved is by definition what a plan must fetch.
+
+The algorithm (unchanged from PR 2): for each chunk, stage 1 enumerates
+every window tile id and bulk-fetches the foreign unknowns; stage 2,
+with real window counts cached, enumerates the weak sites' candidate
+neighbourhood and fetches its foreign ids; pass 2 then corrects against
+the cache with zero blocking lookups.  Lookups the cache cannot answer
+return a speculative 0, are recorded as misses with exact read
+attribution, and only the tainted reads are replayed and spliced.  A
+miss-free pass is authoritative, which pins the output bit-for-bit to
+the serial reference.  Chunk N+1's window fetch is issued before chunk
+N corrects (software pipelining).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.corrector import CorrectionResult, ReptileCorrector
+from repro.io.records import ReadBlock
+from repro.parallel.lookup.cache import ChunkCountCache
+
+if TYPE_CHECKING:
+    # Type-only: build.py reaches this module through exchange.py's
+    # partition_by_dest import, so a runtime import would be circular.
+    from repro.config import ReptileConfig
+    from repro.parallel.build import RankSpectra
+    from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.lookup.stack import CommLike, StackPair, compile_stacks
+from repro.parallel.prefetch import (
+    BulkFetch,
+    PrefetchCapable,
+    PrefetchEndpoint,
+)
+from repro.simmpi.communicator import Communicator
+from repro.util.timer import PhaseTimer
+
+
+class CachedChunkView:
+    """Spectrum view that never messages: the local tier stack only.
+
+    Lookups the stack cannot resolve are speculatively answered with 0
+    (the protocol's "globally absent" response) and recorded as misses;
+    the executor bulk-fetches them and re-runs the chunk, accepting only
+    a miss-free pass.
+    """
+
+    def __init__(
+        self, comm: CommLike, stacks: StackPair, cache: ChunkCountCache
+    ) -> None:
+        self.comm = comm
+        self.stacks = stacks
+        self.cache = cache
+        self._kmer_misses: list[NDArray[np.uint64]] = []
+        self._tile_misses: list[NDArray[np.uint64]] = []
+        self._pending_rows: NDArray[np.int64] | None = None
+        self._dirty_rows: list[NDArray[np.int64]] = []
+        self._rows_complete = True
+
+    # -- SpectrumView interface ----------------------------------------
+    def kmer_counts(self, ids: NDArray[np.uint64]) -> NDArray[np.uint32]:
+        """Global k-mer counts from the local stack; misses answer 0 and
+        are recorded for the executor's replay loop."""
+        return self._counts(ids, "kmer", self._kmer_misses)
+
+    def tile_counts(self, ids: NDArray[np.uint64]) -> NDArray[np.uint32]:
+        """Global tile counts from the local stack; misses answer 0 and
+        are recorded for the executor's replay loop."""
+        return self._counts(ids, "tile", self._tile_misses)
+
+    # -- planner support -----------------------------------------------
+    def foreign_unknown_kmers(
+        self, ids: NDArray[np.uint64]
+    ) -> NDArray[np.uint64]:
+        """Unique foreign k-mer ids the cache cannot answer yet (what a
+        plan must fetch); locally-resolvable ids are cached en route."""
+        return self._foreign_unknown(ids, "kmer")
+
+    def foreign_unknown_tiles(
+        self, ids: NDArray[np.uint64]
+    ) -> NDArray[np.uint64]:
+        """Unique foreign tile ids the cache cannot answer yet (what a
+        plan must fetch); locally-resolvable ids are cached en route."""
+        return self._foreign_unknown(ids, "tile")
+
+    def peek_tile_counts(
+        self, ids: NDArray[np.uint64]
+    ) -> NDArray[np.uint32]:
+        """Best local knowledge of tile counts, without side effects.
+
+        Like :meth:`tile_counts` (unknown ids answer 0) but records no
+        misses and bumps no counters — for replanning probes, which must
+        not disturb the miss record or the lookup statistics.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.uint64)
+        return self.stacks.tiles.resolve(ids, record_stats=False).counts
+
+    def note_rows(self, rows: NDArray[np.int64]) -> None:
+        """Row index of each id in the *next* lookup call.
+
+        :class:`~repro.core.corrector.ReptileCorrector` announces which
+        read produced every id it is about to look up; a miss is then
+        charged to exactly the reads whose outcome it taints, which is
+        what lets the executor replay those reads alone."""
+        self._pending_rows = rows
+
+    def take_misses(self) -> tuple[NDArray[np.uint64], NDArray[np.uint64]]:
+        """Unique missed ids since the last call; clears the record."""
+        kmers = self._drain_misses(self._kmer_misses)
+        tiles = self._drain_misses(self._tile_misses)
+        return kmers, tiles
+
+    def take_dirty_rows(self) -> tuple[NDArray[np.int64], bool]:
+        """Rows whose lookups missed since the last call, and whether
+        that attribution is complete (every miss had a row context).
+        When it is not, the caller must replay conservatively."""
+        complete = self._rows_complete
+        if not self._dirty_rows:
+            rows = np.empty(0, dtype=np.int64)
+        else:
+            rows = np.unique(np.concatenate(self._dirty_rows))
+        self._dirty_rows.clear()
+        self._rows_complete = True
+        return rows, complete
+
+    @staticmethod
+    def _drain_misses(
+        record: list[NDArray[np.uint64]],
+    ) -> NDArray[np.uint64]:
+        if not record:
+            return np.empty(0, dtype=np.uint64)
+        out = np.unique(np.concatenate(record))
+        record.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    def _counts(
+        self,
+        ids: NDArray[np.uint64],
+        kind: str,
+        misses: list[NDArray[np.uint64]],
+    ) -> NDArray[np.uint32]:
+        ids = np.ascontiguousarray(ids, dtype=np.uint64)
+        rows = self._pending_rows
+        self._pending_rows = None
+        # The chunk-cache tier runs first, so a fully planned pass costs
+        # one probe per lookup; the ladder tiers below it only run for
+        # ids the plan never saw (drifted windows, replicated tables).
+        res = self.stacks.for_kind(kind).resolve(ids)
+        if res.unresolved.any():
+            miss = np.nonzero(res.unresolved)[0]
+            # Speculative 0 ("globally absent"); the reads that consulted
+            # it will be replayed once the real counts are fetched.
+            self.comm.stats.bump(f"prefetch_{kind}_misses", int(miss.size))
+            misses.append(np.unique(ids[miss]))
+            if rows is not None and rows.shape[0] == ids.shape[0]:
+                self._dirty_rows.append(np.unique(rows[miss]))
+            else:
+                self._rows_complete = False
+        return res.counts
+
+    def _foreign_unknown(
+        self, ids: NDArray[np.uint64], kind: str
+    ) -> NDArray[np.uint64]:
+        """Unique ids no local tier can answer — exactly what a plan
+        must fetch.  Does not count as lookups.
+
+        Ids a ladder tier *can* answer are deposited into the cache
+        along the way (``resolved_by`` says which tier answered, so
+        cache hits are not pointlessly re-deposited), so by the time the
+        corrector runs, every planned id — owned or foreign — resolves
+        through the cache's fast path."""
+        ids = np.ascontiguousarray(ids, dtype=np.uint64)
+        if ids.size == 0:
+            return ids
+        stack = self.stacks.for_kind(kind)
+        if stack.fully_replicated:
+            # Full replication answers everything in one probe; caching
+            # would just mirror the replicated table entry by entry.
+            return np.empty(0, dtype=np.uint64)
+        res = stack.resolve(ids, record_stats=False)
+        known = res.resolved_by == stack.cache_index
+        deposit = ~res.unresolved & ~known
+        # Ladder-resolved ids enter the cache so pass 2 takes its
+        # single-probe fast path; cache hits are not re-deposited.
+        self.cache.deposit(kind, ids[deposit], res.counts[deposit])
+        foreign = ids[res.unresolved]
+        uniq = np.unique(foreign)
+        # Everything dropped from the fetch that a remote owner *would*
+        # have been asked for: duplicate foreign ids plus already-cached
+        # ones (locally-resolvable ids were never fetch candidates).
+        self.comm.stats.bump(
+            f"prefetch_{kind}_ids_deduped",
+            int(np.count_nonzero(known) + foreign.size - uniq.size),
+        )
+        return uniq
+
+
+# ----------------------------------------------------------------------
+# the pipelined chunk executor
+# ----------------------------------------------------------------------
+class _ChunkState:
+    """Everything in flight for one chunk of the pipeline."""
+
+    def __init__(
+        self,
+        chunk: ReadBlock,
+        cache: ChunkCountCache,
+        view: CachedChunkView,
+        corrector: ReptileCorrector,
+        positions: tuple[
+            NDArray[np.int64], NDArray[np.int64], NDArray[np.uint64]
+        ],
+        fetch: BulkFetch,
+    ) -> None:
+        self.chunk = chunk
+        self.cache = cache
+        self.view = view
+        self.corrector = corrector
+        #: Per tile position: (rows, starts, tile ids) on original codes.
+        self.positions = positions
+        self.window_fetch = fetch
+        self.cand_fetch: BulkFetch | None = None
+
+
+class PrefetchExecutor:
+    """Runs a rank's Step IV chunks through plan-fetch-correct.
+
+    The loop is software-pipelined: chunk N+1's stage-1 (window) fetch
+    is issued before chunk N is corrected, so its responses stream in
+    while this rank computes.  The rank's tier stacks are compiled once
+    here — chunk cache first, then the messaging-free ladder tiers, no
+    remote tier (what the stack cannot resolve is what a plan fetches) —
+    and shared by every chunk's view.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig,
+        spectra: RankSpectra,
+        protocol: PrefetchCapable,
+        timer: PhaseTimer | None = None,
+    ) -> None:
+        self.comm = comm
+        self.config = config
+        self.heuristics = heuristics
+        self.spectra = spectra
+        self.endpoint = PrefetchEndpoint(protocol, comm)
+        self.timer = timer or PhaseTimer()
+        #: One cache for the whole correction phase: coverage makes ids
+        #: recur across chunks, so sharing it turns later chunks' fetches
+        #: into near no-ops (see :class:`ChunkCountCache`).
+        self.cache = ChunkCountCache()
+        self.stacks = compile_stacks(
+            comm, spectra, heuristics, cache=self.cache, timer=self.timer
+        )
+        shape = config.tile_shape
+        self._suffix_bits = np.uint64(2 * (shape.k - shape.overlap))
+        self._kmer_mask = np.uint64((1 << (2 * shape.k)) - 1)
+
+    # ------------------------------------------------------------------
+    def run(self, chunks: list[ReadBlock]) -> list[CorrectionResult]:
+        """Correct every chunk; the pipelined equivalent of the plain
+        per-chunk loop in :func:`~repro.parallel.correct.correct_distributed`."""
+        results: list[CorrectionResult] = []
+        state = self._begin_chunk(chunks[0]) if chunks else None
+        for i in range(len(chunks)):
+            assert state is not None
+            self._plan_candidates(state)
+            # Pipelining: the next chunk's window fetch goes out before
+            # this chunk starts correcting.
+            upcoming = (
+                self._begin_chunk(chunks[i + 1]) if i + 1 < len(chunks) else None
+            )
+            results.append(self._correct(state))
+            self.endpoint.drain()
+            state = upcoming
+        return results
+
+    # ------------------------------------------------------------------
+    def _begin_chunk(self, chunk: ReadBlock) -> _ChunkState:
+        """Stage 1: enumerate every window tile id and fetch the foreign
+        ones (original codes — drift is handled by the replan loop)."""
+        cache = self.cache
+        view = CachedChunkView(self.comm, self.stacks, cache)
+        corrector = ReptileCorrector(self.config, view)
+        positions = self._enumerate_positions(corrector, chunk)
+        fetch = self.endpoint.issue(
+            np.empty(0, dtype=np.uint64),
+            view.foreign_unknown_tiles(positions[2]),
+        )
+        return _ChunkState(chunk, cache, view, corrector, positions, fetch)
+
+    @staticmethod
+    def _enumerate_positions(
+        corrector: ReptileCorrector, block: ReadBlock
+    ) -> tuple[NDArray[np.int64], NDArray[np.int64], NDArray[np.uint64]]:
+        """Every valid tile site of a block as flat (rows, starts, ids)."""
+        starts_matrix = corrector._tile_start_matrix(block.lengths)
+        valid = starts_matrix >= 0
+        rows, cols = np.nonzero(valid)
+        if rows.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.uint64),
+            )
+        starts = starts_matrix[rows, cols].astype(np.int64)
+        tids, ok = corrector._gather_tiles(block.codes, rows, starts)
+        return rows[ok], starts[ok], tids[ok]
+
+    def _plan_candidates(self, state: _ChunkState) -> None:
+        """Stage 2: with real window counts cached, enumerate the weak
+        sites' candidate neighbourhood and fetch its foreign ids."""
+        start = time.perf_counter()
+        _, tcounts = self.endpoint.collect(state.window_fetch)
+        self.timer.add("comm_prefetch", time.perf_counter() - start)
+        state.cache.add_tiles(state.window_fetch.tile_ids, tcounts)
+
+        cands, kmers = self._candidate_neighbourhood(
+            state, state.chunk, state.positions, peek=False
+        )
+        state.cand_fetch = self.endpoint.issue(
+            state.view.foreign_unknown_kmers(kmers),
+            state.view.foreign_unknown_tiles(cands),
+        )
+
+    def _candidate_neighbourhood(
+        self,
+        state: _ChunkState,
+        block: ReadBlock,
+        positions: tuple[
+            NDArray[np.int64], NDArray[np.int64], NDArray[np.uint64]
+        ],
+        *,
+        peek: bool,
+    ) -> tuple[NDArray[np.uint64], NDArray[np.uint64]]:
+        """Candidate tile ids and their constituent k-mers for every weak
+        site of ``block``.  ``peek=True`` probes counts without touching
+        the miss record or the lookup counters (replanning)."""
+        threshold = np.uint32(self.config.tile_threshold)
+        rows, starts, tids = positions
+        counts = (
+            state.view.peek_tile_counts(tids)
+            if peek
+            else state.view.tile_counts(tids)
+        )
+        weak = counts < threshold
+        cands = kmers = np.empty(0, dtype=np.uint64)
+        if weak.any():
+            batch = state.corrector._generate_candidates(
+                block, rows[weak], starts[weak], tids[weak]
+            )
+            if batch.cand_ids.size:
+                cands = batch.cand_ids
+                kmers = np.concatenate([
+                    (cands >> self._suffix_bits) & self._kmer_mask,
+                    cands & self._kmer_mask,
+                ])
+        return cands, kmers
+
+    def _correct(self, state: _ChunkState) -> CorrectionResult:
+        """Pass 2 plus the miss-replay loop (see module docstring)."""
+        fetch = state.cand_fetch
+        assert fetch is not None
+        start = time.perf_counter()
+        kcounts, tcounts = self.endpoint.collect(fetch)
+        self.timer.add("comm_prefetch", time.perf_counter() - start)
+        state.cache.add_kmers(fetch.kmer_ids, kcounts)
+        state.cache.add_tiles(fetch.tile_ids, tcounts)
+
+        state.view.take_misses()  # reset any planning-time residue
+        state.view.take_dirty_rows()
+        result = state.corrector.correct_block(state.chunk)
+        replayed: NDArray[np.int64] | None = None  # None = the whole chunk
+        while True:
+            k_miss, t_miss = state.view.take_misses()
+            dirty, attributed = state.view.take_dirty_rows()
+            if k_miss.size == 0 and t_miss.size == 0:
+                return result
+            # Corrections drifted ids out of the plan.  Reads are
+            # corrected independently, so only the reads whose lookups
+            # consulted a speculative answer need re-running; everyone
+            # else's outcome already saw exclusively authoritative
+            # counts.  ``dirty`` indexes the block of the pass that just
+            # ran (the whole chunk, or the previous replay subset).
+            self.comm.stats.bump("prefetch_replans")
+            if not attributed or dirty.size == 0:
+                rows = (
+                    np.arange(len(state.chunk), dtype=np.int64)
+                    if replayed is None
+                    else replayed
+                )
+            elif replayed is None:
+                rows = dirty
+            else:
+                rows = replayed[dirty]
+            # Re-plan on the tainted reads' *drifted* codes so one fetch
+            # covers the corrections' whole window + candidate
+            # neighbourhood, not just the recorded misses — the loop
+            # then converges in about one round.
+            drift = result.block.select(rows)
+            positions = self._enumerate_positions(state.corrector, drift)
+            window_tiles = positions[2]
+            cands, kmers = self._candidate_neighbourhood(
+                state, drift, positions, peek=True
+            )
+            refetch = self.endpoint.issue(
+                state.view.foreign_unknown_kmers(
+                    np.concatenate([k_miss, kmers])
+                ),
+                state.view.foreign_unknown_tiles(
+                    np.concatenate([t_miss, window_tiles, cands])
+                ),
+            )
+            start = time.perf_counter()
+            kc, tc = self.endpoint.collect(refetch)
+            self.timer.add("comm_prefetch", time.perf_counter() - start)
+            state.cache.add_kmers(refetch.kmer_ids, kc)
+            state.cache.add_tiles(refetch.tile_ids, tc)
+            sub = state.corrector.correct_block(state.chunk.select(rows))
+            self._splice(result, rows, sub)
+            replayed = rows
+
+    @staticmethod
+    def _splice(
+        result: CorrectionResult,
+        rows: NDArray[np.int64],
+        sub: CorrectionResult,
+    ) -> None:
+        """Graft a replayed subset's outcome into the chunk-wide result."""
+        result.block.codes[rows] = sub.block.codes
+        result.corrections_per_read[rows] = sub.corrections_per_read
+        result.reads_reverted[rows] = sub.reads_reverted
+        assert result.tiles_examined_per_read is not None
+        assert sub.tiles_examined_per_read is not None
+        assert result.tiles_below_per_read is not None
+        assert sub.tiles_below_per_read is not None
+        result.tiles_examined_per_read[rows] = sub.tiles_examined_per_read
+        result.tiles_below_per_read[rows] = sub.tiles_below_per_read
+        result.tiles_examined = int(result.tiles_examined_per_read.sum())
+        result.tiles_below_threshold = int(result.tiles_below_per_read.sum())

@@ -1,212 +1,61 @@
-"""Step IV lookup aggregation: deduplicated bulk prefetch + pipelining.
+"""The bulk-prefetch wire endpoint: coalesced lookups, one per owner.
 
-The base protocol blocks the corrector on every lookup batch: each batch
-of foreign ids costs one synchronous request/response round trip per
-owning rank, and duplicate ids within a chunk travel repeatedly.  In the
-α–β model every such round trip pays a latency term α; aggregating a
-chunk's lookups into **one coalesced message per owner** converts all
-but one of those latency terms into pure bandwidth (β · ids), the same
-message-aggregation idea that makes distributed list ranking scale.
+The prefetch engine (:class:`~repro.parallel.lookup.planner.PrefetchExecutor`)
+plans a chunk's lookups ahead of time and resolves them here: ids
+deduplicated, coalesced into **one message per owning rank**, sent with
+nonblocking isends while the pump (or communication thread) services
+peers.  This module is only the wire half — planning, caching and
+"which ids are foreign" all live in :mod:`repro.parallel.lookup`.
 
-The engine here runs Step IV in two passes per chunk:
-
-1. **Plan + fetch.**  A planner enumerates every k-mer/tile id the
-   corrector *could* touch — first the window tile ids of every tile
-   position (stage 1), then, once the window counts are known, the
-   candidate-substitution neighbourhood of the weak sites and the
-   candidate k-mers (stage 2).  Ids are deduplicated, filtered down to
-   the ones the messaging-free rungs of the lookup ladder cannot answer,
-   coalesced per owning rank, and resolved with nonblocking isends; the
-   existing pump (or communication thread) services peers while the
-   responses are in flight.  Results land in a :class:`ChunkCountCache`
-   shared by all of the rank's chunks, so at realistic coverage later
-   chunks' plans fetch almost nothing.
-2. **Correct.**  The same :class:`~repro.core.corrector.ReptileCorrector`
-   runs against a :class:`CachedChunkView`, which resolves every lookup
-   locally — rank tables, then the chunk cache — with **zero blocking
-   ``request_counts`` calls**.
-
-Because corrections drift later overlapping tiles, the plan computed on
-the original codes can be incomplete.  An id the cache cannot answer is
-*speculatively* answered with 0 (the "globally absent" response) and
-recorded as a miss; after the pass the plan is recomputed on the
-*drifted* codes (so one round also covers the corrections' new
-neighbourhood), the unknowns are bulk-fetched, and the chunk is
-re-corrected from scratch.  Only a miss-free pass is
-accepted, so the accepted output saw exclusively authoritative counts
-and is bit-identical to the serial reference.  The loop terminates: the
-cache strictly grows while misses exist and the id universe of a chunk
-is finite.  (A speculative 0 cannot cascade into a wrong *accepted*
-correction — a 0 count fails every solidity/threshold test, and any pass
-that consulted a speculative answer is discarded.)
-
-**Software pipelining:** the stage-1 fetch for chunk N+1 is issued
-before chunk N corrects, overlapping its communication with chunk N's
-computation the way the paper's communication thread overlaps serving
-with correcting.
-
-Wire protocol: one ``PREFETCH_REQUEST`` per owner carries
-``uint64 [req_id, n_kmer, kmer_ids..., tile_ids...]`` (both kinds in one
-message, like the universal heuristic); the owner answers with
-``uint32 [req_id, kmer_counts..., tile_counts...]``.  The ``req_id``
-makes concurrent in-flight fetches (the pipeline has up to two, plus
-replans) unambiguous where the blocking protocol keys responses by
-source alone.  The endpoint rides both protocol implementations through
-their ``handlers`` hook: under :class:`.server.CorrectionProtocol` the
-handlers run inside the caller's pump; under
-:class:`.commthread.CommThreadProtocol` they run on the communication
-thread, so completion is signalled through a condition variable.
+One ``PREFETCH_REQUEST`` per owner carries
+``uint64 [req_id, n_kmer, kmer_ids..., tile_ids...]``; the owner answers
+``uint32 [req_id, kmer_counts..., tile_counts...]``; ``req_id``
+disambiguates in-flight fetches.  Handlers ride the protocol's
+``handlers`` hook and serve through its
+:class:`~repro.parallel.lookup.routing.ShardServer`, so a recovery
+partner answers for its bound wards with no extra logic here.
 """
 
 from __future__ import annotations
 
-import time
-
 import threading
+import time
+from typing import Callable, Protocol
 
 import numpy as np
+from numpy.typing import NDArray
 
-from repro.config import ReptileConfig
-from repro.core.corrector import CorrectionResult, ReptileCorrector
 from repro.errors import CommunicatorError, LookupTimeoutError
-from repro.hashing.counthash import CountHash
 from repro.hashing.inthash import mix_to_rank
-from repro.io.records import ReadBlock
-from repro.parallel.build import RankSpectra
-from repro.parallel.heuristics import HeuristicConfig
-from repro.parallel.server import KIND_KMER, KIND_TILE
+from repro.parallel.lookup.routing import (
+    KIND_KMER,
+    KIND_TILE,
+    RouteTable,
+    ShardServer,
+    partition_by_dest,
+)
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import Message, Tags
-from repro.util.timer import PhaseTimer
 
-#: How long a collect may wait on the communication thread before
-#: concluding the run is wedged (seconds; pump mode never waits idly).
+#: Max seconds a collect may wait on the communication thread before
+#: concluding the run is wedged (pump mode never waits idly).
 PREFETCH_TIMEOUT = 120.0
 
 
-# ----------------------------------------------------------------------
-# the messaging-free rungs of the lookup ladder
-# ----------------------------------------------------------------------
-def local_ladder(
-    comm: Communicator,
-    spectra: RankSpectra,
-    ids: np.ndarray,
-    *,
-    owned: CountHash,
-    replicated: bool,
-    group_table: CountHash | None,
-    reads_table: CountHash | None,
-    counter: str,
-    record_stats: bool = True,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Resolve what the rank can answer without messaging.
+class PrefetchCapable(Protocol):
+    """What the endpoint needs from a correction protocol."""
 
-    Runs rungs 1-4 of the paper's lookup ladder (owned table, full
-    replication, group table under partial replication, reads-table
-    cache) and returns ``(counts, unresolved)`` where ``unresolved``
-    marks the ids only their owning rank can answer.  Shared by the
-    blocking :class:`~repro.parallel.correct.DistributedSpectrumView`
-    and the prefetch engine's planner/cached view, so both agree exactly
-    on which ids are foreign.
-    """
-    ids = np.ascontiguousarray(ids, dtype=np.uint64)
-    stats = comm.stats
-    if record_stats:
-        stats.bump(f"{counter}_lookups", int(ids.size))
-    if ids.size == 0:
-        return np.empty(0, dtype=np.uint32), np.empty(0, dtype=bool)
-    if replicated:
-        if record_stats:
-            stats.bump(f"local_{counter}_lookups", int(ids.size))
-        return owned.lookup(ids), np.zeros(ids.shape[0], dtype=bool)
-
-    counts = np.zeros(ids.shape[0], dtype=np.uint32)
-    owners = np.asarray(mix_to_rank(ids, comm.size), dtype=np.int64)
-    unresolved = np.ones(ids.shape[0], dtype=bool)
-
-    mine = owners == comm.rank
-    if mine.any():
-        counts[mine] = owned.lookup(ids[mine])
-        unresolved &= ~mine
-        if record_stats:
-            stats.bump(f"local_{counter}_lookups", int(mine.sum()))
-
-    if group_table is not None and unresolved.any():
-        in_group = unresolved & np.isin(owners, spectra.group_ranks)
-        if in_group.any():
-            counts[in_group] = group_table.lookup(ids[in_group])
-            unresolved &= ~in_group
-            if record_stats:
-                stats.bump(f"group_{counter}_lookups", int(in_group.sum()))
-
-    if reads_table is not None and unresolved.any():
-        idx = np.nonzero(unresolved)[0]
-        cached = reads_table.contains(ids[idx])
-        hit = idx[cached]
-        if hit.size:
-            counts[hit] = reads_table.lookup(ids[hit])
-            unresolved[hit] = False
-            if record_stats:
-                stats.bump(f"reads_table_{counter}_hits", int(hit.size))
-
-    return counts, unresolved
-
-
-# ----------------------------------------------------------------------
-# chunk-local cache of fetched counts
-# ----------------------------------------------------------------------
-class ChunkCountCache:
-    """Counts fetched from owning ranks during the correction phase.
-
-    Keys are inserted with their authoritative global count — including
-    an explicit 0 for globally-absent ids, so :meth:`CountHash.contains`
-    distinguishes "known absent" from "never fetched".  The executor
-    keeps **one** cache for all of a rank's chunks: at sequencing
-    coverage ``c`` every genomic k-mer recurs in ~``c`` reads spread
-    across chunks, so later chunks resolve mostly from ids fetched for
-    earlier ones.  The footprint is bounded by the rank's *foreign
-    working set* — the same order as the reads-table heuristic — and is
-    discarded when the correction phase ends.
-    """
-
-    def __init__(self) -> None:
-        self.kmers = CountHash()
-        self.tiles = CountHash()
-
-    def add_kmers(self, ids: np.ndarray, counts: np.ndarray) -> None:
-        """Deposit authoritative k-mer counts (idempotent per key)."""
-        self._add(self.kmers, ids, counts)
-
-    def add_tiles(self, ids: np.ndarray, counts: np.ndarray) -> None:
-        """Deposit authoritative tile counts (idempotent per key)."""
-        self._add(self.tiles, ids, counts)
-
-    @staticmethod
-    def _add(table: CountHash, ids: np.ndarray, counts: np.ndarray) -> None:
-        if ids.size == 0:
-            return
-        # add_counts *accumulates*, so keys fetched by an earlier stage
-        # must not be re-added (stage-2 plans overlap stage-1's windows),
-        # and duplicate keys within one batch must collapse to one entry.
-        ids, first = np.unique(ids, return_index=True)
-        counts = counts[first]
-        fresh = ~table.contains(ids)
-        if fresh.any():
-            table.add_counts(ids[fresh], counts[fresh].astype(np.uint64))
+    handlers: dict[int, Callable[[Message], None]]
 
     @property
-    def nbytes(self) -> int:
-        return self.kmers.nbytes + self.tiles.nbytes
+    def shards(self) -> ShardServer: ...
 
 
-# ----------------------------------------------------------------------
-# the bulk-fetch endpoint
-# ----------------------------------------------------------------------
 class BulkFetch:
     """Handle for one in-flight bulk exchange (ids must be unique)."""
 
     def __init__(
-        self, req_id: int, kmer_ids: np.ndarray, tile_ids: np.ndarray
+        self, req_id: int, kmer_ids: NDArray[np.uint64], tile_ids: NDArray[np.uint64]
     ) -> None:
         self.req_id = req_id
         self.kmer_ids = kmer_ids
@@ -215,13 +64,12 @@ class BulkFetch:
         self.tile_counts = np.zeros(tile_ids.shape[0], dtype=np.uint32)
         #: Owner ranks still owing a response.
         self.pending: set[int] = set()
-        #: Owner -> (kmer positions, tile positions) into the result
-        #: arrays, in the order that owner's ids were sent.
-        self.slices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        #: dest -> the exact request payload sent there, retained in
-        #: fault mode so a timed-out collect can resend it verbatim
-        #: (the shared ``req_id`` makes the retransmit idempotent).
-        self.payloads: dict[int, np.ndarray] = {}
+        #: Owner -> (kmer, tile) positions into the result arrays, in
+        #: the order that owner's ids were sent.
+        self.slices: dict[int, tuple[NDArray[np.int64], NDArray[np.int64]]] = {}
+        #: dest -> exact payload sent, retained in fault mode so a
+        #: timed-out collect can resend it verbatim (idempotent).
+        self.payloads: dict[int, NDArray[np.uint64]] = {}
 
     @property
     def complete(self) -> bool:
@@ -232,15 +80,12 @@ class PrefetchEndpoint:
     """One rank's client+server endpoint for bulk prefetch messages.
 
     Registers handlers for the two prefetch tags on the given protocol,
-    so requests from peers are served wherever that protocol serves its
-    own traffic (the pump, or the communication thread).  All shared
-    state is guarded by one condition variable because under
-    :class:`~repro.parallel.commthread.CommThreadProtocol` the handlers
-    run on the communication thread while ``issue``/``collect`` run on
-    the worker.
-    """
+    so peers are served wherever that protocol serves its own traffic.
+    One condition variable guards all shared state because under
+    ``CommThreadProtocol`` the handlers run on the communication thread
+    while ``issue``/``collect`` run on the worker."""
 
-    def __init__(self, protocol, comm: Communicator) -> None:
+    def __init__(self, protocol: PrefetchCapable, comm: Communicator) -> None:
         self.protocol = protocol
         self.comm = comm
         self._cond = threading.Condition()
@@ -249,30 +94,27 @@ class PrefetchEndpoint:
         # CorrectionProtocol exposes a pump; CommThreadProtocol serves on
         # its own thread and exposes none.
         self._pump = getattr(protocol, "pump", None)
-        #: The active FaultPlan, inherited from the protocol (None on
-        #: fault-free runs; comm_thread mode rejects fault plans, so the
-        #: resilient paths below only ever run in pump mode).
+        #: Active FaultPlan from the protocol (None on fault-free runs;
+        #: comm_thread mode rejects fault plans, so the resilient paths
+        #: below only ever run in pump mode).
         self.faults = getattr(protocol, "faults", None)
-        self._resilient = (
-            self.faults is not None and self.faults.needs_resilient_lookups
-        )
-        self._doomed = (
-            self.faults.doomed_ranks() if self.faults is not None
-            else frozenset()
-        )
+        self._resilient = self.faults is not None and self.faults.needs_resilient_lookups
+        #: Owner -> effective destination (doomed owners route to their
+        #: recovery partner from the start of the phase).
+        self.routes = RouteTable.compile(self.faults, comm.size)
         protocol.handlers[Tags.PREFETCH_REQUEST] = self._on_request
         protocol.handlers[Tags.PREFETCH_RESPONSE] = self._on_response
 
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
-    def issue(self, kmer_ids: np.ndarray, tile_ids: np.ndarray) -> BulkFetch:
+    def issue(
+        self, kmer_ids: NDArray[np.uint64], tile_ids: NDArray[np.uint64]
+    ) -> BulkFetch:
         """Send one coalesced request per owning rank; returns at once.
 
         ``kmer_ids``/``tile_ids`` must be deduplicated and foreign (the
-        planner guarantees both).  The returned handle completes as the
-        responses arrive; redeem it with :meth:`collect`.
-        """
+        planner guarantees both); redeem the handle with :meth:`collect`."""
         kmer_ids = np.ascontiguousarray(kmer_ids, dtype=np.uint64)
         tile_ids = np.ascontiguousarray(tile_ids, dtype=np.uint64)
         stats = self.comm.stats
@@ -283,8 +125,8 @@ class PrefetchEndpoint:
                 raise CommunicatorError("prefetch req_id overflow")
             fetch = BulkFetch(req_id, kmer_ids, tile_ids)
             if kmer_ids.size or tile_ids.size:
-                k_by = self._by_owner(kmer_ids)
-                t_by = self._by_owner(tile_ids)
+                k_by = self._by_dest(kmer_ids)
+                t_by = self._by_dest(tile_ids)
                 for dest in sorted(set(k_by) | set(t_by)):
                     kpos = k_by.get(dest, np.empty(0, dtype=np.int64))
                     tpos = t_by.get(dest, np.empty(0, dtype=np.int64))
@@ -292,24 +134,19 @@ class PrefetchEndpoint:
                     fetch.pending.add(dest)
                 self._fetches[req_id] = fetch
         # isends go out after the fetch is registered, so a response
-        # arriving on the communication thread always finds its handle.
+        # arriving on the communication thread always finds its handle;
+        # list() snapshots slices against concurrent pops.
         if fetch.pending:
             stats.bump("prefetch_fetches")
             stats.bump("prefetch_kmer_ids_fetched", int(kmer_ids.size))
             stats.bump("prefetch_tile_ids_fetched", int(tile_ids.size))
-            # Snapshot: on the communication thread a response may pop
-            # its slice entry while this loop is still sending.
             for dest, (kpos, tpos) in list(fetch.slices.items()):
                 if dest == self.comm.rank:
-                    # Fault mode only: this rank is the recovery partner
-                    # of a dead owner, so the ward's ids resolve from the
-                    # replica it holds — no message at all.
-                    kc = self.protocol._lookup_with_replicas(
-                        KIND_KMER, kmer_ids[kpos]
-                    )
-                    tc = self.protocol._lookup_with_replicas(
-                        KIND_TILE, tile_ids[tpos]
-                    )
+                    # Fault mode only: this rank is a dead owner's
+                    # partner, so the ward's ids resolve from the
+                    # re-bound shard — no message at all.
+                    kc = self.protocol.shards.lookup(KIND_KMER, kmer_ids[kpos])
+                    tc = self.protocol.shards.lookup(KIND_TILE, tile_ids[tpos])
                     with self._cond:
                         fetch.kmer_counts[kpos] = kc
                         fetch.tile_counts[tpos] = tc
@@ -318,24 +155,17 @@ class PrefetchEndpoint:
                     stats.bump("failover_requests_served")
                     continue
                 header = np.array([req_id, kpos.size], dtype=np.uint64)
-                payload = np.concatenate(
-                    [header, kmer_ids[kpos], tile_ids[tpos]]
-                )
+                payload = np.concatenate([header, kmer_ids[kpos], tile_ids[tpos]])
                 if self._resilient:
                     fetch.payloads[dest] = payload
                 self.comm.isend(dest, payload, tag=Tags.PREFETCH_REQUEST)
                 stats.bump("prefetch_messages")
         return fetch
 
-    def collect(self, fetch: BulkFetch) -> tuple[np.ndarray, np.ndarray]:
+    def collect(self, fetch: BulkFetch) -> tuple[NDArray[np.uint32], NDArray[np.uint32]]:
         """Wait until every owner answered; returns (kmer, tile) counts
-        aligned with the ids the fetch was issued for.
-
-        In pump mode the wait *is* the communication thread: incoming
-        peer requests (count and prefetch alike) are served while our
-        responses are in flight, which is what makes the exchange
-        deadlock-free.
-        """
+        aligned with the issued ids.  In pump mode the wait serves
+        incoming peer requests, which keeps the exchange deadlock-free."""
         if self._pump is not None:
             if self._resilient:
                 self._collect_resilient(fetch)
@@ -362,12 +192,11 @@ class PrefetchEndpoint:
 
     def _collect_resilient(self, fetch: BulkFetch) -> None:
         """Pump-mode wait with timeout + bounded exponential backoff.
-
-        Each expired deadline resends the retained payload of every
-        still-pending destination; the shared ``req_id`` and the
-        slice-pop in :meth:`_on_response` make retransmits and duplicate
-        answers idempotent."""
+        Each expired deadline resends the retained payloads; the shared
+        ``req_id`` and the slice-pop in :meth:`_on_response` make
+        retransmits and duplicate answers idempotent."""
         plan = self.faults
+        assert plan is not None and self._pump is not None
         sleep_hint = 0.0 if self.comm.probe_yields else 0.002
         attempt = 0
         deadline = time.monotonic() + plan.timeout_for(attempt)
@@ -392,8 +221,7 @@ class PrefetchEndpoint:
                     )
                 for dest in sorted(fetch.pending):
                     self.comm.isend(
-                        dest, fetch.payloads[dest],
-                        tag=Tags.PREFETCH_REQUEST,
+                        dest, fetch.payloads[dest], tag=Tags.PREFETCH_REQUEST
                     )
                     self.comm.stats.bump("lookup_retries")
                 deadline = time.monotonic() + plan.timeout_for(attempt)
@@ -406,31 +234,23 @@ class PrefetchEndpoint:
             while self._pump(block=False):
                 pass
 
-    def _by_owner(self, ids: np.ndarray) -> dict[int, np.ndarray]:
-        """Positions of ``ids`` grouped by destination rank.
+    def _by_dest(self, ids: NDArray[np.uint64]) -> dict[int, NDArray[np.int64]]:
+        """Positions of ``ids`` grouped by effective destination rank.
 
-        Normally the destination is the owning rank.  In fault mode a
-        doomed owner's ids are redirected to its recovery partner (the
-        scripted plan stands in for a failure detector), so one payload
-        may mix ids owned by the partner itself and by its dead ward —
-        the server recomputes per-id ownership when answering.  When the
-        partner is *this* rank, the self entry is resolved locally from
-        the held replica in :meth:`issue`.
-        """
+        Ownership comes from :func:`mix_to_rank`; the
+        :class:`RouteTable` redirects doomed owners to their recovery
+        partner, so one payload may mix the partner's own ids with its
+        dead ward's — the serving shard recomputes per-id ownership.
+        When the partner is *this* rank, :meth:`issue` resolves the
+        self entry locally."""
         if ids.size == 0:
             return {}
         owners = np.asarray(mix_to_rank(ids, self.comm.size), dtype=np.int64)
-        for doomed in self._doomed:
-            owners[owners == doomed] = self.faults.partner_of(
-                doomed, self.comm.size
-            )
-        order = np.argsort(owners, kind="stable")
-        bounds = np.searchsorted(
-            owners[order], np.arange(self.comm.size + 1)
-        )
-        out: dict[int, np.ndarray] = {}
+        dests = self.routes.map_owners(owners)
+        order, bounds = partition_by_dest(dests, self.comm.size)
+        out: dict[int, NDArray[np.int64]] = {}
         for dest in range(self.comm.size):
-            lo, hi = bounds[dest], bounds[dest + 1]
+            lo, hi = int(bounds[dest]), int(bounds[dest + 1])
             if lo == hi:
                 continue
             if dest == self.comm.rank and not self._resilient:
@@ -445,21 +265,12 @@ class PrefetchEndpoint:
         payload = np.asarray(msg.payload, dtype=np.uint64)
         req_id, n_kmer = int(payload[0]), int(payload[1])
         ids = payload[2:]
-        if self._resilient:
-            # A payload addressed here may mix our own ids with a dead
-            # ward's; ownership is recomputed per id against the replica.
-            kcounts = self.protocol._lookup_with_replicas(
-                KIND_KMER, ids[:n_kmer]
-            )
-            tcounts = self.protocol._lookup_with_replicas(
-                KIND_TILE, ids[n_kmer:]
-            )
-        else:
-            kcounts = self.protocol.owned_kmers.lookup(ids[:n_kmer])
-            tcounts = self.protocol.owned_tiles.lookup(ids[n_kmer:])
+        # A payload may mix our own ids with a bound ward's; the shard
+        # recomputes ownership per id when it holds replicas.
+        kcounts = self.protocol.shards.lookup(KIND_KMER, ids[:n_kmer])
+        tcounts = self.protocol.shards.lookup(KIND_TILE, ids[n_kmer:])
         response = np.concatenate(
-            [np.array([req_id], dtype=np.uint32), kcounts, tcounts]
-        )
+            [np.array([req_id], dtype=np.uint32), kcounts, tcounts])
         self.comm.isend(msg.source, response, tag=Tags.PREFETCH_RESPONSE)
         stats = self.comm.stats
         stats.bump("prefetch_requests_served")
@@ -478,8 +289,7 @@ class PrefetchEndpoint:
                     self.comm.stats.bump("stale_responses")
                     return
                 raise CommunicatorError(
-                    f"unmatched prefetch response {req_id} from {msg.source}"
-                )
+                    f"unmatched prefetch response {req_id} from {msg.source}")
             kpos, tpos = fetch.slices.pop(msg.source)
             counts = payload[1:]
             fetch.kmer_counts[kpos] = counts[: kpos.size]
@@ -487,456 +297,3 @@ class PrefetchEndpoint:
             fetch.pending.discard(msg.source)
             if fetch.complete:
                 self._cond.notify_all()
-
-
-# ----------------------------------------------------------------------
-# the corrector's view during pass 2
-# ----------------------------------------------------------------------
-class CachedChunkView:
-    """Spectrum view that never messages: ladder, then chunk cache.
-
-    Lookups the cache cannot answer are speculatively answered with 0
-    (the protocol's "globally absent" response) and recorded as misses;
-    the executor bulk-fetches them and re-runs the chunk, accepting only
-    a miss-free pass.
-    """
-
-    def __init__(
-        self,
-        comm: Communicator,
-        spectra: RankSpectra,
-        heuristics: HeuristicConfig,
-        cache: ChunkCountCache,
-    ) -> None:
-        self.comm = comm
-        self.spectra = spectra
-        self.heuristics = heuristics
-        self.cache = cache
-        self._kmer_misses: list[np.ndarray] = []
-        self._tile_misses: list[np.ndarray] = []
-        self._pending_rows: np.ndarray | None = None
-        self._dirty_rows: list[np.ndarray] = []
-        self._rows_complete = True
-
-    # -- SpectrumView interface ----------------------------------------
-    def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Global k-mer counts from cache + ladder; misses answer 0 and
-        are recorded for the executor's replay loop."""
-        return self._counts(
-            ids,
-            owned=self.spectra.kmers,
-            replicated=self.spectra.kmers_replicated,
-            group_table=self.spectra.group_kmers,
-            reads_table=self.spectra.reads_kmers,
-            cache_table=self.cache.kmers,
-            misses=self._kmer_misses,
-            counter="kmer",
-        )
-
-    def tile_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Global tile counts from cache + ladder; misses answer 0 and
-        are recorded for the executor's replay loop."""
-        return self._counts(
-            ids,
-            owned=self.spectra.tiles,
-            replicated=self.spectra.tiles_replicated,
-            group_table=self.spectra.group_tiles,
-            reads_table=self.spectra.reads_tiles,
-            cache_table=self.cache.tiles,
-            misses=self._tile_misses,
-            counter="tile",
-        )
-
-    # -- planner support -----------------------------------------------
-    def foreign_unknown_kmers(self, ids: np.ndarray) -> np.ndarray:
-        """Unique foreign k-mer ids the cache cannot answer yet (what a
-        plan must fetch); locally-resolvable ids are cached en route."""
-        return self._foreign_unknown(
-            ids,
-            owned=self.spectra.kmers,
-            replicated=self.spectra.kmers_replicated,
-            group_table=self.spectra.group_kmers,
-            reads_table=self.spectra.reads_kmers,
-            cache_table=self.cache.kmers,
-            counter="kmer",
-        )
-
-    def foreign_unknown_tiles(self, ids: np.ndarray) -> np.ndarray:
-        """Unique foreign tile ids the cache cannot answer yet (what a
-        plan must fetch); locally-resolvable ids are cached en route."""
-        return self._foreign_unknown(
-            ids,
-            owned=self.spectra.tiles,
-            replicated=self.spectra.tiles_replicated,
-            group_table=self.spectra.group_tiles,
-            reads_table=self.spectra.reads_tiles,
-            cache_table=self.cache.tiles,
-            counter="tile",
-        )
-
-    def peek_tile_counts(self, ids: np.ndarray) -> np.ndarray:
-        """Best local knowledge of tile counts, without side effects.
-
-        Like :meth:`tile_counts` (unknown ids answer 0) but records no
-        misses and bumps no counters — for replanning probes, which must
-        not disturb the miss record or the lookup statistics.
-        """
-        ids = np.ascontiguousarray(ids, dtype=np.uint64)
-        counts, cached = self.cache.tiles.lookup_found(ids)
-        if cached.all():
-            return counts
-        rest = np.nonzero(~cached)[0]
-        rest_counts, _ = local_ladder(
-            self.comm, self.spectra, ids[rest],
-            owned=self.spectra.tiles,
-            replicated=self.spectra.tiles_replicated,
-            group_table=self.spectra.group_tiles,
-            reads_table=self.spectra.reads_tiles,
-            counter="tile", record_stats=False,
-        )
-        counts[rest] = rest_counts
-        return counts
-
-    def note_rows(self, rows: np.ndarray) -> None:
-        """Row index of each id in the *next* lookup call.
-
-        :class:`~repro.core.corrector.ReptileCorrector` announces which
-        read produced every id it is about to look up; a miss is then
-        charged to exactly the reads whose outcome it taints, which is
-        what lets the executor replay those reads alone."""
-        self._pending_rows = rows
-
-    def take_misses(self) -> tuple[np.ndarray, np.ndarray]:
-        """Unique missed ids since the last call; clears the record."""
-        kmers = self._drain_misses(self._kmer_misses)
-        tiles = self._drain_misses(self._tile_misses)
-        return kmers, tiles
-
-    def take_dirty_rows(self) -> tuple[np.ndarray, bool]:
-        """Rows whose lookups missed since the last call, and whether
-        that attribution is complete (every miss had a row context).
-        When it is not, the caller must replay conservatively."""
-        complete = self._rows_complete
-        if not self._dirty_rows:
-            rows = np.empty(0, dtype=np.int64)
-        else:
-            rows = np.unique(np.concatenate(self._dirty_rows))
-        self._dirty_rows.clear()
-        self._rows_complete = True
-        return rows, complete
-
-    @staticmethod
-    def _drain_misses(record: list[np.ndarray]) -> np.ndarray:
-        if not record:
-            return np.empty(0, dtype=np.uint64)
-        out = np.unique(np.concatenate(record))
-        record.clear()
-        return out
-
-    # ------------------------------------------------------------------
-    def _counts(
-        self, ids, *, owned, replicated, group_table, reads_table,
-        cache_table, misses, counter,
-    ) -> np.ndarray:
-        ids = np.ascontiguousarray(ids, dtype=np.uint64)
-        rows = self._pending_rows
-        self._pending_rows = None
-        stats = self.comm.stats
-        # The planner resolves every id it enumerates into the cache —
-        # owned and fetched alike — so the pass's lookups are expected to
-        # be all-cached and take this single-probe fast path, as cheap as
-        # the serial LocalSpectrumView.  The ladder below only runs for
-        # ids the plan never saw (drifted windows, replicated tables).
-        counts, cached = cache_table.lookup_found(ids)
-        if cached.all():
-            stats.bump(f"{counter}_lookups", int(ids.size))
-            stats.bump(f"prefetch_{counter}_hits", int(ids.size))
-            return counts
-        hits = int(np.count_nonzero(cached))
-        if hits:
-            stats.bump(f"{counter}_lookups", hits)
-            stats.bump(f"prefetch_{counter}_hits", hits)
-        rest = np.nonzero(~cached)[0]
-        rest_counts, unresolved = local_ladder(
-            self.comm, self.spectra, ids[rest],
-            owned=owned, replicated=replicated, group_table=group_table,
-            reads_table=reads_table, counter=counter,
-        )
-        counts[rest] = rest_counts
-        if unresolved.any():
-            miss = rest[unresolved]
-            # Speculative 0 ("globally absent"); the reads that consulted
-            # it will be replayed once the real counts are fetched.
-            stats.bump(f"prefetch_{counter}_misses", int(miss.size))
-            misses.append(np.unique(ids[miss]))
-            if rows is not None and rows.shape[0] == ids.shape[0]:
-                self._dirty_rows.append(np.unique(rows[miss]))
-            else:
-                self._rows_complete = False
-        return counts
-
-    def _foreign_unknown(
-        self, ids, *, owned, replicated, group_table, reads_table,
-        cache_table, counter,
-    ) -> np.ndarray:
-        """Unique ids neither the ladder nor the cache can answer —
-        exactly what a plan must fetch.  Does not count as lookups.
-
-        Ids the ladder *can* answer are deposited into the cache along
-        the way, so by the time the corrector runs, every planned id —
-        owned or foreign — resolves through the cache's fast path."""
-        ids = np.ascontiguousarray(ids, dtype=np.uint64)
-        if ids.size == 0:
-            return ids
-        if replicated:
-            # Full replication answers everything in one probe; caching
-            # would just mirror the replicated table entry by entry.
-            return np.empty(0, dtype=np.uint64)
-        known = cache_table.contains(ids)
-        fresh = ids[~known]
-        counts, unresolved = local_ladder(
-            self.comm, self.spectra, fresh,
-            owned=owned, replicated=replicated, group_table=group_table,
-            reads_table=reads_table, counter=counter, record_stats=False,
-        )
-        resolved = ~unresolved
-        ChunkCountCache._add(cache_table, fresh[resolved], counts[resolved])
-        foreign = fresh[unresolved]
-        uniq = np.unique(foreign)
-        # Everything dropped from the fetch that a remote owner *would*
-        # have been asked for: duplicate foreign ids plus already-cached
-        # ones (locally-resolvable ids were never fetch candidates).
-        self.comm.stats.bump(
-            f"prefetch_{counter}_ids_deduped",
-            int(np.count_nonzero(known) + foreign.size - uniq.size),
-        )
-        return uniq
-
-
-# ----------------------------------------------------------------------
-# the pipelined chunk executor
-# ----------------------------------------------------------------------
-class _ChunkState:
-    """Everything in flight for one chunk of the pipeline."""
-
-    def __init__(self, chunk, cache, view, corrector, positions, fetch):
-        self.chunk: ReadBlock = chunk
-        self.cache: ChunkCountCache = cache
-        self.view: CachedChunkView = view
-        self.corrector: ReptileCorrector = corrector
-        #: Per tile position: (rows, starts, tile ids) on original codes.
-        self.positions: tuple[np.ndarray, np.ndarray, np.ndarray]
-        self.positions = positions
-        self.window_fetch: BulkFetch = fetch
-        self.cand_fetch: BulkFetch | None = None
-
-
-class PrefetchExecutor:
-    """Runs a rank's Step IV chunks through plan-fetch-correct.
-
-    The loop is software-pipelined: chunk N+1's stage-1 (window) fetch
-    is issued before chunk N is corrected, so its responses stream in
-    while this rank computes.
-    """
-
-    def __init__(
-        self,
-        comm: Communicator,
-        config: ReptileConfig,
-        heuristics: HeuristicConfig,
-        spectra: RankSpectra,
-        protocol,
-        timer: PhaseTimer | None = None,
-    ) -> None:
-        self.comm = comm
-        self.config = config
-        self.heuristics = heuristics
-        self.spectra = spectra
-        self.endpoint = PrefetchEndpoint(protocol, comm)
-        self.timer = timer or PhaseTimer()
-        #: One cache for the whole correction phase: coverage makes ids
-        #: recur across chunks, so sharing it turns later chunks' fetches
-        #: into near no-ops (see :class:`ChunkCountCache`).
-        self.cache = ChunkCountCache()
-        shape = config.tile_shape
-        self._suffix_bits = np.uint64(2 * (shape.k - shape.overlap))
-        self._kmer_mask = np.uint64((1 << (2 * shape.k)) - 1)
-
-    # ------------------------------------------------------------------
-    def run(self, chunks: list[ReadBlock]) -> list[CorrectionResult]:
-        """Correct every chunk; the pipelined equivalent of the plain
-        per-chunk loop in :func:`~repro.parallel.correct.correct_distributed`."""
-        results: list[CorrectionResult] = []
-        state = self._begin_chunk(chunks[0]) if chunks else None
-        for i in range(len(chunks)):
-            assert state is not None
-            self._plan_candidates(state)
-            # Pipelining: the next chunk's window fetch goes out before
-            # this chunk starts correcting.
-            upcoming = (
-                self._begin_chunk(chunks[i + 1]) if i + 1 < len(chunks) else None
-            )
-            results.append(self._correct(state))
-            self.endpoint.drain()
-            state = upcoming
-        return results
-
-    # ------------------------------------------------------------------
-    def _begin_chunk(self, chunk: ReadBlock) -> _ChunkState:
-        """Stage 1: enumerate every window tile id and fetch the foreign
-        ones (original codes — drift is handled by the replan loop)."""
-        cache = self.cache
-        view = CachedChunkView(self.comm, self.spectra, self.heuristics, cache)
-        corrector = ReptileCorrector(self.config, view)
-        positions = self._enumerate_positions(corrector, chunk)
-        fetch = self.endpoint.issue(
-            np.empty(0, dtype=np.uint64),
-            view.foreign_unknown_tiles(positions[2]),
-        )
-        return _ChunkState(chunk, cache, view, corrector, positions, fetch)
-
-    @staticmethod
-    def _enumerate_positions(
-        corrector: ReptileCorrector, block: ReadBlock
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Every valid tile site of a block as flat (rows, starts, ids)."""
-        starts_matrix = corrector._tile_start_matrix(block.lengths)
-        valid = starts_matrix >= 0
-        rows, cols = np.nonzero(valid)
-        if rows.size == 0:
-            return (
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.uint64),
-            )
-        starts = starts_matrix[rows, cols].astype(np.int64)
-        tids, ok = corrector._gather_tiles(block.codes, rows, starts)
-        return rows[ok], starts[ok], tids[ok]
-
-    def _plan_candidates(self, state: _ChunkState) -> None:
-        """Stage 2: with real window counts cached, enumerate the weak
-        sites' candidate neighbourhood and fetch its foreign ids."""
-        start = time.perf_counter()
-        _, tcounts = self.endpoint.collect(state.window_fetch)
-        self.timer.add("comm_prefetch", time.perf_counter() - start)
-        state.cache.add_tiles(state.window_fetch.tile_ids, tcounts)
-
-        cands, kmers = self._candidate_neighbourhood(
-            state, state.chunk, state.positions, peek=False
-        )
-        state.cand_fetch = self.endpoint.issue(
-            state.view.foreign_unknown_kmers(kmers),
-            state.view.foreign_unknown_tiles(cands),
-        )
-
-    def _candidate_neighbourhood(
-        self,
-        state: _ChunkState,
-        block: ReadBlock,
-        positions: tuple[np.ndarray, np.ndarray, np.ndarray],
-        *,
-        peek: bool,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Candidate tile ids and their constituent k-mers for every weak
-        site of ``block``.  ``peek=True`` probes counts without touching
-        the miss record or the lookup counters (replanning)."""
-        threshold = np.uint32(self.config.tile_threshold)
-        rows, starts, tids = positions
-        counts = (
-            state.view.peek_tile_counts(tids)
-            if peek
-            else state.view.tile_counts(tids)
-        )
-        weak = counts < threshold
-        cands = kmers = np.empty(0, dtype=np.uint64)
-        if weak.any():
-            batch = state.corrector._generate_candidates(
-                block, rows[weak], starts[weak], tids[weak]
-            )
-            if batch.cand_ids.size:
-                cands = batch.cand_ids
-                kmers = np.concatenate([
-                    (cands >> self._suffix_bits) & self._kmer_mask,
-                    cands & self._kmer_mask,
-                ])
-        return cands, kmers
-
-    def _correct(self, state: _ChunkState) -> CorrectionResult:
-        """Pass 2 plus the miss-replay loop (see module docstring)."""
-        fetch = state.cand_fetch
-        assert fetch is not None
-        start = time.perf_counter()
-        kcounts, tcounts = self.endpoint.collect(fetch)
-        self.timer.add("comm_prefetch", time.perf_counter() - start)
-        state.cache.add_kmers(fetch.kmer_ids, kcounts)
-        state.cache.add_tiles(fetch.tile_ids, tcounts)
-
-        state.view.take_misses()  # reset any planning-time residue
-        state.view.take_dirty_rows()
-        result = state.corrector.correct_block(state.chunk)
-        replayed: np.ndarray | None = None  # None = the whole chunk
-        while True:
-            k_miss, t_miss = state.view.take_misses()
-            dirty, attributed = state.view.take_dirty_rows()
-            if k_miss.size == 0 and t_miss.size == 0:
-                return result
-            # Corrections drifted ids out of the plan.  Reads are
-            # corrected independently, so only the reads whose lookups
-            # consulted a speculative answer need re-running; everyone
-            # else's outcome already saw exclusively authoritative
-            # counts.  ``dirty`` indexes the block of the pass that just
-            # ran (the whole chunk, or the previous replay subset).
-            self.comm.stats.bump("prefetch_replans")
-            if not attributed or dirty.size == 0:
-                rows = (
-                    np.arange(len(state.chunk), dtype=np.int64)
-                    if replayed is None
-                    else replayed
-                )
-            elif replayed is None:
-                rows = dirty
-            else:
-                rows = replayed[dirty]
-            # Re-plan on the tainted reads' *drifted* codes so one fetch
-            # covers the corrections' whole window + candidate
-            # neighbourhood, not just the recorded misses — the loop
-            # then converges in about one round.
-            drift = result.block.select(rows)
-            positions = self._enumerate_positions(state.corrector, drift)
-            window_tiles = positions[2]
-            cands, kmers = self._candidate_neighbourhood(
-                state, drift, positions, peek=True
-            )
-            refetch = self.endpoint.issue(
-                state.view.foreign_unknown_kmers(
-                    np.concatenate([k_miss, kmers])
-                ),
-                state.view.foreign_unknown_tiles(
-                    np.concatenate([t_miss, window_tiles, cands])
-                ),
-            )
-            start = time.perf_counter()
-            kc, tc = self.endpoint.collect(refetch)
-            self.timer.add("comm_prefetch", time.perf_counter() - start)
-            state.cache.add_kmers(refetch.kmer_ids, kc)
-            state.cache.add_tiles(refetch.tile_ids, tc)
-            sub = state.corrector.correct_block(state.chunk.select(rows))
-            self._splice(result, rows, sub)
-            replayed = rows
-
-    @staticmethod
-    def _splice(
-        result: CorrectionResult, rows: np.ndarray, sub: CorrectionResult
-    ) -> None:
-        """Graft a replayed subset's outcome into the chunk-wide result."""
-        result.block.codes[rows] = sub.block.codes
-        result.corrections_per_read[rows] = sub.corrections_per_read
-        result.reads_reverted[rows] = sub.reads_reverted
-        assert result.tiles_examined_per_read is not None
-        assert sub.tiles_examined_per_read is not None
-        assert result.tiles_below_per_read is not None
-        assert sub.tiles_below_per_read is not None
-        result.tiles_examined_per_read[rows] = sub.tiles_examined_per_read
-        result.tiles_below_per_read[rows] = sub.tiles_below_per_read
-        result.tiles_examined = int(result.tiles_examined_per_read.sum())
-        result.tiles_below_threshold = int(result.tiles_below_per_read.sum())

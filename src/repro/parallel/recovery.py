@@ -34,6 +34,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.hashing.counthash import CountHash
 from repro.io.records import ReadBlock
+from repro.parallel.lookup.routing import RouteTable
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import ANY_SOURCE, Tags
 
@@ -78,7 +79,10 @@ def replicate_state(
     if not doomed:
         return state
     rank = comm.rank
-    wards = [d for d in doomed if plan.partner_of(d, comm.size) == rank]
+    # The same compiled routing the lookup stack uses decides whose
+    # state lands here: this rank replicates exactly the shards it will
+    # later re-bind and answer for.
+    wards = list(RouteTable.compile(plan, comm.size).wards_of(rank))
 
     if plan.recovery == "spill":
         from repro.core.persist import (

@@ -14,7 +14,8 @@ import os
 from typing import Any
 
 from repro.parallel.driver import ParallelRunResult
-from repro.simmpi.instrument import RESILIENCE_COUNTERS
+from repro.parallel.lookup.stack import TIER_NAMES, resolution_order
+from repro.simmpi.instrument import LOOKUP_TIER_COUNTER_KINDS, RESILIENCE_COUNTERS
 
 
 def run_report(result: ParallelRunResult) -> dict[str, Any]:
@@ -82,6 +83,21 @@ def run_report(result: ParallelRunResult) -> dict[str, Any]:
             ),
             "blocking_request_counts": total.get("blocking_request_counts"),
             "max_rank_memory_bytes": int(result.memory_per_rank().max()),
+        },
+        # Per-tier resolution ledger: the order each stack runs its
+        # tiers in (derived from the heuristics, identical on every
+        # rank) and requests/hits/misses/bytes summed over ranks for
+        # every tier a stack can contain (zeros when the tier was
+        # compiled out).  hits + misses == requests at every tier.
+        "lookup": {
+            "order": resolution_order(heur),
+            "tiers": {
+                tier: {
+                    kind: total.get(f"lookup_{tier}_{kind}")
+                    for kind in LOOKUP_TIER_COUNTER_KINDS
+                }
+                for tier in TIER_NAMES
+            },
         },
         # The whole prefetch_* counter family (hits, misses, dedup,
         # fetches, messages, replans, served) summed over ranks.

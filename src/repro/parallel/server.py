@@ -33,17 +33,27 @@ import numpy as np
 
 from repro.errors import CommunicatorError, LookupTimeoutError
 from repro.hashing.counthash import CountHash
-from repro.hashing.inthash import mix_to_rank
+from repro.parallel.lookup.routing import (
+    KIND_KMER,
+    KIND_TILE,
+    RouteTable,
+    ShardServer,
+    partition_by_dest,
+)
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
 
-#: Request kinds carried in universal payloads.
-KIND_KMER = 0
-KIND_TILE = 1
-
 
 class CorrectionProtocol:
-    """One rank's endpoint in the correction-phase messaging."""
+    """One rank's endpoint in the correction-phase messaging.
+
+    Serving always goes through :attr:`shards` — the rank's
+    :class:`~repro.parallel.lookup.routing.ShardServer` — so crash
+    recovery is a re-bind (:meth:`ShardServer.bind_ward`), not a special
+    code path; client-side addressing goes through :attr:`routes`, the
+    :class:`~repro.parallel.lookup.routing.RouteTable` compiled from the
+    fault plan.
+    """
 
     def __init__(
         self,
@@ -52,7 +62,6 @@ class CorrectionProtocol:
         owned_tiles: CountHash,
         universal: bool = False,
         faults=None,
-        replicas: dict | None = None,
     ) -> None:
         self.comm = comm
         self.owned_kmers = owned_kmers
@@ -62,9 +71,11 @@ class CorrectionProtocol:
         #: frame faults or crashes scripted, lookups switch to the
         #: sequence-numbered RESILIENT_* tags with timeout + retry.
         self.faults = faults
-        #: owner rank -> (kmer CountHash, tile CountHash) replicas this
-        #: rank holds as recovery partner for a doomed ward.
-        self.replicas = dict(replicas or {})
+        #: The serving half: this rank's owned tables plus any ward
+        #: replicas recovery binds on (see correct_distributed).
+        self.shards = ShardServer(comm.rank, comm.size, owned_kmers, owned_tiles)
+        #: Owner -> effective destination under the fault plan.
+        self.routes = RouteTable.compile(faults, comm.size)
         #: Extra tag -> handler(Message) hooks; lets higher layers (e.g.
         #: the dynamic work-allocation ablation) ride the same pump.
         self.handlers: dict[int, "callable"] = {}
@@ -80,16 +91,6 @@ class CorrectionProtocol:
         #: so a timed-out round can resend the identical frame.
         self._resilient_pending: dict[int, tuple[int, np.ndarray]] = {}
         self._resilient_responses: dict[int, np.ndarray] = {}
-
-    def _effective_dest(self, owner: int) -> int:
-        """Where to address a lookup for ``owner``'s shard.
-
-        The scripted plan is globally known, standing in for a failure
-        detector: requests for a doomed owner go straight to its
-        recovery partner, which holds the replica."""
-        if owner in self._doomed:
-            return self.faults.partner_of(owner, self.comm.size)
-        return owner
 
     # ------------------------------------------------------------------
     # client side
@@ -114,12 +115,8 @@ class CorrectionProtocol:
         # Every synchronous round trip is accounted: the prefetch engine's
         # zero-mid-correction-messaging guarantee is asserted on this.
         self.comm.stats.bump("blocking_request_counts")
-        order = np.argsort(owners, kind="stable")
+        order, boundaries = partition_by_dest(owners, self.comm.size)
         sorted_ids = ids[order]
-        sorted_owners = owners[order]
-        boundaries = np.searchsorted(
-            sorted_owners, np.arange(self.comm.size + 1)
-        )
         pending: set[int] = set()
         for dest in range(self.comm.size):
             lo, hi = boundaries[dest], boundaries[dest + 1]
@@ -175,12 +172,8 @@ class CorrectionProtocol:
         """
         plan = self.faults
         self.comm.stats.bump("blocking_request_counts")
-        order = np.argsort(owners, kind="stable")
+        order, boundaries = partition_by_dest(owners, self.comm.size)
         sorted_ids = ids[order]
-        sorted_owners = owners[order]
-        boundaries = np.searchsorted(
-            sorted_owners, np.arange(self.comm.size + 1)
-        )
         self._req_seq += 1
         seq = self._req_seq
         self._active_seq = seq
@@ -193,11 +186,11 @@ class CorrectionProtocol:
             if owner == self.comm.rank:
                 raise CommunicatorError("request_counts given locally-owned ids")
             chunk = sorted_ids[lo:hi]
-            dest = self._effective_dest(owner)
+            dest = self.routes.dest_for(owner)
             if dest == self.comm.rank:
                 # This rank is the dead owner's partner: answer from the
-                # replica it holds, no message needed.
-                self._resilient_responses[owner] = self._lookup_with_replicas(
+                # shard it re-bound, no message needed.
+                self._resilient_responses[owner] = self.shards.lookup(
                     kind, chunk
                 )
                 continue
@@ -256,29 +249,6 @@ class CorrectionProtocol:
         out[order] = assembled
         self._resilient_responses.clear()
         return out
-
-    def _lookup_with_replicas(self, kind: int, ids: np.ndarray) -> np.ndarray:
-        """Counts for ids owned by this rank *or* any ward whose replica
-        it holds (ownership recomputed per id, so one payload may mix
-        both — the prefetch path sends such mixes to a partner)."""
-        table = self.owned_kmers if kind == KIND_KMER else self.owned_tiles
-        if not self.replicas:
-            return np.asarray(table.lookup(ids), dtype=np.uint32)
-        owners = np.asarray(mix_to_rank(ids, self.comm.size), dtype=np.int64)
-        counts = np.zeros(ids.shape[0], dtype=np.uint32)
-        for owner in np.unique(owners):
-            sel = owners == owner
-            if owner == self.comm.rank:
-                counts[sel] = table.lookup(ids[sel])
-            elif owner in self.replicas:
-                rep = self.replicas[owner][0 if kind == KIND_KMER else 1]
-                counts[sel] = rep.lookup(ids[sel])
-            else:
-                raise CommunicatorError(
-                    f"rank {self.comm.rank} asked for ids owned by rank "
-                    f"{int(owner)} but holds no replica for it"
-                )
-        return counts
 
     # ------------------------------------------------------------------
     # server side (the "communication thread")
@@ -361,8 +331,7 @@ class CorrectionProtocol:
         tile does not exist at its owning rank, it can be inferred that the
         k-mer or tile does not exist at all" (the paper's -1 response).
         """
-        table = self.owned_kmers if kind == KIND_KMER else self.owned_tiles
-        counts = table.lookup(ids)
+        counts = self.shards.lookup(kind, ids)
         self.comm.send(source, counts, tag=Tags.COUNT_RESPONSE)
         self.comm.stats.bump("requests_served")
         self.comm.stats.bump(
@@ -376,7 +345,7 @@ class CorrectionProtocol:
 
         The seq/owner pair is echoed in the response header so the
         client can discard answers from superseded retry rounds."""
-        counts = self._lookup_with_replicas(kind, ids)
+        counts = self.shards.lookup(kind, ids)
         header = np.array([seq, owner], dtype=np.uint32)
         self.comm.send(
             source, np.concatenate([header, counts]),

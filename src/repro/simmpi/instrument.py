@@ -49,6 +49,17 @@ RESILIENCE_COUNTERS = (
     "failover_requests_served",
 )
 
+#: The per-tier lookup counter family.  Every count resolution runs an
+#: ordered tier stack (:mod:`repro.parallel.lookup`); the stack bumps
+#: ``lookup_<tier>_requests`` / ``_hits`` / ``_misses`` / ``_bytes`` for
+#: each tier it presents ids to, where ``hits + misses == requests`` at
+#: every tier and ``bytes`` charges 12 bytes (id + count) per hit.
+#: ``<tier>`` is one of
+#: :data:`repro.parallel.lookup.stack.TIER_NAMES`.  These generalize the
+#: legacy flat counters (``local_*``, ``group_*``, ``reads_table_*``,
+#: ``remote_*``), which the tiers keep bumping unchanged.
+LOOKUP_TIER_COUNTER_KINDS = ("requests", "hits", "misses", "bytes")
+
 
 def _payload_nbytes(payload) -> int:
     """Data-byte size of a payload, without wire framing overhead.

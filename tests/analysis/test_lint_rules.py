@@ -267,6 +267,67 @@ class TestNonCodablePayload:
         """) == []
 
 
+class TestDirectSpectrumLookup:
+    """MPI007: repro.parallel modules must resolve counts through the
+    lookup tier stack, never by probing a count table directly."""
+
+    PARALLEL = "src/repro/parallel/correct.py"
+
+    def lint_at(self, code, path=PARALLEL):
+        return lint_source(textwrap.dedent(code), path)
+
+    def test_table_probe_in_parallel_module_flagged(self):
+        found = self.lint_at("""
+            def counts(self, ids):
+                return self.spectra.kmers.lookup(ids)
+        """)
+        assert [f.code for f in found] == ["MPI007"]
+        assert "spectra.kmers.lookup" in found[0].message
+
+    def test_lookup_found_and_table_suffix_receivers_flagged(self):
+        found = self.lint_at("""
+            def probe(self, ids):
+                a = self.reads_tiles.lookup_found(ids)
+                b = group_table.lookup(ids)
+                return a, b
+        """)
+        assert [f.code for f in found] == ["MPI007", "MPI007"]
+
+    def test_shard_server_lookup_is_the_sanctioned_surface(self):
+        assert self.lint_at("""
+            def serve(self, kind, ids):
+                return self.protocol.shards.lookup(kind, ids)
+        """) == []
+
+    def test_stack_resolution_passes(self):
+        assert self.lint_at("""
+            def counts(self, ids):
+                return self.stacks.kmers.counts(ids)
+        """) == []
+
+    def test_lookup_package_is_exempt(self):
+        code = """
+            def resolve(self, req):
+                return self.table.lookup(req.ids)
+        """
+        assert self.lint_at(code, "src/repro/parallel/lookup/tiers.py") == []
+        assert [f.code for f in self.lint_at(code)] == ["MPI007"]
+
+    def test_modules_outside_parallel_not_policed(self):
+        code = """
+            def counts(self, ids):
+                return self.spectra.kmers.lookup(ids)
+        """
+        assert self.lint_at(code, "src/repro/core/spectrum.py") == []
+        assert self.lint_at(code, "prog.py") == []
+
+    def test_noqa_marks_a_serving_site(self):
+        assert self.lint_at("""
+            def serve(self, ids):
+                return self.owned_kmers.lookup(ids)  # noqa: MPI007
+        """) == []
+
+
 class TestSuppression:
     def test_noqa_with_code(self):
         assert codes("""
@@ -340,5 +401,5 @@ class TestPaths:
     def test_rule_catalogue_covers_all_codes(self):
         assert set(RULES) == {
             "MPI000", "MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
-            "MPI006",
+            "MPI006", "MPI007",
         }

@@ -16,7 +16,8 @@ from repro.core.spectrum import LocalSpectrumView, build_spectra
 from repro.hashing.inthash import mix_to_rank
 from repro.parallel.driver import ParallelReptile
 from repro.parallel.heuristics import HeuristicConfig
-from repro.parallel.prefetch import ChunkCountCache, PrefetchEndpoint
+from repro.parallel.lookup import ChunkCountCache
+from repro.parallel.prefetch import PrefetchEndpoint
 from repro.parallel.server import CorrectionProtocol
 from repro.simmpi import run_spmd
 
@@ -156,6 +157,34 @@ class TestStructuralClaims:
         assert total.get("prefetch_fetches") > 0
         assert total.get("prefetch_kmer_hits") > 0
         assert total.get("prefetch_tile_hits") > 0
+
+    @pytest.mark.parametrize(
+        "heuristics",
+        [
+            HeuristicConfig(),
+            HeuristicConfig(prefetch=True),
+            HeuristicConfig(prefetch=True, replication_group=2),
+            HeuristicConfig(prefetch=True, read_kmers=True, read_tiles=True),
+            HeuristicConfig(allgather_kmers=True),
+        ],
+        ids=["base", "prefetch", "group", "reads", "allgather"],
+    )
+    def test_per_tier_ledger_balances(self, scale, heuristics):
+        """At every compiled tier, hits + misses == requests; under
+        prefetch the chunk-cache tier carries the load."""
+        from repro.parallel.lookup.stack import TIER_NAMES
+
+        total = _totals(_run(scale, heuristics))
+        for tier in TIER_NAMES:
+            requests = total.get(f"lookup_{tier}_requests")
+            hits = total.get(f"lookup_{tier}_hits")
+            misses = total.get(f"lookup_{tier}_misses")
+            assert hits + misses == requests, tier
+            assert total.get(f"lookup_{tier}_bytes") == 12 * hits, tier
+        if heuristics.use_prefetch:
+            assert total.get("lookup_chunk_cache_requests") > 0
+        else:
+            assert total.get("lookup_chunk_cache_requests") == 0
 
 
 class TestEndpoint:

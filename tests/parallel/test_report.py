@@ -38,6 +38,24 @@ class TestRunReport:
         assert report["config"]["kmer_length"] == result.config.kmer_length
         assert report["config"]["chunk_size"] == result.config.chunk_size
 
+    def test_lookup_section_schema(self, result):
+        from repro.parallel.lookup.stack import TIER_NAMES
+
+        lookup = run_report(result)["lookup"]
+        assert lookup["order"] == {
+            "kmers": "owned->remote", "tiles": "owned->remote",
+        }
+        assert set(lookup["tiers"]) == set(TIER_NAMES)
+        for tier, counters in lookup["tiers"].items():
+            assert set(counters) == {"requests", "hits", "misses", "bytes"}
+            assert counters["hits"] + counters["misses"] == counters["requests"]
+        # This run resolves through owned + remote only; both saw
+        # traffic and together they resolved everything presented.
+        assert lookup["tiers"]["owned"]["requests"] > 0
+        assert lookup["tiers"]["remote"]["requests"] > 0
+        assert lookup["tiers"]["remote"]["misses"] == 0
+        assert lookup["tiers"]["chunk_cache"]["requests"] == 0
+
     def test_json_serializable(self, result):
         json.dumps(run_report(result))
 
