@@ -2,11 +2,19 @@
 
 Two halves, mirroring how message-passing bugs are found in practice:
 
-* :mod:`repro.analysis.lint` — a static AST pass over SPMD program
-  sources (``repro lint <paths>``) that flags the classic MPI bug
-  patterns before a program ever runs: rank-divergent collective
-  ordering, tag mismatches, orphaned sends, blocking receives inside
-  probe loops, and send-buffer reuse.
+* the **whole-program lint** (``repro lint <paths>``) — a two-phase
+  static analysis: phase 1 distills every source file into a
+  communication summary (:mod:`repro.analysis.summary`), phase 2 runs
+  the registered rules (:mod:`repro.analysis.rules`) over each module
+  and over the merged program, so tag protocols that span files are
+  matched end to end.  Rules live in
+  :mod:`repro.analysis.modulerules` (per-module patterns),
+  :mod:`repro.analysis.protocol` (cross-module tag ledgers and
+  request/response pairing), and :mod:`repro.analysis.races`
+  (shared-state mutation from rank closures); renderers — text, JSON,
+  SARIF 2.1.0 — in :mod:`repro.analysis.output`; the driver, noqa
+  suppression, and baseline handling in
+  :mod:`repro.analysis.runner`.
 
 * :mod:`repro.analysis.verifier` — opt-in runtime instrumentation
   (``run_spmd(..., verify=True)``) that maintains a wait-for graph
@@ -17,20 +25,18 @@ Two halves, mirroring how message-passing bugs are found in practice:
   collective generation skew.
 """
 
-from repro.analysis.lint import (
-    Finding,
-    LintResult,
-    RULES,
-    lint_paths,
-    lint_source,
-)
+from repro.analysis.rules import RULES, Finding, Rule, all_rules, get_rule
+from repro.analysis.runner import LintResult, lint_paths, lint_source
 from repro.analysis.verifier import RuntimeVerifier
 
 __all__ = [
     "Finding",
     "LintResult",
     "RULES",
+    "Rule",
+    "RuntimeVerifier",
+    "all_rules",
+    "get_rule",
     "lint_paths",
     "lint_source",
-    "RuntimeVerifier",
 ]

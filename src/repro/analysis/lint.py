@@ -1,691 +1,47 @@
-"""Static MPI-correctness lint for simmpi SPMD programs.
+"""Compatibility facade for the whole-program lint package.
 
-An AST pass over program sources — anything passed to the engines, plus
-the :mod:`repro.parallel` modules — that flags the classic
-message-passing bug patterns before a program ever runs:
-
-======== ==============================================================
-code     pattern
-======== ==============================================================
-MPI000   file could not be parsed
-MPI001   collective call reachable on only one side of a
-         rank-conditional branch (rank-divergent collective ordering)
-MPI002   receive uses a constant tag that no send in the module uses
-MPI003   orphaned send: constant send tag never received anywhere in
-         the module
-MPI004   blocking ``recv`` inside an ``iprobe`` service loop that does
-         not receive by the probed envelope
-MPI005   payload name mutated after ``isend`` before the request is
-         completed (buffer-reuse hazard under real MPI semantics)
-MPI006   ``send``/``isend`` payload expression has no typed wire
-         encoding (dict/set literals, comprehensions, ``dict()`` and
-         friends) and would travel as a pickle-fallback frame
-MPI007   direct spectrum-table probe (``.lookup``/``.lookup_found`` on
-         a count table) in :mod:`repro.parallel` outside the
-         :mod:`repro.parallel.lookup` package — count resolution must
-         go through the compiled tier stack (serving sites that answer
-         for a table they own suppress with ``# noqa: MPI007``)
-======== ==============================================================
-
-The pass is deliberately conservative: a tag it cannot resolve to a
-constant disables the module-level matching rules (MPI002/MPI003)
-rather than guessing, and a receive with ``ANY_TAG`` satisfies every
-send.  Each rule is individually suppressible with a trailing
-``# noqa: MPIxxx`` comment or the ``--disable`` CLI flag.
-
-Communicator detection is name-based: a receiver expression whose final
-component is ``comm`` or ends in ``comm`` (``comm``, ``subcomm``,
-``self.comm``, ``group_comm``, ...), or a name assigned from a
-``.split(...)`` call on such an expression, is treated as a
-communicator.  This matches the repository's and the paper's idiom
-without needing type inference.
+The original single-module linter grew into a package: the rule
+framework lives in :mod:`repro.analysis.rules`, phase-1 extraction in
+:mod:`repro.analysis.summary`, the rules themselves in
+:mod:`repro.analysis.modulerules` / :mod:`repro.analysis.protocol` /
+:mod:`repro.analysis.races`, renderers in
+:mod:`repro.analysis.output`, and the driver in
+:mod:`repro.analysis.runner`.  This module re-exports the public
+surface under its historical name so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import ast
-import re
-from collections import Counter
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Iterable, Sequence
-
-#: Rule codes and their one-line descriptions (see module docstring).
-RULES: dict[str, str] = {
-    "MPI000": "file could not be parsed",
-    "MPI001": "collective reachable on only one side of a rank-conditional",
-    "MPI002": "receive tag is never sent in this module",
-    "MPI003": "orphaned send: tag is never received in this module",
-    "MPI004": "blocking recv inside an iprobe service loop",
-    "MPI005": "payload mutated after isend (buffer-reuse hazard)",
-    "MPI006": "send payload is not wire-codable (pickle-fallback frame)",
-    "MPI007": "direct spectrum-table lookup bypasses the tier stack",
-}
-
-#: Constructor names whose result has no typed wire encoding (MPI006).
-NON_CODABLE_CALLS = frozenset({"dict", "set", "frozenset"})
-
-#: Receiver attributes that name a spectrum count table (MPI007).  The
-#: rule matches ``<expr>.<one of these>.lookup(...)`` — a probe against
-#: a raw table — but deliberately not ``shards.lookup``, which is the
-#: stack's own serving surface.
-SPECTRUM_TABLE_ATTRS = frozenset(
-    {"kmers", "tiles", "owned", "owned_kmers", "owned_tiles",
-     "reads_kmers", "reads_tiles", "group_kmers", "group_tiles",
-     "table", "spectra"}
+from repro.analysis.rules import RULES, Finding, Rule, all_rules, get_rule
+from repro.analysis.runner import (
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.summary import (
+    COLLECTIVE_METHODS,
+    INPLACE_METHODS,
+    NON_CODABLE_CALLS,
+    RECV_METHODS,
+    SEND_METHODS,
+    WILDCARD,
 )
 
-#: Table-probe method names (MPI007).
-TABLE_PROBE_METHODS = frozenset({"lookup", "lookup_found"})
-
-#: MPI007 only polices these paths...
-_LOOKUP_POLICED_PART = "repro/parallel"
-#: ...and exempts the package that is allowed to probe tables.
-_LOOKUP_EXEMPT_PART = "repro/parallel/lookup"
-
-#: Methods that are collective: every rank of the communicator must call
-#: them, in the same order.
-COLLECTIVE_METHODS = frozenset(
-    {"barrier", "alltoallv", "allgather", "allreduce", "gather", "bcast",
-     "reduce", "split"}
-)
-SEND_METHODS = frozenset({"send", "isend"})
-RECV_METHODS = frozenset({"recv", "irecv", "iprobe"})
-
-#: ndarray methods that mutate in place (for MPI005).
-INPLACE_METHODS = frozenset(
-    {"fill", "sort", "put", "partition", "resize", "setfield", "byteswap",
-     "itemset", "setflags"}
-)
-
-#: Sentinel tag values used by the resolver.
-WILDCARD = "<ANY_TAG>"
-
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint diagnosis, reported as ``path:line:col: CODE message``."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-@dataclass
-class LintResult:
-    """Outcome of linting a set of paths."""
-
-    files: list[str] = field(default_factory=list)
-    findings: list[Finding] = field(default_factory=list)
-
-    @property
-    def clean(self) -> bool:
-        return not self.findings
-
-
-# ----------------------------------------------------------------------
-# small AST helpers
-# ----------------------------------------------------------------------
-def _dotted(node: ast.expr) -> str | None:
-    """``a.b.c`` as a string, or None for non-name expressions."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _is_comm_name(dotted: str, extra: set[str]) -> bool:
-    last = dotted.rsplit(".", 1)[-1]
-    return dotted in extra or last in extra or last.lower().endswith("comm")
-
-
-def _walk_no_nested_functions(node: ast.AST) -> Iterable[ast.AST]:
-    """Walk a subtree without descending into nested function bodies."""
-    stack = [node]
-    while stack:
-        cur = stack.pop()
-        yield cur
-        for child in ast.iter_child_nodes(cur):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda)):
-                continue
-            stack.append(child)
-
-
-def _call_arg(call: ast.Call, index: int, keyword: str) -> ast.expr | None:
-    for kw in call.keywords:
-        if kw.arg == keyword:
-            return kw.value
-    if len(call.args) > index:
-        return call.args[index]
-    return None
-
-
-@dataclass(frozen=True)
-class _CommCall:
-    """One send/recv/collective call on a communicator-like receiver."""
-
-    method: str
-    node: ast.Call
-    tag: object  # int | str (symbolic) | WILDCARD | None (unresolvable)
-
-
-def _resolve_tag(node: ast.expr | None, env: dict[str, int],
-                 default: object) -> object:
-    """Constant-fold a tag expression.
-
-    Returns an int, a symbolic dotted constant name (``Tags.KMER_REQUEST``),
-    :data:`WILDCARD` for ``ANY_TAG``/-1, or None when unresolvable.
-    """
-    if node is None:
-        return default
-    if isinstance(node, ast.Constant) and isinstance(node.value, int):
-        return node.value
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) \
-            and isinstance(node.operand, ast.Constant) \
-            and node.operand.value == 1:
-        return WILDCARD
-    dotted = _dotted(node)
-    if dotted is None:
-        return None
-    last = dotted.rsplit(".", 1)[-1]
-    if last == "ANY_TAG":
-        return WILDCARD
-    if dotted in env:
-        return env[dotted]
-    if last.isupper():
-        # A symbolic module constant we could not fold (e.g. an imported
-        # Tags.* attribute): match send/recv sides textually.
-        return dotted
-    return None
-
-
-# ----------------------------------------------------------------------
-# per-module analysis
-# ----------------------------------------------------------------------
-class _ModuleLinter:
-    def __init__(self, tree: ast.Module, path: str) -> None:
-        self.tree = tree
-        self.path = path
-        self.findings: list[Finding] = []
-        self.env = self._constant_env(tree.body)
-        # Module-wide tag ledgers for MPI002/MPI003.
-        self.sends: list[_CommCall] = []
-        self.recvs: list[_CommCall] = []
-
-    # -- constant environment ------------------------------------------
-    @staticmethod
-    def _constant_env(body: Sequence[ast.stmt],
-                      base: dict[str, int] | None = None) -> dict[str, int]:
-        env = dict(base or {})
-        for stmt in body:
-            if not isinstance(stmt, ast.Assign):
-                continue
-            for target in stmt.targets:
-                if isinstance(target, ast.Name) and \
-                        isinstance(stmt.value, ast.Constant) and \
-                        isinstance(stmt.value.value, int):
-                    env[target.id] = stmt.value.value
-                elif isinstance(target, ast.Tuple) and \
-                        isinstance(stmt.value, ast.Tuple):
-                    for t, v in zip(target.elts, stmt.value.elts):
-                        if isinstance(t, ast.Name) and \
-                                isinstance(v, ast.Constant) and \
-                                isinstance(v.value, int):
-                            env[t.id] = v.value
-        return env
-
-    def report(self, node: ast.AST, code: str, message: str) -> None:
-        self.findings.append(Finding(
-            path=self.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            code=code,
-            message=message,
-        ))
-
-    # -- driver ---------------------------------------------------------
-    def run(self) -> list[Finding]:
-        for node in ast.walk(self.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._lint_function(node)
-        self._lint_tag_ledger()
-        self._rule_direct_spectrum_lookup()
-        return self.findings
-
-    # -- function-scope rules ------------------------------------------
-    def _lint_function(self, fn: ast.FunctionDef) -> None:
-        env = self._constant_env(fn.body, base=self.env)
-        comm_names = self._comm_names(fn)
-        calls = self._comm_calls(fn, comm_names, env)
-        for call in calls:
-            if call.method in SEND_METHODS:
-                self.sends.append(call)
-            elif call.method in RECV_METHODS:
-                self.recvs.append(call)
-        self._rule_rank_divergent_collectives(fn, comm_names)
-        self._rule_recv_in_probe_loop(fn, comm_names)
-        self._rule_mutation_after_isend(fn, comm_names)
-        self._rule_non_codable_payload(calls)
-
-    def _comm_names(self, fn: ast.FunctionDef) -> set[str]:
-        """Names bound to communicator-like objects inside ``fn``."""
-        names: set[str] = set()
-        args = fn.args
-        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
-            ann = a.annotation
-            ann_name = _dotted(ann) if ann is not None else None
-            if a.arg.lower().endswith("comm") or (
-                    ann_name and "Communicator" in ann_name):
-                names.add(a.arg)
-        # Names assigned from <comm>.split(...).
-        for node in _walk_no_nested_functions(fn):
-            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
-                    isinstance(node.targets[0], ast.Name) and \
-                    isinstance(node.value, ast.Call) and \
-                    isinstance(node.value.func, ast.Attribute) and \
-                    node.value.func.attr == "split":
-                recv = _dotted(node.value.func.value)
-                if recv is not None and _is_comm_name(recv, names):
-                    names.add(node.targets[0].id)
-        return names
-
-    def _comm_calls(self, root: ast.AST, comm_names: set[str],
-                    env: dict[str, int]) -> list[_CommCall]:
-        calls: list[_CommCall] = []
-        for node in _walk_no_nested_functions(root):
-            call = self._classify_call(node, comm_names, env)
-            if call is not None:
-                calls.append(call)
-        return calls
-
-    def _classify_call(self, node: ast.AST, comm_names: set[str],
-                       env: dict[str, int]) -> _CommCall | None:
-        if not (isinstance(node, ast.Call) and
-                isinstance(node.func, ast.Attribute)):
-            return None
-        method = node.func.attr
-        if method not in SEND_METHODS | RECV_METHODS | COLLECTIVE_METHODS:
-            return None
-        recv = _dotted(node.func.value)
-        if recv is None or not _is_comm_name(recv, comm_names):
-            return None
-        if method in SEND_METHODS:
-            tag = _resolve_tag(_call_arg(node, 2, "tag"), env, default=0)
-        elif method in RECV_METHODS:
-            tag = _resolve_tag(_call_arg(node, 1, "tag"), env,
-                               default=WILDCARD)
-        else:
-            tag = None
-        return _CommCall(method=method, node=node, tag=tag)
-
-    # MPI001 ------------------------------------------------------------
-    def _rule_rank_divergent_collectives(self, fn: ast.FunctionDef,
-                                         comm_names: set[str]) -> None:
-        for node in _walk_no_nested_functions(fn):
-            if not isinstance(node, ast.If):
-                continue
-            if not self._mentions_rank(node.test, comm_names):
-                continue
-            body_calls = self._collectives_in(node.body, comm_names)
-            else_calls = self._collectives_in(node.orelse, comm_names)
-            body_count = Counter(c.func.attr for c in body_calls)
-            else_count = Counter(c.func.attr for c in else_calls)
-            for method in sorted(set(body_count) | set(else_count)):
-                if body_count[method] == else_count[method]:
-                    continue
-                heavier = body_calls if body_count[method] > \
-                    else_count[method] else else_calls
-                site = next(c for c in heavier if c.func.attr == method)
-                self.report(
-                    site, "MPI001",
-                    f"collective '{method}' is reachable on only one side "
-                    f"of a rank-conditional branch (line {node.lineno}); "
-                    "every rank must call collectives in the same order",
-                )
-
-    def _mentions_rank(self, test: ast.expr, comm_names: set[str]) -> bool:
-        for node in ast.walk(test):
-            if isinstance(node, ast.Attribute) and node.attr == "rank":
-                recv = _dotted(node.value)
-                if recv is not None and _is_comm_name(recv, comm_names):
-                    return True
-        return False
-
-    def _collectives_in(self, stmts: Sequence[ast.stmt],
-                        comm_names: set[str]) -> list[ast.Call]:
-        out: list[ast.Call] = []
-        for stmt in stmts:
-            for node in _walk_no_nested_functions(stmt):
-                if isinstance(node, ast.Call) and \
-                        isinstance(node.func, ast.Attribute) and \
-                        node.func.attr in COLLECTIVE_METHODS:
-                    recv = _dotted(node.func.value)
-                    if recv is not None and _is_comm_name(recv, comm_names):
-                        out.append(node)
-        return out
-
-    # MPI004 ------------------------------------------------------------
-    def _rule_recv_in_probe_loop(self, fn: ast.FunctionDef,
-                                 comm_names: set[str]) -> None:
-        for loop in _walk_no_nested_functions(fn):
-            if not isinstance(loop, (ast.While, ast.For)):
-                continue
-            probes = [
-                n for n in _walk_no_nested_functions(loop)
-                if isinstance(n, ast.Call) and
-                isinstance(n.func, ast.Attribute) and
-                n.func.attr == "iprobe" and
-                (_dotted(n.func.value) or "") and
-                _is_comm_name(_dotted(n.func.value) or "", comm_names)
-            ]
-            if not probes:
-                continue
-            for node in _walk_no_nested_functions(loop):
-                if not (isinstance(node, ast.Call) and
-                        isinstance(node.func, ast.Attribute) and
-                        node.func.attr == "recv"):
-                    continue
-                recv = _dotted(node.func.value)
-                if recv is None or not _is_comm_name(recv, comm_names):
-                    continue
-                if self._recv_uses_probed_envelope(node):
-                    continue
-                self.report(
-                    node, "MPI004",
-                    "blocking recv inside an iprobe service loop; receive "
-                    "by the probed envelope (msg.source, msg.tag) or the "
-                    "loop can block with traffic still unserved",
-                )
-
-    @staticmethod
-    def _recv_uses_probed_envelope(call: ast.Call) -> bool:
-        """True for ``recv(p.source, p.tag)``-style calls."""
-        source = _call_arg(call, 0, "source")
-        tag = _call_arg(call, 1, "tag")
-        if source is None or tag is None:
-            return False
-        return (
-            isinstance(source, ast.Attribute) and source.attr == "source"
-            and isinstance(tag, ast.Attribute) and tag.attr == "tag"
-        )
-
-    # MPI005 ------------------------------------------------------------
-    def _rule_mutation_after_isend(self, fn: ast.FunctionDef,
-                                   comm_names: set[str]) -> None:
-        hazards: list[dict] = []  # {name, start, req, end}
-        events: list[tuple[int, str, object]] = []  # (line, kind, payload)
-
-        for node in _walk_no_nested_functions(fn):
-            line = getattr(node, "lineno", 0)
-            if isinstance(node, ast.Call) and \
-                    isinstance(node.func, ast.Attribute):
-                if node.func.attr == "isend":
-                    recv = _dotted(node.func.value)
-                    if recv and _is_comm_name(recv, comm_names):
-                        payload = _call_arg(node, 1, "payload")
-                        if isinstance(payload, ast.Name):
-                            events.append((line, "isend",
-                                           (payload.id, node)))
-                elif node.func.attr == "wait" and \
-                        isinstance(node.func.value, ast.Name):
-                    events.append((line, "wait", node.func.value.id))
-                elif node.func.attr in INPLACE_METHODS and \
-                        isinstance(node.func.value, ast.Name):
-                    events.append((line, "mutate",
-                                   (node.func.value.id, node)))
-            elif isinstance(node, ast.Call) and \
-                    isinstance(node.func, ast.Name) and \
-                    node.func.id == "waitall":
-                events.append((line, "waitall", None))
-            elif isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if isinstance(target, ast.Subscript) and \
-                            isinstance(target.value, ast.Name):
-                        events.append((line, "mutate",
-                                       (target.value.id, node)))
-                    elif isinstance(target, ast.Name):
-                        events.append((line, "rebind", target.id))
-            elif isinstance(node, ast.AugAssign):
-                target = node.target
-                if isinstance(target, ast.Name):
-                    events.append((line, "mutate", (target.id, node)))
-                elif isinstance(target, ast.Subscript) and \
-                        isinstance(target.value, ast.Name):
-                    events.append((line, "mutate", (target.value.id, node)))
-
-        events.sort(key=lambda e: e[0])
-        # Requests assigned from isend calls: req = comm.isend(...)
-        req_of_isend: dict[int, str] = {}
-        for node in _walk_no_nested_functions(fn):
-            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
-                    isinstance(node.targets[0], ast.Name) and \
-                    isinstance(node.value, ast.Call) and \
-                    isinstance(node.value.func, ast.Attribute) and \
-                    node.value.func.attr == "isend":
-                req_of_isend[id(node.value)] = node.targets[0].id
-
-        for line, kind, payload in events:
-            if kind == "isend":
-                name, call = payload
-                hazards.append({
-                    "name": name, "start": line,
-                    "req": req_of_isend.get(id(call)), "done": False,
-                })
-            elif kind == "wait":
-                for h in hazards:
-                    if h["req"] == payload and line > h["start"]:
-                        h["done"] = True
-            elif kind == "waitall":
-                for h in hazards:
-                    if line > h["start"]:
-                        h["done"] = True
-            elif kind == "rebind":
-                for h in hazards:
-                    if h["name"] == payload and line > h["start"]:
-                        h["done"] = True
-            elif kind == "mutate":
-                name, node = payload
-                for h in hazards:
-                    if h["name"] == name and not h["done"] and \
-                            line > h["start"]:
-                        self.report(
-                            node, "MPI005",
-                            f"'{name}' is mutated after isend on line "
-                            f"{h['start']} before the request completes; "
-                            "under real MPI the send buffer must not be "
-                            "touched until the request is waited on",
-                        )
-
-    # MPI006 ------------------------------------------------------------
-    def _rule_non_codable_payload(self, calls: list[_CommCall]) -> None:
-        """Flag send payload expressions with no typed wire encoding.
-
-        The codec keeps such payloads sendable through its pickle
-        fallback, so this is a style-and-portability rule, not a
-        correctness one: a production MPI port would have to design a
-        real encoding for each flagged call-site.  Only syntactically
-        certain cases are reported (literals, comprehensions, and bare
-        ``dict()``/``set()``/``frozenset()`` constructors) — a name
-        whose runtime type is unknown is never guessed at.
-        """
-        for call in calls:
-            if call.method not in SEND_METHODS:
-                continue
-            payload = _call_arg(call.node, 1, "payload")
-            if payload is None:
-                continue
-            kind = self._non_codable_kind(payload)
-            if kind is not None:
-                self.report(
-                    payload, "MPI006",
-                    f"{call.method} payload is {kind}, which has no typed "
-                    "wire encoding and travels as a pickle-fallback "
-                    "frame; send arrays, scalars, bytes/str, or "
-                    "tuples/lists of them instead",
-                )
-
-    @staticmethod
-    def _non_codable_kind(expr: ast.expr) -> str | None:
-        if isinstance(expr, (ast.Dict, ast.DictComp)):
-            return "a dict"
-        if isinstance(expr, (ast.Set, ast.SetComp)):
-            return "a set"
-        if isinstance(expr, ast.GeneratorExp):
-            return "a generator"
-        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
-                and expr.func.id in NON_CODABLE_CALLS:
-            return f"a {expr.func.id}() value"
-        return None
-
-    # MPI007 ------------------------------------------------------------
-    def _rule_direct_spectrum_lookup(self) -> None:
-        """Flag raw count-table probes outside the lookup package.
-
-        After the tier-stack refactor every count resolution in
-        :mod:`repro.parallel` flows through a compiled
-        :class:`~repro.parallel.lookup.stack.LookupStack` (or the
-        :class:`~repro.parallel.lookup.routing.ShardServer` on the
-        serving side).  A ``<table>.lookup(...)`` anywhere else is a
-        layering regression: it answers from one table instead of the
-        configured resolution order, silently skipping replicas, the
-        reads table, caching and the per-tier ledger.  Sites that
-        legitimately answer from a table they own (e.g. the Step III
-        exchange serving its partial counts) carry ``# noqa: MPI007``.
-        """
-        if not self._polices_lookups(self.path):
-            return
-        for node in ast.walk(self.tree):
-            if not (isinstance(node, ast.Call) and
-                    isinstance(node.func, ast.Attribute) and
-                    node.func.attr in TABLE_PROBE_METHODS):
-                continue
-            recv = _dotted(node.func.value)
-            if recv is None:
-                continue
-            last = recv.rsplit(".", 1)[-1]
-            if last not in SPECTRUM_TABLE_ATTRS and \
-                    not last.endswith("_table"):
-                continue
-            self.report(
-                node, "MPI007",
-                f"direct spectrum-table probe '{recv}.{node.func.attr}' "
-                "bypasses the compiled lookup tier stack; resolve counts "
-                "through repro.parallel.lookup (LookupStack / ShardServer) "
-                "or mark a table-serving site with '# noqa: MPI007'",
-            )
-
-    @staticmethod
-    def _polices_lookups(path: str) -> bool:
-        """MPI007 scope: repro/parallel minus the lookup package."""
-        posix = Path(path).as_posix()
-        return (
-            _LOOKUP_POLICED_PART in posix
-            and _LOOKUP_EXEMPT_PART not in posix
-        )
-
-    # MPI002 / MPI003 ----------------------------------------------------
-    def _lint_tag_ledger(self) -> None:
-        send_known = {c.tag for c in self.sends if c.tag is not None}
-        recv_known = {c.tag for c in self.recvs
-                      if c.tag not in (None, WILDCARD)}
-        unknown_send = any(c.tag is None for c in self.sends)
-        unknown_recv = any(c.tag is None for c in self.recvs)
-        recv_wild = any(c.tag == WILDCARD for c in self.recvs)
-
-        if self.recvs and not recv_wild and not unknown_recv:
-            for c in self.sends:
-                if c.tag is not None and c.tag not in recv_known:
-                    self.report(
-                        c.node, "MPI003",
-                        f"send with tag {c.tag!r} is never received in "
-                        "this module (orphaned send)",
-                    )
-        if self.sends and not unknown_send:
-            for c in self.recvs:
-                if c.tag not in (None, WILDCARD) and \
-                        c.tag not in send_known:
-                    self.report(
-                        c.node, "MPI002",
-                        f"receive expects tag {c.tag!r} but no send in "
-                        "this module uses it",
-                    )
-
-
-# ----------------------------------------------------------------------
-# public API
-# ----------------------------------------------------------------------
-def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
-    if not 1 <= finding.line <= len(lines):
-        return False
-    m = _NOQA_RE.search(lines[finding.line - 1])
-    if m is None:
-        return False
-    codes = m.group("codes")
-    if codes is None:
-        return True
-    wanted = {c.strip().upper() for c in codes.split(",")}
-    return finding.code in wanted
-
-
-def lint_source(source: str, path: str = "<string>",
-                disable: Iterable[str] = ()) -> list[Finding]:
-    """Lint one module's source text; returns surviving findings."""
-    disabled = {c.strip().upper() for c in disable}
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        if "MPI000" in disabled:
-            return []
-        return [Finding(path=path, line=exc.lineno or 1,
-                        col=exc.offset or 0, code="MPI000",
-                        message=f"could not parse: {exc.msg}")]
-    findings = _ModuleLinter(tree, path).run()
-    lines = source.splitlines()
-    return sorted(
-        (f for f in findings
-         if f.code not in disabled and not _suppressed(f, lines)),
-        key=lambda f: (f.line, f.col, f.code),
-    )
-
-
-def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted, de-duplicated .py list."""
-    seen: dict[Path, None] = {}
-    for p in paths:
-        path = Path(p)
-        if path.is_dir():
-            for f in sorted(path.rglob("*.py")):
-                seen.setdefault(f, None)
-        else:
-            seen.setdefault(path, None)
-    return list(seen)
-
-
-def lint_paths(paths: Iterable[str | Path],
-               disable: Iterable[str] = ()) -> LintResult:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
-    from repro.errors import ConfigError
-
-    result = LintResult()
-    for f in iter_python_files(paths):
-        if not f.exists():
-            raise ConfigError(f"lint target does not exist: {f}")
-        result.files.append(str(f))
-        result.findings.extend(
-            lint_source(f.read_text(encoding="utf-8"), path=str(f),
-                        disable=disable)
-        )
-    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return result
+__all__ = [
+    "COLLECTIVE_METHODS",
+    "Finding",
+    "INPLACE_METHODS",
+    "LintResult",
+    "NON_CODABLE_CALLS",
+    "RECV_METHODS",
+    "RULES",
+    "Rule",
+    "SEND_METHODS",
+    "WILDCARD",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

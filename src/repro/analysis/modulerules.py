@@ -1,0 +1,585 @@
+"""Module-phase rules: checks that need only one file's summary.
+
+MPI001 and MPI009 police collective ordering under rank conditionals,
+MPI004/MPI005 the service-loop and buffer-reuse hazards, MPI006 the
+wire-codec contract, MPI007 the lookup-tier layering, and MPI010
+request-object hygiene.  Each rule is a plain function registered with
+the framework in :mod:`repro.analysis.rules`; none of them may mutate
+the summary it is given.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.rules import Finding, Rule, register
+from repro.analysis.summary import (
+    COLLECTIVE_METHODS,
+    INPLACE_METHODS,
+    NON_CODABLE_CALLS,
+    SEND_METHODS,
+    FunctionSummary,
+    ModuleSummary,
+    call_arg,
+    dotted_name,
+    is_comm_name,
+    mentions_rank,
+    walk_no_nested_functions,
+)
+
+#: Receiver attributes that name a spectrum count table (MPI007).  The
+#: rule matches ``<expr>.<one of these>.lookup(...)`` — a probe against
+#: a raw table — but deliberately not ``shards.lookup``, which is the
+#: stack's own serving surface.
+SPECTRUM_TABLE_ATTRS = frozenset(
+    {"kmers", "tiles", "owned", "owned_kmers", "owned_tiles",
+     "reads_kmers", "reads_tiles", "group_kmers", "group_tiles",
+     "table", "spectra"}
+)
+
+#: Table-probe method names (MPI007).
+TABLE_PROBE_METHODS = frozenset({"lookup", "lookup_found"})
+
+#: MPI007 only polices these paths...
+_LOOKUP_POLICED_PART = "repro/parallel"
+#: ...and exempts the package that is allowed to probe tables.
+_LOOKUP_EXEMPT_PART = "repro/parallel/lookup"
+
+
+def _finding(path: str, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# MPI001 — rank-divergent collectives
+# ----------------------------------------------------------------------
+def _collectives_in(stmts: Sequence[ast.stmt],
+                    comm_names: set[str]) -> list[ast.Call]:
+    out: list[ast.Call] = []
+    for stmt in stmts:
+        for node in walk_no_nested_functions(stmt):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in COLLECTIVE_METHODS:
+                recv = dotted_name(node.func.value)
+                if recv is not None and is_comm_name(recv, comm_names):
+                    out.append(node)
+    return out
+
+
+def _rank_conditionals(
+        fn: FunctionSummary) -> list[tuple[ast.If, list[ast.Call],
+                                           list[ast.Call]]]:
+    out: list[tuple[ast.If, list[ast.Call], list[ast.Call]]] = []
+    for node in walk_no_nested_functions(fn.node):
+        if isinstance(node, ast.If) and \
+                mentions_rank(node.test, fn.comm_names):
+            out.append((
+                node,
+                _collectives_in(node.body, fn.comm_names),
+                _collectives_in(node.orelse, fn.comm_names),
+            ))
+    return out
+
+
+def check_rank_divergent_collectives(summary: ModuleSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in summary.functions:
+        for cond, body_calls, else_calls in _rank_conditionals(fn):
+            body_count = Counter(c.func.attr for c in body_calls
+                                 if isinstance(c.func, ast.Attribute))
+            else_count = Counter(c.func.attr for c in else_calls
+                                 if isinstance(c.func, ast.Attribute))
+            for method in sorted(set(body_count) | set(else_count)):
+                if body_count[method] == else_count[method]:
+                    continue
+                heavier = body_calls if body_count[method] > \
+                    else_count[method] else else_calls
+                site = next(c for c in heavier
+                            if isinstance(c.func, ast.Attribute) and
+                            c.func.attr == method)
+                findings.append(_finding(
+                    summary.path, site, "MPI001",
+                    f"collective '{method}' is reachable on only one side "
+                    f"of a rank-conditional branch (line {cond.lineno}); "
+                    "every rank must call collectives in the same order",
+                ))
+    return findings
+
+
+register(Rule(
+    code="MPI001",
+    name="rank-divergent-collective",
+    severity="error",
+    summary="collective reachable on only one side of a rank-conditional",
+    doc=(
+        "A collective (barrier, allreduce, alltoallv, ...) appears in the "
+        "body or else of an `if` that tests `<comm>.rank`, with no "
+        "matching call on the other side.  Ranks taking different "
+        "branches then disagree on the collective schedule and the "
+        "program deadlocks.  Fix by hoisting the collective out of the "
+        "conditional or mirroring it on both sides."
+    ),
+    module_check=check_rank_divergent_collectives,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI009 — collective-sequence divergence (same multiset, different order)
+# ----------------------------------------------------------------------
+def check_collective_sequence(summary: ModuleSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in summary.functions:
+        for cond, body_calls, else_calls in _rank_conditionals(fn):
+            body_seq = [c.func.attr for c in body_calls
+                        if isinstance(c.func, ast.Attribute)]
+            else_seq = [c.func.attr for c in else_calls
+                        if isinstance(c.func, ast.Attribute)]
+            if not body_seq or not else_seq or body_seq == else_seq:
+                continue
+            if Counter(body_seq) != Counter(else_seq):
+                continue  # unequal multisets are MPI001's finding
+            findings.append(_finding(
+                summary.path, body_calls[0], "MPI009",
+                f"rank-conditional branches (line {cond.lineno}) call the "
+                f"same collectives in different orders "
+                f"({' -> '.join(body_seq)} vs {' -> '.join(else_seq)}); "
+                "ranks taking different branches deadlock against each "
+                "other's collective schedule",
+            ))
+    return findings
+
+
+register(Rule(
+    code="MPI009",
+    name="collective-sequence-divergence",
+    severity="error",
+    summary="rank branches call the same collectives in different orders",
+    doc=(
+        "Both sides of a rank-conditional call the same multiset of "
+        "collectives — so MPI001 is silent — but in a different order "
+        "(e.g. `reduce` then `barrier` on rank 0, `barrier` then "
+        "`reduce` elsewhere).  Collectives match by call order per "
+        "communicator, so the ranks cross-match different operations "
+        "and deadlock.  Reorder one branch or hoist the shared calls "
+        "out of the conditional."
+    ),
+    module_check=check_collective_sequence,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI004 — blocking recv in an iprobe service loop
+# ----------------------------------------------------------------------
+def _recv_uses_probed_envelope(call: ast.Call) -> bool:
+    """True for ``recv(p.source, p.tag)``-style calls."""
+    source = call_arg(call, 0, "source")
+    tag = call_arg(call, 1, "tag")
+    if source is None or tag is None:
+        return False
+    return (
+        isinstance(source, ast.Attribute) and source.attr == "source"
+        and isinstance(tag, ast.Attribute) and tag.attr == "tag"
+    )
+
+
+def check_recv_in_probe_loop(summary: ModuleSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in summary.functions:
+        comm_names = fn.comm_names
+        for loop in walk_no_nested_functions(fn.node):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            has_probe = any(
+                isinstance(n, ast.Call) and
+                isinstance(n.func, ast.Attribute) and
+                n.func.attr == "iprobe" and
+                is_comm_name(dotted_name(n.func.value) or "", comm_names)
+                for n in walk_no_nested_functions(loop)
+            )
+            if not has_probe:
+                continue
+            for node in walk_no_nested_functions(loop):
+                if not (isinstance(node, ast.Call) and
+                        isinstance(node.func, ast.Attribute) and
+                        node.func.attr == "recv"):
+                    continue
+                recv = dotted_name(node.func.value)
+                if recv is None or not is_comm_name(recv, comm_names):
+                    continue
+                if _recv_uses_probed_envelope(node):
+                    continue
+                findings.append(_finding(
+                    summary.path, node, "MPI004",
+                    "blocking recv inside an iprobe service loop; receive "
+                    "by the probed envelope (msg.source, msg.tag) or the "
+                    "loop can block with traffic still unserved",
+                ))
+    return findings
+
+
+register(Rule(
+    code="MPI004",
+    name="recv-in-probe-loop",
+    severity="warning",
+    summary="blocking recv inside an iprobe service loop",
+    doc=(
+        "A loop polls with `iprobe` but then receives with a blocking "
+        "`recv()` that is not addressed by the probed envelope.  The "
+        "recv can match a different message than the probe saw — or "
+        "block forever when the probed message was the last one.  "
+        "Receive with `comm.recv(probed.source, probed.tag)`."
+    ),
+    module_check=check_recv_in_probe_loop,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI005 — payload mutated between isend and request completion
+# ----------------------------------------------------------------------
+def check_mutation_after_isend(summary: ModuleSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in summary.functions:
+        findings.extend(_mutation_after_isend(summary.path, fn))
+    return findings
+
+
+@dataclass
+class _BufferEvent:
+    """One line-ordered event in a function's isend/mutation history."""
+
+    line: int
+    kind: str  # "isend" | "wait" | "waitall" | "rebind" | "mutate"
+    name: str | None = None
+    node: ast.AST | None = None
+
+
+@dataclass
+class _Hazard:
+    """An in-flight isend whose payload buffer must stay untouched."""
+
+    name: str
+    start: int
+    req: str | None
+    done: bool = False
+
+
+def _mutation_after_isend(path: str, fn: FunctionSummary) -> list[Finding]:
+    comm_names = fn.comm_names
+    findings: list[Finding] = []
+    hazards: list[_Hazard] = []
+    events: list[_BufferEvent] = []
+
+    for node in walk_no_nested_functions(fn.node):
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute):
+            if node.func.attr == "isend":
+                recv = dotted_name(node.func.value)
+                if recv is not None and is_comm_name(recv, comm_names):
+                    payload = call_arg(node, 1, "payload")
+                    if isinstance(payload, ast.Name):
+                        events.append(_BufferEvent(
+                            line, "isend", name=payload.id, node=node))
+            elif node.func.attr == "wait" and \
+                    isinstance(node.func.value, ast.Name):
+                events.append(_BufferEvent(
+                    line, "wait", name=node.func.value.id))
+            elif node.func.attr in INPLACE_METHODS and \
+                    isinstance(node.func.value, ast.Name):
+                events.append(_BufferEvent(
+                    line, "mutate", name=node.func.value.id, node=node))
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "waitall":
+            events.append(_BufferEvent(line, "waitall"))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and \
+                        isinstance(target.value, ast.Name):
+                    events.append(_BufferEvent(
+                        line, "mutate", name=target.value.id, node=node))
+                elif isinstance(target, ast.Name):
+                    events.append(_BufferEvent(
+                        line, "rebind", name=target.id))
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name):
+                events.append(_BufferEvent(
+                    line, "mutate", name=target.id, node=node))
+            elif isinstance(target, ast.Subscript) and \
+                    isinstance(target.value, ast.Name):
+                events.append(_BufferEvent(
+                    line, "mutate", name=target.value.id, node=node))
+
+    events.sort(key=lambda e: e.line)
+    # Requests assigned from isend calls: req = comm.isend(...)
+    req_of_isend: dict[int, str] = {}
+    for node in walk_no_nested_functions(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                isinstance(node.value, ast.Call) and \
+                isinstance(node.value.func, ast.Attribute) and \
+                node.value.func.attr == "isend":
+            req_of_isend[id(node.value)] = node.targets[0].id
+
+    for event in events:
+        if event.kind == "isend" and event.name is not None:
+            hazards.append(_Hazard(
+                name=event.name, start=event.line,
+                req=req_of_isend.get(id(event.node)),
+            ))
+        elif event.kind == "wait":
+            for h in hazards:
+                if h.req == event.name and event.line > h.start:
+                    h.done = True
+        elif event.kind == "waitall":
+            for h in hazards:
+                if event.line > h.start:
+                    h.done = True
+        elif event.kind == "rebind":
+            for h in hazards:
+                if h.name == event.name and event.line > h.start:
+                    h.done = True
+        elif event.kind == "mutate" and event.node is not None:
+            for h in hazards:
+                if h.name == event.name and not h.done and \
+                        event.line > h.start:
+                    findings.append(_finding(
+                        path, event.node, "MPI005",
+                        f"'{event.name}' is mutated after isend on line "
+                        f"{h.start} before the request completes; "
+                        "under real MPI the send buffer must not be "
+                        "touched until the request is waited on",
+                    ))
+    return findings
+
+
+register(Rule(
+    code="MPI005",
+    name="mutation-after-isend",
+    severity="error",
+    summary="payload mutated after isend (buffer-reuse hazard)",
+    doc=(
+        "A name passed as an `isend` payload is mutated (subscript "
+        "store, augmented assignment, in-place ndarray method) before "
+        "the request is completed by `wait`/`waitall` or the name is "
+        "rebound.  The simulated runtime deep-copies at the send "
+        "boundary so this works here, but under real MPI the send "
+        "buffer must stay untouched until completion."
+    ),
+    module_check=check_mutation_after_isend,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI006 — payload has no typed wire encoding
+# ----------------------------------------------------------------------
+def _non_codable_kind(expr: ast.expr) -> str | None:
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "a dict"
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(expr, ast.GeneratorExp):
+        return "a generator"
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id in NON_CODABLE_CALLS:
+        return f"a {expr.func.id}() value"
+    return None
+
+
+def check_non_codable_payload(summary: ModuleSummary) -> list[Finding]:
+    """Flag send payload expressions with no typed wire encoding.
+
+    The codec keeps such payloads sendable through its pickle fallback,
+    so this is a style-and-portability rule, not a correctness one.
+    Only syntactically certain cases are reported (literals,
+    comprehensions, and bare ``dict()``/``set()``/``frozenset()``
+    constructors) — a name whose runtime type is unknown is never
+    guessed at.
+    """
+    findings: list[Finding] = []
+    for fn in summary.functions:
+        for op in fn.calls:
+            if op.method not in SEND_METHODS:
+                continue
+            payload = call_arg(op.node, 1, "payload")
+            if payload is None:
+                continue
+            kind = _non_codable_kind(payload)
+            if kind is not None:
+                findings.append(_finding(
+                    summary.path, payload, "MPI006",
+                    f"{op.method} payload is {kind}, which has no typed "
+                    "wire encoding and travels as a pickle-fallback "
+                    "frame; send arrays, scalars, bytes/str, or "
+                    "tuples/lists of them instead",
+                ))
+    return findings
+
+
+register(Rule(
+    code="MPI006",
+    name="non-codable-payload",
+    severity="warning",
+    summary="send payload is not wire-codable (pickle-fallback frame)",
+    doc=(
+        "A send/isend payload is a dict/set literal, a comprehension, "
+        "or a bare `dict()`/`set()`/`frozenset()` call.  The wire codec "
+        "has no typed encoding for these and falls back to a pickle "
+        "frame — legal and exactly accounted, but a production MPI "
+        "port would have to design a real encoding.  Send arrays, "
+        "scalars, bytes/str, or tuples/lists of them."
+    ),
+    module_check=check_non_codable_payload,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI007 — direct spectrum-table probe outside the lookup package
+# ----------------------------------------------------------------------
+def _polices_lookups(path: str) -> bool:
+    """MPI007 scope: repro/parallel minus the lookup package."""
+    posix = Path(path).as_posix()
+    return (
+        _LOOKUP_POLICED_PART in posix
+        and _LOOKUP_EXEMPT_PART not in posix
+    )
+
+
+def check_direct_spectrum_lookup(summary: ModuleSummary) -> list[Finding]:
+    """Flag raw count-table probes outside the lookup package.
+
+    After the tier-stack refactor every count resolution in
+    :mod:`repro.parallel` flows through a compiled
+    :class:`~repro.parallel.lookup.stack.LookupStack` (or the
+    :class:`~repro.parallel.lookup.routing.ShardServer` on the serving
+    side).  A ``<table>.lookup(...)`` anywhere else is a layering
+    regression: it answers from one table instead of the configured
+    resolution order, silently skipping replicas, the reads table,
+    caching and the per-tier ledger.  Sites that legitimately answer
+    from a table they own (e.g. the Step III exchange serving its
+    partial counts) carry ``# noqa: MPI007``.
+    """
+    if not _polices_lookups(summary.path):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(summary.tree):
+        if not (isinstance(node, ast.Call) and
+                isinstance(node.func, ast.Attribute) and
+                node.func.attr in TABLE_PROBE_METHODS):
+            continue
+        recv = dotted_name(node.func.value)
+        if recv is None:
+            continue
+        last = recv.rsplit(".", 1)[-1]
+        if last not in SPECTRUM_TABLE_ATTRS and not last.endswith("_table"):
+            continue
+        findings.append(_finding(
+            summary.path, node, "MPI007",
+            f"direct spectrum-table probe '{recv}.{node.func.attr}' "
+            "bypasses the compiled lookup tier stack; resolve counts "
+            "through repro.parallel.lookup (LookupStack / ShardServer) "
+            "or mark a table-serving site with '# noqa: MPI007'",
+        ))
+    return findings
+
+
+register(Rule(
+    code="MPI007",
+    name="direct-spectrum-lookup",
+    severity="warning",
+    summary="direct spectrum-table lookup bypasses the tier stack",
+    doc=(
+        "Code in repro.parallel (outside repro.parallel.lookup) probes "
+        "a count table directly with `.lookup`/`.lookup_found` instead "
+        "of resolving through the compiled lookup tier stack.  Direct "
+        "probes skip replicas, the reads table, caching, and the "
+        "per-tier ledger.  Serving sites that answer for a table they "
+        "own suppress with `# noqa: MPI007`."
+    ),
+    module_check=check_direct_spectrum_lookup,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI010 — isend request discarded or never completed
+# ----------------------------------------------------------------------
+def check_leaked_isend(summary: ModuleSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in summary.functions:
+        findings.extend(_leaked_isends(summary.path, fn))
+    return findings
+
+
+def _leaked_isends(path: str, fn: FunctionSummary) -> list[Finding]:
+    comm_names = fn.comm_names
+
+    def is_comm_isend(call: ast.Call) -> bool:
+        if not (isinstance(call.func, ast.Attribute) and
+                call.func.attr == "isend"):
+            return False
+        recv = dotted_name(call.func.value)
+        return recv is not None and is_comm_name(recv, comm_names)
+
+    findings: list[Finding] = []
+    assigned: list[tuple[str, ast.Call, int]] = []  # (req name, call, line)
+    for node in walk_no_nested_functions(fn.node):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call) \
+                and is_comm_isend(node.value):
+            findings.append(_finding(
+                path, node.value, "MPI010",
+                "isend request is discarded; keep the request and "
+                "complete it with wait()/waitall() (or a collective "
+                "fence) so the send is known to have finished",
+            ))
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                isinstance(node.value, ast.Call) and \
+                is_comm_isend(node.value):
+            assigned.append(
+                (node.targets[0].id, node.value, node.lineno))
+    for req_name, call, line in assigned:
+        used = any(
+            isinstance(node, ast.Name) and node.id == req_name and
+            isinstance(node.ctx, ast.Load) and
+            getattr(node, "lineno", 0) >= line
+            for node in walk_no_nested_functions(fn.node)
+        )
+        if not used:
+            findings.append(_finding(
+                path, call, "MPI010",
+                f"isend request '{req_name}' is never used after "
+                "assignment; complete it with wait()/waitall() or the "
+                "send's fate is unknown",
+            ))
+    return findings
+
+
+register(Rule(
+    code="MPI010",
+    name="leaked-isend-request",
+    severity="warning",
+    summary="isend request discarded or never awaited",
+    doc=(
+        "An `isend` call's request object is thrown away (bare "
+        "expression statement) or bound to a name that is never read "
+        "again.  Nothing ever completes the request, so the program "
+        "cannot know the send finished — under real MPI the buffer and "
+        "request leak.  Keep the request and `wait()` it (or collect "
+        "requests and `waitall`).  Fire-and-forget sites where the "
+        "runtime's eager buffering makes completion immediate suppress "
+        "with `# noqa: MPI010` and a justification."
+    ),
+    module_check=check_leaked_isend,
+))

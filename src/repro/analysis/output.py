@@ -1,0 +1,129 @@
+"""Finding renderers: text, JSON, and SARIF 2.1.0.
+
+The text form is the classic ``path:line:col: CODE message`` stream the
+CLI has always printed.  JSON is the machine-readable form CI archives
+as a workflow artifact.  SARIF 2.1.0 is the interchange format code
+hosts ingest for inline annotations; the emitted log carries the full
+rule catalog (id, short/full description, default severity) in
+``tool.driver.rules`` and one ``result`` per finding, and is validated
+against the SARIF schema in the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.analysis.rules import Finding, all_rules, get_rule
+
+#: Emitted SARIF version and its schema URI.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def severity_of(code: str) -> str:
+    rule = get_rule(code)
+    return rule.severity if rule is not None else "warning"
+
+
+def render_text(findings: Sequence[Finding],
+                files: Sequence[str]) -> str:
+    lines = [f.render() for f in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s) in {len(files)} file(s)")
+    else:
+        lines.append(f"no findings in {len(files)} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                files: Sequence[str]) -> str:
+    doc: dict[str, Any] = {
+        "version": 1,
+        "files": list(files),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "severity": severity_of(f.code),
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    return [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.doc},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[rule.severity],
+            },
+        }
+        for rule in all_rules()
+    ]
+
+
+def render_sarif(findings: Sequence[Finding],
+                 files: Sequence[str]) -> str:
+    rule_index = {rule.code: i for i, rule in enumerate(all_rules())}
+    results: list[dict[str, Any]] = []
+    for f in findings:
+        result: dict[str, Any] = {
+            "ruleId": f.code,
+            "level": _SARIF_LEVELS[severity_of(f.code)],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    },
+                }
+            ],
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        results.append(result)
+    log: dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _sarif_rules(),
+                    },
+                },
+                "artifacts": [
+                    {"location": {"uri": path}} for path in files
+                ],
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+#: Supported ``--format`` values and their renderers.
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

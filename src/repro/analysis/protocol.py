@@ -1,0 +1,211 @@
+"""Program-phase rules: cross-module protocol checking.
+
+MPI002/MPI003 match tag ledgers over *every* module in the lint set —
+the upgrade from the old per-module heuristic, whose false negatives
+(any tag "received elsewhere" was unverifiable) and per-module escape
+hatches this removes.  MPI008 checks the request/response discipline:
+each ``*_REQUEST`` / ``*_QUERY`` tag that is sent must have a reachable
+consumer somewhere in the program, and when the protocol defines the
+paired ``*_RESPONSE`` / ``*_ANSWER`` tag, someone must actually send
+it.
+
+Tags are normalized through the merged constant environment (see
+:meth:`~repro.analysis.summary.Program.normalize`), so ``Tags.X`` in
+one module, ``message.Tags.X`` in another, and the folded integer in a
+third all compare equal.  The rules stay deliberately conservative:
+one unresolvable send tag disables MPI002 program-wide, and one
+wildcard (or unresolvable) receive — e.g. a protocol pump's
+``recv(ANY_SOURCE, ANY_TAG)`` — satisfies every send for MPI003.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import Finding, Rule, register
+from repro.analysis.summary import WILDCARD, CommOp, Program, Tag
+
+
+def _op_finding(op: CommOp, code: str, message: str) -> Finding:
+    return Finding(path=op.path, line=op.line, col=op.col, code=code,
+                   message=message)
+
+
+def _label(tag: Tag, symbol: str | None) -> str:
+    if symbol is not None:
+        return symbol
+    return repr(tag)
+
+
+# ----------------------------------------------------------------------
+# MPI002 / MPI003 — whole-program tag ledger
+# ----------------------------------------------------------------------
+def check_tag_ledger(program: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    sends = [(op, program.normalize(op.tag, op.symbol))
+             for op in program.sends]
+    recvs = [(op, program.normalize(op.tag, op.symbol))
+             for op in program.recvs]
+
+    send_known = {tag for _, tag in sends if tag is not None}
+    recv_known = {tag for _, tag in recvs if tag not in (None, WILDCARD)}
+    unknown_send = any(tag is None for _, tag in sends)
+    unknown_recv = any(tag is None for _, tag in recvs)
+    recv_wild = any(tag == WILDCARD for _, tag in recvs)
+
+    if recvs and not recv_wild and not unknown_recv:
+        for op, tag in sends:
+            if tag is not None and tag not in recv_known:
+                findings.append(_op_finding(
+                    op, "MPI003",
+                    f"send with tag {_label(tag, op.symbol)} is never "
+                    "received anywhere in the linted program (orphaned "
+                    "send)",
+                ))
+    if sends and not unknown_send:
+        for op, tag in recvs:
+            if tag not in (None, WILDCARD) and tag not in send_known:
+                findings.append(_op_finding(
+                    op, "MPI002",
+                    f"receive expects tag {_label(tag, op.symbol)} but no "
+                    "send anywhere in the linted program uses it",
+                ))
+    return findings
+
+
+register(Rule(
+    code="MPI002",
+    name="recv-tag-never-sent",
+    severity="error",
+    summary="receive tag is never sent anywhere in the program",
+    doc=(
+        "A receive names a constant tag that no send in the whole lint "
+        "set uses.  The receive can never be satisfied and the rank "
+        "blocks forever.  Matching is whole-program: a send in another "
+        "module satisfies the receive.  One unresolvable send tag "
+        "disables the rule rather than guessing."
+    ),
+    program_check=check_tag_ledger,
+))
+
+register(Rule(
+    code="MPI003",
+    name="orphaned-send",
+    severity="error",
+    summary="orphaned send: tag is never received anywhere in the program",
+    doc=(
+        "A send uses a constant tag that no receive in the whole lint "
+        "set names.  The message is deposited and never drained — a "
+        "protocol leak that the deadlock detector only sees when the "
+        "sender later blocks.  A wildcard receive (ANY_TAG, e.g. a "
+        "protocol pump) or an unresolvable receive tag anywhere "
+        "disables the rule, since it may legitimately drain anything."
+    ),
+    # MPI003 shares check_tag_ledger with MPI002; registering the
+    # callable once under MPI002 is enough for execution, but both
+    # rules document it so --explain works for either code.
+))
+
+
+# ----------------------------------------------------------------------
+# MPI008 — request/response tag-protocol pairing
+# ----------------------------------------------------------------------
+_PAIR_SUFFIXES = (("_REQUEST", "_RESPONSE"), ("_QUERY", "_ANSWER"))
+
+
+def _paired_name(symbol: str) -> str | None:
+    for req_suffix, resp_suffix in _PAIR_SUFFIXES:
+        if symbol.endswith(req_suffix):
+            return symbol[: -len(req_suffix)] + resp_suffix
+    return None
+
+
+def check_request_protocol(program: Program) -> list[Finding]:
+    # Names of every tag constant the program knows about: folded
+    # constants from the merged env plus symbols observed at any
+    # send/recv/consumer site.
+    known_names: dict[str, Tag] = {}
+    for key, value in program.env.items():
+        last = key.rsplit(".", 1)[-1]
+        if last.isupper():
+            known_names[last] = value
+    sent_symbols: set[str] = set()
+    sent_values: set[Tag] = set()
+    for op in program.sends:
+        if op.symbol is not None:
+            sent_symbols.add(op.symbol)
+            known_names.setdefault(op.symbol, program.normalize(
+                op.tag, op.symbol))
+        tag = program.normalize(op.tag, op.symbol)
+        if tag is not None:
+            sent_values.add(tag)
+    consumed_symbols: set[str] = set()
+    consumed_values: set[Tag] = set()
+    for consumer in program.consumers:
+        if consumer.symbol is not None:
+            consumed_symbols.add(consumer.symbol)
+            known_names.setdefault(consumer.symbol, program.normalize(
+                consumer.tag, consumer.symbol))
+        tag = program.normalize(consumer.tag, consumer.symbol)
+        if tag is not None and tag != WILDCARD:
+            consumed_values.add(tag)
+
+    findings: list[Finding] = []
+    reported: set[tuple[str, str]] = set()
+    for op in program.sends:
+        symbol = op.symbol
+        if symbol is None or _paired_name(symbol) is None:
+            continue
+        tag = program.normalize(op.tag, op.symbol)
+        consumed = (
+            symbol in consumed_symbols
+            or (tag is not None and tag in consumed_values)
+        )
+        if not consumed and (symbol, "consumer") not in reported:
+            reported.add((symbol, "consumer"))
+            findings.append(_op_finding(
+                op, "MPI008",
+                f"request tag {symbol} is sent but nothing in the linted "
+                "program consumes it (no constant-tag receive, no "
+                "`.tag ==` dispatch, no handler registration); the "
+                "request can never be answered",
+            ))
+        response = _paired_name(symbol)
+        if response is None or response not in known_names:
+            # The protocol defines no paired response constant (e.g.
+            # KMER_REQUEST is answered by the shared COUNT_RESPONSE);
+            # nothing to pair.
+            continue
+        response_value = known_names[response]
+        answered = (
+            response in sent_symbols
+            or (response_value is not None and response_value in sent_values)
+        )
+        if not answered and (symbol, "response") not in reported:
+            reported.add((symbol, "response"))
+            findings.append(_op_finding(
+                op, "MPI008",
+                f"request tag {symbol} has a paired response tag "
+                f"{response} that is never sent anywhere in the linted "
+                "program; the requester waits for an answer no responder "
+                "produces",
+            ))
+    return findings
+
+
+register(Rule(
+    code="MPI008",
+    name="unpaired-request-tag",
+    severity="error",
+    summary="*_REQUEST tag sent without a reachable responder",
+    doc=(
+        "Request/response discipline, checked whole-program.  For every "
+        "sent `*_REQUEST` (or `*_QUERY`) tag: (a) some site must "
+        "consume it — a constant-tag receive, a `msg.tag == Tags.X` "
+        "dispatch comparison, or a `handlers[Tags.X] = fn` "
+        "registration; (b) when the protocol defines the paired "
+        "`*_RESPONSE` (`*_ANSWER`) constant, someone must send it.  "
+        "Tags whose answers travel under a shared response tag (e.g. "
+        "KMER_REQUEST -> COUNT_RESPONSE) define no paired constant and "
+        "are exempt from (b)."
+    ),
+    program_check=check_request_protocol,
+))

@@ -1,0 +1,220 @@
+"""MPI011 — shared-state mutation from rank closures.
+
+The threaded engine runs every rank's closure concurrently in one
+address space; the process engine runs them in *separate* address
+spaces.  Either way, a rank function that mutates an object captured
+from the enclosing scope is wrong: under threads it is a data race
+(the runtime verifier can only catch it after the fact), under
+processes each rank silently mutates its own copy and the results
+diverge.  The only sanctioned cross-rank channels are the communicator
+and an explicit lock.
+
+The rule is deliberately narrow to stay precise: it only analyses
+function definitions that are *literally passed* to ``run_spmd`` with
+an explicit ``engine="threaded"`` or ``engine="process"`` argument in
+the same scope, and only flags mutations of captured (free) names —
+container mutators, in-place ndarray methods, subscript/attribute
+stores, augmented assignment — that are not under a ``with <lock>:``
+block and not on a communicator.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import Finding, Rule, register
+from repro.analysis.summary import (
+    CONTAINER_MUTATORS,
+    INPLACE_METHODS,
+    ModuleSummary,
+    dotted_name,
+    is_comm_name,
+    walk_no_nested_functions,
+)
+
+#: Engines whose rank closures this rule analyses.
+_SHARED_OR_FORKED = ("threaded", "process")
+
+#: A ``with`` context whose name ends in one of these is lock-like.
+_LOCK_SUFFIXES = ("lock", "mutex", "cond", "condition", "semaphore")
+
+
+def _engine_literal(call: ast.Call) -> str | None:
+    for kw in call.keywords:
+        if kw.arg == "engine" and isinstance(kw.value, ast.Constant) and \
+                isinstance(kw.value.value, str):
+            return kw.value.value
+    return None
+
+
+def _spmd_rank_fn_name(call: ast.Call) -> str | None:
+    """The name of the rank closure in a ``run_spmd(fn, ...)`` call."""
+    func_name = dotted_name(call.func) if isinstance(
+        call.func, (ast.Attribute, ast.Name)) else None
+    if func_name is None or func_name.rsplit(".", 1)[-1] != "run_spmd":
+        return None
+    fn_arg: ast.expr | None = None
+    if call.args:
+        fn_arg = call.args[0]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "fn":
+                fn_arg = kw.value
+    if isinstance(fn_arg, ast.Name):
+        return fn_arg.id
+    return None
+
+
+def _local_defs(scope: ast.AST) -> dict[str, ast.FunctionDef]:
+    defs: dict[str, ast.FunctionDef] = {}
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, ast.FunctionDef):
+            defs[child.name] = child
+    return defs
+
+
+def _bound_names(fn: ast.FunctionDef) -> set[str]:
+    """Names that are local to ``fn``: parameters and assignment targets."""
+    args = fn.args
+    bound = {a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)}
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    for node in walk_no_nested_functions(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name) and \
+                            isinstance(sub.ctx, ast.Store):
+                        bound.add(sub.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            for sub in ast.walk(node.optional_vars):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+    return bound
+
+
+def _is_lock_guard(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1].lower()
+    return last.endswith(_LOCK_SUFFIXES)
+
+
+def _mutated_base(node: ast.AST) -> tuple[str, ast.AST] | None:
+    """The root name a statement/call mutates, if any."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in (CONTAINER_MUTATORS | INPLACE_METHODS):
+        base = node.func.value
+        name = dotted_name(base)
+        if name is not None:
+            return name.split(".", 1)[0], node
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                name = dotted_name(target.value)
+                if name is not None:
+                    return name.split(".", 1)[0], node
+    return None
+
+
+def _race_findings(path: str, fn: ast.FunctionDef,
+                   engine: str) -> list[Finding]:
+    bound = _bound_names(fn)
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not fn:
+            return
+        if isinstance(node, ast.With):
+            inner = locked or any(_is_lock_guard(i) for i in node.items)
+            for child in ast.iter_child_nodes(node):
+                visit(child, inner)
+            return
+        hit = _mutated_base(node)
+        if hit is not None and not locked:
+            root, site = hit
+            if root not in bound and not is_comm_name(root, set()):
+                findings.append(Finding(
+                    path=path,
+                    line=getattr(site, "lineno", fn.lineno),
+                    col=getattr(site, "col_offset", 0),
+                    code="MPI011",
+                    message=(
+                        f"rank closure '{fn.name}' mutates captured "
+                        f"object '{root}' while running under "
+                        f"engine='{engine}'; every rank shares (threaded) "
+                        "or silently forks (process) this state — "
+                        "exchange data through the communicator or guard "
+                        "the mutation with a lock"
+                    ),
+                ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    visit(fn, False)
+    return findings
+
+
+def check_shared_state_races(summary: ModuleSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    scopes: list[ast.AST] = [summary.tree]
+    scopes.extend(
+        n for n in ast.walk(summary.tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    seen: set[tuple[int, str]] = set()
+    for scope in scopes:
+        defs = _local_defs(scope)
+        if not defs:
+            continue
+        for node in walk_no_nested_functions(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            engine = _engine_literal(node)
+            if engine not in _SHARED_OR_FORKED:
+                continue
+            fn_name = _spmd_rank_fn_name(node)
+            if fn_name is None or fn_name not in defs:
+                continue
+            key = (defs[fn_name].lineno, engine or "")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.extend(
+                _race_findings(summary.path, defs[fn_name], engine))
+    return findings
+
+
+register(Rule(
+    code="MPI011",
+    name="rank-closure-shared-mutation",
+    severity="error",
+    summary="rank closure mutates captured state (thread race / fork skew)",
+    doc=(
+        "A function passed to run_spmd with engine='threaded' or "
+        "engine='process' mutates an object captured from the "
+        "enclosing scope (list append, dict update, ndarray in-place "
+        "op, subscript or attribute store).  Under the threaded engine "
+        "every rank races on the shared object; under the process "
+        "engine each rank mutates a private copy and results silently "
+        "diverge.  Exchange data through the communicator, or guard "
+        "the mutation with a `with <lock>:` block when shared-memory "
+        "aggregation is intended (threaded engine only)."
+    ),
+    module_check=check_shared_state_races,
+))

@@ -1,0 +1,277 @@
+"""The lint driver: two-phase execution, suppression, and baselines.
+
+Running a lint is: parse every target file, extract a
+:class:`~repro.analysis.summary.ModuleSummary` per file (phase 1),
+run every registered rule's ``module_check`` on each summary and every
+``program_check`` once on the merged
+:class:`~repro.analysis.summary.Program` (phase 2), then filter what
+survives ``# noqa`` comments, ``--disable`` codes, and the committed
+baseline.  Checks never see each other's output, so the finding set is
+independent of rule execution order (pinned by a property test).
+
+Suppression follows ruff semantics: a bare ``# noqa`` suppresses every
+rule on its line, ``# noqa: MPI002,MPI003`` (comma- or
+space-separated) suppresses exactly the listed codes.
+
+A baseline file is a JSON list of finding *fingerprints*
+(``path::code::message`` with embedded line numbers normalized out, so
+unrelated edits that shift lines don't invalidate it).  Baselined
+findings are dropped as a multiset: two identical pre-existing
+findings stay suppressed, a third new one surfaces.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+# Importing the rule modules registers every rule with the framework.
+from repro.analysis import modulerules as _modulerules  # noqa: F401
+from repro.analysis import protocol as _protocol  # noqa: F401
+from repro.analysis import races as _races  # noqa: F401
+from repro.analysis.rules import Finding, Rule, all_rules, register
+from repro.analysis.summary import (
+    ModuleSummary,
+    Program,
+    build_program,
+    summarize_module,
+)
+
+register(Rule(
+    code="MPI000",
+    name="parse-error",
+    severity="error",
+    summary="file could not be parsed",
+    doc=(
+        "The file is not valid Python, so no analysis ran on it.  The "
+        "CLI exits 2 (internal/parse error) rather than 1 (findings) "
+        "when any MPI000 is present, so CI can tell a broken tree from "
+        "a protocol bug."
+    ),
+))
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?P<colon>\s*:\s*(?P<codes>[^#]*))?", re.IGNORECASE
+)
+_CODE_RE = re.compile(r"[A-Z]+[0-9]+")
+
+#: Fingerprint messages with line references normalized, so baselines
+#: survive unrelated edits that renumber lines.
+_LINE_REF_RE = re.compile(r"line \d+")
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting a set of paths."""
+
+    files: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings dropped because the baseline already records them.
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+def noqa_codes(line: str) -> frozenset[str] | None:
+    """Codes suppressed by a ``# noqa`` comment on ``line``.
+
+    Returns None when the line has no noqa comment, an empty frozenset
+    for a bare ``# noqa`` (suppress everything), or the set of codes
+    for ``# noqa: MPI002,MPI003`` / ``# noqa: MPI002 MPI003`` forms.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    if m.group("colon") is None:
+        return frozenset()
+    codes = frozenset(
+        c.upper() for c in _CODE_RE.findall(m.group("codes").upper())
+    )
+    # "# noqa:" with nothing parseable after it reads as a blanket
+    # suppression, matching the bare form.
+    return codes
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    codes = noqa_codes(lines[finding.line - 1])
+    if codes is None:
+        return False
+    return not codes or finding.code in codes
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def fingerprint(finding: Finding) -> str:
+    """A line-number-free identity for baselining a finding."""
+    message = _LINE_REF_RE.sub("line <n>", finding.message)
+    path = Path(finding.path).as_posix()
+    return f"{path}::{finding.code}::{message}"
+
+
+def load_baseline(path: str | Path) -> Counter[str]:
+    """Read a baseline file into a fingerprint multiset."""
+    from repro.errors import ConfigError
+
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(f"baseline file does not exist: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file {path} is not JSON: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("fingerprints"), list):
+        raise ConfigError(
+            f"baseline file {path} must be an object with a "
+            "'fingerprints' list"
+        )
+    return Counter(str(fp) for fp in doc["fingerprints"])
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Write the baseline that suppresses exactly ``findings``."""
+    doc = {
+        "version": 1,
+        "comment": (
+            "Pre-existing `repro lint` findings, suppressed by "
+            "fingerprint. Regenerate with: repro lint <targets> "
+            "--write-baseline " + Path(path).as_posix()
+        ),
+        "fingerprints": sorted(fingerprint(f) for f in findings),
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   baseline: Counter[str]) -> tuple[list[Finding], int]:
+    """Drop baselined findings (as a multiset); returns (kept, dropped)."""
+    budget = Counter(baseline)
+    kept: list[Finding] = []
+    dropped = 0
+    for f in findings:
+        fp = fingerprint(f)
+        if budget[fp] > 0:
+            budget[fp] -= 1
+            dropped += 1
+        else:
+            kept.append(f)
+    return kept, dropped
+
+
+# ----------------------------------------------------------------------
+# two-phase execution
+# ----------------------------------------------------------------------
+def run_checks(program: Program,
+               rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Run every rule over the program; order-independent by contract.
+
+    ``rules`` overrides the execution order (the property test shuffles
+    it); shared check callables (MPI002/MPI003 share one ledger pass)
+    run once regardless of how many rules reference them.
+    """
+    ordered = all_rules() if rules is None else tuple(rules)
+    findings: list[Finding] = []
+    seen_checks: set[int] = set()
+    for rule in ordered:
+        for check in (rule.module_check,):
+            if check is not None and id(check) not in seen_checks:
+                seen_checks.add(id(check))
+                for module in program.modules:
+                    findings.extend(check(module))
+        if rule.program_check is not None and \
+                id(rule.program_check) not in seen_checks:
+            seen_checks.add(id(rule.program_check))
+            findings.extend(rule.program_check(program))
+    return findings
+
+
+def _parse_failure(path: str, exc: SyntaxError) -> Finding:
+    return Finding(path=path, line=exc.lineno or 1, col=exc.offset or 0,
+                   code="MPI000", message=f"could not parse: {exc.msg}")
+
+
+def _filter(findings: Iterable[Finding], disabled: frozenset[str],
+            lines_of: dict[str, list[str]]) -> list[Finding]:
+    return sorted(
+        (f for f in findings
+         if f.code not in disabled and
+         not _suppressed(f, lines_of.get(f.path, []))),
+        key=lambda f: (f.path, f.line, f.col, f.code),
+    )
+
+
+def lint_source(source: str, path: str = "<string>",
+                disable: Iterable[str] = ()) -> list[Finding]:
+    """Lint one module's source text; returns surviving findings.
+
+    The module is analysed as a one-file program, so program-phase
+    rules (tag ledgers, request pairing) run over it too.
+    """
+    disabled = frozenset(c.strip().upper() for c in disable)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        if "MPI000" in disabled:
+            return []
+        return [_parse_failure(path, exc)]
+    program = build_program([summarize_module(tree, path)])
+    findings = run_checks(program)
+    return _filter(findings, disabled, {path: source.splitlines()})
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: dict[Path, None] = {}
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            for f in sorted(path.rglob("*.py")):
+                seen.setdefault(f, None)
+        else:
+            seen.setdefault(path, None)
+    return list(seen)
+
+
+def lint_paths(paths: Iterable[str | Path],
+               disable: Iterable[str] = (),
+               baseline: Counter[str] | None = None) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` as one whole program."""
+    from repro.errors import ConfigError
+
+    disabled = frozenset(c.strip().upper() for c in disable)
+    result = LintResult()
+    summaries: list[ModuleSummary] = []
+    lines_of: dict[str, list[str]] = {}
+    parse_failures: list[Finding] = []
+    for f in iter_python_files(paths):
+        if not f.exists():
+            raise ConfigError(f"lint target does not exist: {f}")
+        source = f.read_text(encoding="utf-8")
+        result.files.append(str(f))
+        lines_of[str(f)] = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=str(f))
+        except SyntaxError as exc:
+            parse_failures.append(_parse_failure(str(f), exc))
+            continue
+        summaries.append(summarize_module(tree, str(f)))
+    findings = parse_failures + run_checks(build_program(summaries))
+    kept = _filter(findings, disabled, lines_of)
+    if baseline:
+        kept, result.baselined = apply_baseline(kept, baseline)
+    result.findings = kept
+    return result

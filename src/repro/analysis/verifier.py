@@ -33,6 +33,7 @@ from repro.errors import DeadlockError, VerifierError
 from repro.simmpi.message import ANY_SOURCE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.communicator import Communicator
     from repro.simmpi.engine import _World
 
 
@@ -55,10 +56,10 @@ class RuntimeVerifier:
             r: {} for r in range(world.nranks)
         }
         self.finished: set[int] = set()
-        self._comms: list = []
+        self._comms: list[Communicator] = []
         #: (source, dest, tag) -> sends never matched by a receive;
         #: filled by the finalize audit from mailbox leftovers.
-        self.unmatched_sends: Counter = Counter()
+        self.unmatched_sends: Counter[tuple[int, int, int]] = Counter()
 
     # ------------------------------------------------------------------
     # wait-for graph (engine-facing; caller holds world.lock)
@@ -158,7 +159,7 @@ class RuntimeVerifier:
     # ------------------------------------------------------------------
     # finalize audit
     # ------------------------------------------------------------------
-    def register_comm(self, comm) -> None:
+    def register_comm(self, comm: "Communicator") -> None:
         """Track a world communicator for the generation-skew audit."""
         self._comms.append(comm)
 

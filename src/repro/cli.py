@@ -8,8 +8,8 @@ Three subcommands mirror the project's workflows:
   as fasta/quality/fastq files, with optional localized error bursts;
 * ``repro project`` — print a BlueGene/Q scaling projection for one of
   the Table I datasets;
-* ``repro lint`` — run the static MPI-correctness pass over SPMD program
-  sources (see :mod:`repro.analysis.lint` for the rule catalogue).
+* ``repro lint`` — run the whole-program MPI-correctness pass over SPMD
+  sources (see :mod:`repro.analysis` and ``repro lint --list-rules``).
 
 ``python -m repro ...`` and the ``repro`` console script are equivalent.
 """
@@ -115,13 +115,25 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static MPI-correctness lint over SPMD program sources",
     )
-    lnt.add_argument("paths", nargs="+",
+    lnt.add_argument("paths", nargs="*",
                      help="python files or directories to lint")
     lnt.add_argument("--disable", default="",
                      help="comma-separated rule codes to skip "
                           "(e.g. MPI003,MPI005)")
     lnt.add_argument("--list-rules", action="store_true",
                      help="print the rule catalogue and exit")
+    lnt.add_argument("--explain", metavar="CODE",
+                     help="print one rule's full documentation and exit")
+    lnt.add_argument("--format", default="text",
+                     choices=("text", "json", "sarif"),
+                     help="report format (default: text)")
+    lnt.add_argument("--out", metavar="PATH",
+                     help="write the report to PATH instead of stdout")
+    lnt.add_argument("--baseline", metavar="PATH",
+                     help="suppress findings recorded in this baseline file")
+    lnt.add_argument("--write-baseline", metavar="PATH",
+                     help="record current findings as the new baseline "
+                          "and exit 0")
     return parser
 
 
@@ -315,30 +327,65 @@ def cmd_project(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import RULES, lint_paths
+    from repro.analysis import RULES, get_rule, lint_paths
+    from repro.analysis.output import render_json, render_sarif
+    from repro.analysis.runner import load_baseline, write_baseline
+    from repro.errors import ConfigError
 
     if args.list_rules:
         for code, description in sorted(RULES.items()):
             print(f"{code}  {description}")
         return 0
+    if args.explain:
+        rule = get_rule(args.explain.strip().upper())
+        if rule is None:
+            raise ConfigError(f"unknown rule code: {args.explain}")
+        print(f"{rule.code} [{rule.severity}] {rule.name}")
+        print(f"  {rule.summary}")
+        print()
+        print(f"  {rule.doc}")
+        print()
+        print(f"  Suppress with '# noqa: {rule.code}' or "
+              f"'--disable {rule.code}'.")
+        return 0
+    if not args.paths:
+        raise ConfigError("no lint targets given (pass files/directories, "
+                          "or use --list-rules / --explain)")
     disable = [c.strip() for c in args.disable.split(",") if c.strip()]
     unknown = sorted(set(disable) - set(RULES))
     if unknown:
-        from repro.errors import ConfigError
-
         raise ConfigError(
             f"unknown rule code(s) in --disable: {', '.join(unknown)}"
         )
-    result = lint_paths(args.paths, disable=disable)
-    for finding in result.findings:
-        print(finding.render())
-    noun = "file" if len(result.files) == 1 else "files"
-    if result.clean:
-        print(f"checked {len(result.files)} {noun}: no findings")
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    result = lint_paths(args.paths, disable=disable, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(result.findings, args.write_baseline)
+        print(f"baseline with {len(result.findings)} fingerprint(s) -> "
+              f"{args.write_baseline}")
         return 0
-    print(f"checked {len(result.files)} {noun}: "
-          f"{len(result.findings)} finding(s)")
-    return 1
+    if args.format == "text":
+        report_lines = [f.render() for f in result.findings]
+        noun = "file" if len(result.files) == 1 else "files"
+        tally = ("no findings" if result.clean
+                 else f"{len(result.findings)} finding(s)")
+        if result.baselined:
+            tally += f" ({result.baselined} baselined)"
+        report_lines.append(f"checked {len(result.files)} {noun}: {tally}")
+        report = "\n".join(report_lines) + "\n"
+    elif args.format == "json":
+        report = render_json(result.findings, result.files)
+    else:
+        report = render_sarif(result.findings, result.files)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"lint report ({args.format}) -> {args.out}")
+    else:
+        print(report, end="")
+    if any(f.code == "MPI000" for f in result.findings):
+        return 2  # parse failure: the analysis itself could not run
+    return 0 if result.clean else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:

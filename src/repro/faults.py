@@ -565,10 +565,11 @@ class FaultyTransport(Transport):
                 self.on_deliver(dest, msg)
 
 
-def describe_faults(world) -> str | None:
+def describe_faults(world: object) -> str | None:
     """The injector's pending-state rendering for a world, or None when
     no injection is active (feeds DeadlockError diagnostics)."""
     injector = getattr(world, "injector", None)
     if injector is None:
         return None
-    return injector.describe_pending()
+    rendered: str | None = injector.describe_pending()
+    return rendered

@@ -158,7 +158,11 @@ class PrefetchEndpoint:
                 payload = np.concatenate([header, kmer_ids[kpos], tile_ids[tpos]])
                 if self._resilient:
                     fetch.payloads[dest] = payload
-                self.comm.isend(dest, payload, tag=Tags.PREFETCH_REQUEST)
+                # Fire-and-forget by design: simmpi isend buffers
+                # eagerly, and the matching PREFETCH_RESPONSE (or the
+                # retry path) is the completion signal.
+                self.comm.isend(  # noqa: MPI010
+                    dest, payload, tag=Tags.PREFETCH_REQUEST)
                 stats.bump("prefetch_messages")
         return fetch
 
@@ -220,7 +224,8 @@ class PrefetchEndpoint:
                         attempts=attempt,
                     )
                 for dest in sorted(fetch.pending):
-                    self.comm.isend(
+                    self.comm.isend(  # noqa: MPI010 - retry send; the
+                        # response (or the next retry round) completes it
                         dest, fetch.payloads[dest], tag=Tags.PREFETCH_REQUEST
                     )
                     self.comm.stats.bump("lookup_retries")
@@ -271,7 +276,11 @@ class PrefetchEndpoint:
         tcounts = self.protocol.shards.lookup(KIND_TILE, ids[n_kmer:])
         response = np.concatenate(
             [np.array([req_id], dtype=np.uint32), kcounts, tcounts])
-        self.comm.isend(msg.source, response, tag=Tags.PREFETCH_RESPONSE)
+        # Responses are fire-and-forget: the requester's collect() is
+        # the only party that cares, and eager buffering completes the
+        # send at the call.
+        self.comm.isend(  # noqa: MPI010
+            msg.source, response, tag=Tags.PREFETCH_RESPONSE)
         stats = self.comm.stats
         stats.bump("prefetch_requests_served")
         stats.bump("prefetch_kmer_ids_served", n_kmer)

@@ -13,6 +13,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import CommunicatorError, RankMismatchError
 from repro.simmpi import wire
+from repro.simmpi.instrument import CommStats
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Tags
 
 
@@ -40,9 +41,10 @@ class Communicator:
         return self._world.nranks
 
     @property
-    def stats(self):
+    def stats(self) -> CommStats:
         """This rank's :class:`~repro.simmpi.instrument.CommStats`."""
-        return self._world.stats[self._rank]
+        stats: CommStats = self._world.stats[self._rank]
+        return stats
 
     @property
     def fault_plan(self):

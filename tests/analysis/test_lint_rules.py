@@ -192,9 +192,10 @@ class TestMutationAfterIsend:
             import numpy as np
             def program(comm):
                 data = np.zeros(4)
-                comm.isend(1, data, tag=1)
+                req = comm.isend(1, data, tag=1)
                 data = np.ones(4)
                 comm.recv(source=1, tag=1)
+                req.wait()
         """) == []
 
 
@@ -212,7 +213,7 @@ class TestNonCodablePayload:
         assert codes("""
             def program(comm, ids):
                 comm.send(1, {1, 2}, tag=1)
-                comm.isend(2, {i: 0 for i in ids}, tag=1)
+                comm.send(2, {i: 0 for i in ids}, tag=1)
                 comm.send(3, {i for i in ids}, tag=1)
                 comm.recv(tag=1)
         """) == ["MPI006", "MPI006", "MPI006"]
@@ -401,5 +402,5 @@ class TestPaths:
     def test_rule_catalogue_covers_all_codes(self):
         assert set(RULES) == {
             "MPI000", "MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
-            "MPI006", "MPI007",
+            "MPI006", "MPI007", "MPI008", "MPI009", "MPI010", "MPI011",
         }
