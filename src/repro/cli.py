@@ -284,7 +284,7 @@ def cmd_project(args: argparse.Namespace) -> int:
     points = study.sweep(args.ranks)
     effs = study.efficiency(points)
     header = f"{'ranks':>7} {'nodes':>6} {'constr_s':>9} {'corr_s':>9} " \
-             f"{'total_s':>9} {'eff':>5}"
+             f"{'total_s':>9} {'eff':>5} {'lookup_mb':>10}"
     if args.imbalanced:
         header += f" {'imbalanced_s':>13}"
     print(f"{args.dataset} on BlueGene/Q, {args.ranks_per_node} ranks/node")
@@ -293,7 +293,8 @@ def cmd_project(args: argparse.Namespace) -> int:
         line = (f"{pt.nranks:>7} {pt.nodes:>6} "
                 f"{pt.balanced.construction_total:>9.1f} "
                 f"{pt.balanced.correction_total:>9.1f} "
-                f"{pt.total_balanced:>9.1f} {eff:>5.2f}")
+                f"{pt.total_balanced:>9.1f} {eff:>5.2f} "
+                f"{pt.lookup_bytes_per_rank / 2**20:>10.1f}")
         if args.imbalanced:
             imb = "DNF" if pt.imbalanced_dnf else f"{pt.total_imbalanced:.0f}"
             line += f" {imb:>13}"
@@ -314,6 +315,8 @@ def cmd_project(args: argparse.Namespace) -> int:
                     "imbalanced_s": pt.total_imbalanced,
                     "imbalanced_dnf": pt.imbalanced_dnf,
                     "memory_peak_bytes": pt.balanced.memory_peak,
+                    "lookup_kmer_bytes": pt.balanced.lookup_kmer_bytes,
+                    "lookup_tile_bytes": pt.balanced.lookup_tile_bytes,
                     "efficiency": eff_,
                 }
                 for pt, eff_ in zip(points, effs)

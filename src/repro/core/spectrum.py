@@ -22,7 +22,8 @@ import numpy as np
 from repro.config import ReptileConfig
 from repro.hashing.counthash import CountHash
 from repro.io.records import ReadBlock
-from repro.kmer.codec import block_window_ids, reverse_complement_id
+from repro.kmer.bitpack import PackedBlock, pack_block, window_id_matrix
+from repro.kmer.codec import reverse_complement_id
 from repro.kmer.tiles import TileShape
 
 
@@ -50,15 +51,20 @@ class SpectrumPair:
         )
 
 
+def pack_read_block(block: ReadBlock) -> PackedBlock:
+    """Bit-pack a read block once for repeated window-id extraction."""
+    return pack_block(block.codes, block.lengths)
+
+
 def block_kmer_ids(block: ReadBlock, shape: TileShape) -> tuple[np.ndarray, np.ndarray]:
     """K-mer ids (every position) for a block: (ids, valid), shape (n, S)."""
-    return block_window_ids(block.codes, block.lengths, shape.k, step=1)
+    return window_id_matrix(pack_read_block(block), shape.k, step=1)
 
 
 def block_tile_ids(block: ReadBlock, shape: TileShape) -> tuple[np.ndarray, np.ndarray]:
     """Tile ids at the tiling stride for a block: (ids, valid)."""
-    return block_window_ids(
-        block.codes, block.lengths, shape.length, step=shape.step
+    return window_id_matrix(
+        pack_read_block(block), shape.length, step=shape.step
     )
 
 
@@ -83,14 +89,19 @@ def accumulate_block(
     block: ReadBlock,
     count_reverse_complement: bool = False,
 ) -> None:
-    """Add one read block's k-mers and tiles into the spectra (Step II core)."""
+    """Add one read block's k-mers and tiles into the spectra (Step II core).
+
+    The block is bit-packed once; both the k-mer and tile id matrices are
+    extracted from the same packed words.
+    """
     shape = spectra.shape
-    kids, kvalid = block_kmer_ids(block, shape)
+    packed = pack_read_block(block)
+    kids, kvalid = window_id_matrix(packed, shape.k, step=1)
     spectra.kmers.add_counts(
         block_window_ids_both_strands(kids, kvalid, shape.k,
                                       count_reverse_complement)
     )
-    tids, tvalid = block_tile_ids(block, shape)
+    tids, tvalid = window_id_matrix(packed, shape.length, step=shape.step)
     spectra.tiles.add_counts(
         block_window_ids_both_strands(tids, tvalid, shape.length,
                                       count_reverse_complement)
@@ -206,12 +217,12 @@ class LocalSpectrumView:
         """K-mer counts through the one-tier stack (with stats)."""
         counts = self._kmer_stack.counts(ids)
         self.stats.kmer_lookups += int(np.asarray(ids).size)
-        self.stats.kmer_hits += int((counts > 0).sum())
+        self.stats.kmer_hits += int(np.count_nonzero(counts))
         return counts
 
     def tile_counts(self, ids: np.ndarray) -> np.ndarray:
         """Tile counts through the one-tier stack (with stats)."""
         counts = self._tile_stack.counts(ids)
         self.stats.tile_lookups += int(np.asarray(ids).size)
-        self.stats.tile_hits += int((counts > 0).sum())
+        self.stats.tile_hits += int(np.count_nonzero(counts))
         return counts

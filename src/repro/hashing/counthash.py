@@ -2,15 +2,22 @@
 
 This is the paper's spectrum container: "we store the k-mer and tile spectrum
 in hash tables instead of arrays; this prevents any need for sorting the
-arrays or for repeated binary searches."  The table is numpy-backed — three
-flat arrays (keys, counts, occupancy) — so batch inserts and lookups are
-vectorized across whole reads or whole incoming messages, and the memory
-footprint is exactly measurable (:attr:`CountHash.nbytes`), which the paper's
-per-rank memory figures rely on.
+arrays or for repeated binary searches."  The table is numpy-backed — a
+single ``(capacity, 2)`` uint64 record array holding ``[key, meta]`` per
+slot, where ``meta`` packs an occupancy bit (bit 63) above the uint32 count —
+so batch inserts and lookups are vectorized across whole reads or whole
+incoming messages, and the memory footprint is exactly measurable
+(:attr:`CountHash.nbytes`), which the paper's per-rank memory figures rely
+on.  The record layout means one probing round costs a single 16-byte row
+gather per key instead of three scattered reads (key, count, occupancy in
+separate arrays) — the correction phase is lookup-bound, and those gathers
+are its cache-miss budget.
 
 Probing is linear with a splitmix64-mixed home slot.  Batch operations
-resolve collisions round-by-round on the shrinking unresolved subset, so cost
-is O(rounds) numpy passes rather than O(n) Python iterations.
+resolve collisions round-by-round on the shrinking unresolved subset — the
+first round runs unindexed over the full batch (nearly every probe resolves
+immediately at sane load factors), later rounds touch only survivors — so
+cost is O(rounds) numpy passes rather than O(n) Python iterations.
 """
 
 from __future__ import annotations
@@ -22,6 +29,11 @@ from repro.hashing.inthash import splitmix64
 
 _MIN_CAPACITY = 64
 _MAX_LOAD = 0.60
+
+#: Bit 63 of ``meta``: slot occupied.  The count lives in the low 32 bits.
+_PRESENT = np.uint64(1) << np.uint64(63)
+_COUNT_MASK = np.uint64(0xFFFFFFFF)
+_COUNT_MAX = np.uint64(np.iinfo(np.uint32).max)
 
 
 def _next_pow2(n: int) -> int:
@@ -41,16 +53,14 @@ class CountHash:
         grows automatically; pre-sizing only avoids rehashes.
     """
 
-    __slots__ = ("_keys", "_counts", "_used", "_size", "_mask")
+    __slots__ = ("_table", "_size", "_mask")
 
     def __init__(self, capacity: int = _MIN_CAPACITY) -> None:
         cap = _next_pow2(max(int(capacity), _MIN_CAPACITY))
         self._alloc(cap)
 
     def _alloc(self, cap: int) -> None:
-        self._keys = np.zeros(cap, dtype=np.uint64)
-        self._counts = np.zeros(cap, dtype=np.uint32)
-        self._used = np.zeros(cap, dtype=bool)
+        self._table = np.zeros((cap, 2), dtype=np.uint64)
         self._size = 0
         self._mask = np.uint64(cap - 1)
 
@@ -63,7 +73,7 @@ class CountHash:
     @property
     def capacity(self) -> int:
         """Current number of slots."""
-        return self._keys.shape[0]
+        return self._table.shape[0]
 
     @property
     def load_factor(self) -> float:
@@ -72,8 +82,8 @@ class CountHash:
 
     @property
     def nbytes(self) -> int:
-        """Bytes held by the backing arrays (the rank memory-footprint unit)."""
-        return self._keys.nbytes + self._counts.nbytes + self._used.nbytes
+        """Bytes held by the backing array (the rank memory-footprint unit)."""
+        return self._table.nbytes
 
     def __contains__(self, key: int) -> bool:
         return self._find_slot(int(key)) is not None
@@ -83,9 +93,10 @@ class CountHash:
         mask = int(self._mask)
         slot = int(splitmix64(np.uint64(key))) & mask
         for _ in range(self.capacity):
-            if not self._used[slot]:
+            k, meta = self._table[slot]
+            if not int(meta) >> 63:
                 return None
-            if int(self._keys[slot]) == int(key):
+            if int(k) == int(key):
                 return slot
             slot = (slot + 1) & mask
         return None
@@ -95,7 +106,7 @@ class CountHash:
         slot = self._find_slot(int(key))
         if slot is None:
             return default
-        return int(self._counts[slot])
+        return int(self._table[slot, 1] & _COUNT_MASK)
 
     # ------------------------------------------------------------------
     # batch mutation
@@ -124,10 +135,10 @@ class CountHash:
             np.add.at(add, inverse, counts)
         self._reserve(self._size + uniq.shape[0])
         slots = self._locate_for_insert(uniq)
-        # Saturating add into uint32 counts.
-        total = self._counts[slots].astype(np.uint64) + add
-        np.minimum(total, np.uint64(np.iinfo(np.uint32).max), out=total)
-        self._counts[slots] = total.astype(np.uint32)
+        # Saturating add into the 32-bit count field.
+        total = (self._table[slots, 1] & _COUNT_MASK) + add
+        np.minimum(total, _COUNT_MAX, out=total)
+        self._table[slots, 1] = _PRESENT | total
 
     def increment(self, keys: np.ndarray) -> None:
         """Shorthand for ``add_counts(keys, 1)``."""
@@ -139,12 +150,11 @@ class CountHash:
             self._grow(_next_pow2(needed))
 
     def _grow(self, new_cap: int) -> None:
-        old_keys = self._keys[self._used]
-        old_counts = self._counts[self._used]
+        old_keys, old_counts = self.items()
         self._alloc(new_cap)
         if old_keys.size:
             slots = self._locate_for_insert(old_keys)
-            self._counts[slots] = old_counts
+            self._table[slots, 1] = _PRESENT | old_counts.astype(np.uint64)
 
     def _locate_for_insert(self, uniq: np.ndarray) -> np.ndarray:
         """Slot for each unique key, claiming free slots for new keys.
@@ -163,11 +173,9 @@ class CountHash:
             if rounds > self.capacity + 1:
                 raise HashTableError("probe loop exceeded capacity (table full)")
             s = slots[pending]
-            occ = self._used[s]
-            matched = np.zeros(pending.shape[0], dtype=bool)
-            occ_idx = np.nonzero(occ)[0]
-            if occ_idx.size:
-                matched[occ_idx] = self._keys[s[occ_idx]] == uniq[pending[occ_idx]]
+            rec = self._table[s]
+            occ = rec[:, 1] >= _PRESENT
+            matched = occ & (rec[:, 0] == uniq[pending])
             resolved = matched.copy()
             result[pending[matched]] = s[matched]
             free_idx = np.nonzero(~occ)[0]
@@ -176,9 +184,8 @@ class CountHash:
                 _, first = np.unique(fslots, return_index=True)
                 winners = free_idx[first]
                 wslots = s[winners]
-                self._used[wslots] = True
-                self._keys[wslots] = uniq[pending[winners]]
-                self._counts[wslots] = 0
+                self._table[wslots, 0] = uniq[pending[winners]]
+                self._table[wslots, 1] = _PRESENT
                 self._size += winners.shape[0]
                 result[pending[winners]] = wslots
                 resolved[winners] = True
@@ -190,6 +197,49 @@ class CountHash:
     # ------------------------------------------------------------------
     # batch queries
     # ------------------------------------------------------------------
+    def _probe(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared probe core: ``(counts, found)`` per key.
+
+        Round 1 runs unindexed over the whole batch — one row gather plus
+        elementwise compares; subsequent rounds narrow to the unresolved
+        remainder.
+        """
+        flat = self._table.reshape(-1)
+        slots = (splitmix64(keys) & self._mask).astype(np.int64)
+        idx = slots << 1
+        k = flat.take(idx, mode="clip")
+        meta = flat.take(idx + 1, mode="clip")
+        occ = meta >= _PRESENT
+        matched = occ & (k == keys)
+        # Round 1 covers the whole batch unindexed: nearly every probe
+        # lands here, so it's full-array passes, no fancy writes.  The
+        # uint32 truncation of meta is the count; multiplying by the
+        # match mask zeroes misses in one pass.
+        found = matched
+        out = meta.astype(np.uint32)
+        out *= matched
+        # matched is a subset of occ, so xor is the unresolved remainder.
+        pending = np.flatnonzero(occ ^ matched)
+        mask = int(self._mask)
+        rounds = 1
+        while pending.size:
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise HashTableError("lookup probe loop exceeded capacity")
+            s = (slots[pending] + 1) & mask
+            slots[pending] = s
+            idx = s << 1
+            meta = flat.take(idx + 1, mode="clip")
+            occ = meta >= _PRESENT
+            matched = occ & (flat.take(idx, mode="clip") == keys[pending])
+            hit = pending[matched]
+            out[hit] = meta[matched].astype(np.uint32)
+            found[hit] = True
+            pending = pending[occ ^ matched]
+        return out, found
+
     def lookup(self, keys: np.ndarray) -> np.ndarray:
         """Counts for each key (0 for absent keys); duplicates allowed.
 
@@ -197,30 +247,9 @@ class CountHash:
         times — locally for owned keys, over the wire otherwise.
         """
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.shape[0], dtype=np.uint32)
         if keys.size == 0 or self._size == 0:
-            return out
-        slots = (splitmix64(keys) & self._mask).astype(np.int64)
-        pending = np.arange(keys.shape[0], dtype=np.int64)
-        mask = int(self._mask)
-        rounds = 0
-        while pending.size:
-            rounds += 1
-            if rounds > self.capacity + 1:
-                raise HashTableError("lookup probe loop exceeded capacity")
-            s = slots[pending]
-            occ = self._used[s]
-            matched = np.zeros(pending.shape[0], dtype=bool)
-            occ_idx = np.nonzero(occ)[0]
-            if occ_idx.size:
-                matched[occ_idx] = self._keys[s[occ_idx]] == keys[pending[occ_idx]]
-            out[pending[matched]] = self._counts[s[matched]]
-            # Absent: hit a free slot -> resolved with count 0.
-            resolved = matched | ~occ
-            rem = ~resolved
-            slots[pending[rem]] = (s[rem] + 1) & mask
-            pending = pending[rem]
-        return out
+            return np.zeros(keys.shape[0], dtype=np.uint32)
+        return self._probe(keys)[0]
 
     def lookup_found(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(counts, found)`` for each key in a single probe sequence.
@@ -231,65 +260,32 @@ class CountHash:
         absent" apart from "never fetched".
         """
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.shape[0], dtype=np.uint32)
-        found = np.zeros(keys.shape[0], dtype=bool)
         if keys.size == 0 or self._size == 0:
-            return out, found
-        slots = (splitmix64(keys) & self._mask).astype(np.int64)
-        pending = np.arange(keys.shape[0], dtype=np.int64)
-        mask = int(self._mask)
-        rounds = 0
-        while pending.size:
-            rounds += 1
-            if rounds > self.capacity + 1:
-                raise HashTableError("lookup probe loop exceeded capacity")
-            s = slots[pending]
-            occ = self._used[s]
-            matched = np.zeros(pending.shape[0], dtype=bool)
-            occ_idx = np.nonzero(occ)[0]
-            if occ_idx.size:
-                matched[occ_idx] = self._keys[s[occ_idx]] == keys[pending[occ_idx]]
-            hit = pending[matched]
-            out[hit] = self._counts[s[matched]]
-            found[hit] = True
-            resolved = matched | ~occ
-            rem = ~resolved
-            slots[pending[rem]] = (s[rem] + 1) & mask
-            pending = pending[rem]
-        return out, found
+            return (
+                np.zeros(keys.shape[0], dtype=np.uint32),
+                np.zeros(keys.shape[0], dtype=bool),
+            )
+        return self._probe(keys)
 
     def contains(self, keys: np.ndarray) -> np.ndarray:
         """Boolean membership per key (count may legitimately be 0 only for
         keys never inserted, so membership equals lookup > 0 except for keys
         inserted with zero count — which :meth:`add_counts` never produces)."""
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        out = np.zeros(keys.shape[0], dtype=bool)
         if keys.size == 0 or self._size == 0:
-            return out
-        slots = (splitmix64(keys) & self._mask).astype(np.int64)
-        pending = np.arange(keys.shape[0], dtype=np.int64)
-        mask = int(self._mask)
-        while pending.size:
-            s = slots[pending]
-            occ = self._used[s]
-            matched = np.zeros(pending.shape[0], dtype=bool)
-            occ_idx = np.nonzero(occ)[0]
-            if occ_idx.size:
-                matched[occ_idx] = self._keys[s[occ_idx]] == keys[pending[occ_idx]]
-            out[pending[matched]] = True
-            resolved = matched | ~occ
-            rem = ~resolved
-            slots[pending[rem]] = (s[rem] + 1) & mask
-            pending = pending[rem]
-        return out
+            return np.zeros(keys.shape[0], dtype=bool)
+        return self._probe(keys)[1]
 
     # ------------------------------------------------------------------
     # bulk access / maintenance
     # ------------------------------------------------------------------
     def items(self) -> tuple[np.ndarray, np.ndarray]:
         """Copies of all (keys, counts), in unspecified order."""
-        used = self._used
-        return self._keys[used].copy(), self._counts[used].copy()
+        used = self._table[:, 1] >= _PRESENT
+        return (
+            self._table[used, 0].copy(),
+            (self._table[used, 1] & _COUNT_MASK).astype(np.uint32),
+        )
 
     def filter_below(self, threshold: int) -> int:
         """Drop every entry with count < ``threshold``; returns #removed.
@@ -307,7 +303,7 @@ class CountHash:
         self._alloc(_next_pow2(max(_MIN_CAPACITY, int(kept_keys.size / _MAX_LOAD) + 1)))
         if kept_keys.size:
             slots = self._locate_for_insert(kept_keys)
-            self._counts[slots] = kept_counts
+            self._table[slots, 1] = _PRESENT | kept_counts.astype(np.uint64)
         return removed
 
     def clear(self) -> None:
@@ -322,9 +318,7 @@ class CountHash:
     def copy(self) -> "CountHash":
         """Deep copy preserving layout."""
         dup = CountHash.__new__(CountHash)
-        dup._keys = self._keys.copy()
-        dup._counts = self._counts.copy()
-        dup._used = self._used.copy()
+        dup._table = self._table.copy()
         dup._size = self._size
         dup._mask = self._mask
         return dup

@@ -14,6 +14,9 @@ import numpy as np
 _C1 = np.uint64(0xBF58476D1CE4E5B9)
 _C2 = np.uint64(0x94D049BB133111EB)
 _ADD = np.uint64(0x9E3779B97F4A7C15)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
 
 
 def splitmix64(x: int | np.ndarray) -> np.ndarray | int:
@@ -22,17 +25,19 @@ def splitmix64(x: int | np.ndarray) -> np.ndarray | int:
     Bijective on uint64, so distinct ids never collide at this stage; all
     collisions come from the subsequent modulo, which the mixer randomizes.
     """
-    scalar = np.isscalar(x) or np.asarray(x).ndim == 0
-    # Wrap-around multiplication is the point; silence numpy's scalar
-    # overflow warning (the array path never warns).
-    with np.errstate(over="ignore"):
-        z = (np.asarray(x, dtype=np.uint64) + _ADD)
-        z = (z ^ (z >> np.uint64(30))) * _C1
-        z = (z ^ (z >> np.uint64(27))) * _C2
-        z = z ^ (z >> np.uint64(31))
-    if scalar:
-        return int(z)
-    return z
+    if np.isscalar(x) or np.asarray(x).ndim == 0:
+        # Wrap-around multiplication is the point; silence numpy's
+        # scalar overflow warning (the array path never warns, so it
+        # skips the errstate context entirely).
+        with np.errstate(over="ignore"):
+            z = np.asarray(x, dtype=np.uint64) + _ADD
+            z = (z ^ (z >> _S30)) * _C1
+            z = (z ^ (z >> _S27)) * _C2
+            return int(z ^ (z >> _S31))
+    z = np.asarray(x, dtype=np.uint64) + _ADD
+    z = (z ^ (z >> _S30)) * _C1
+    z = (z ^ (z >> _S27)) * _C2
+    return z ^ (z >> _S31)
 
 
 def mix_to_rank(keys: int | np.ndarray, nranks: int) -> np.ndarray | int:

@@ -1,0 +1,373 @@
+"""Bit-packed read blocks and the popcount correction kernels.
+
+A :class:`~repro.io.records.ReadBlock` stores one byte per base, which is
+convenient for slicing but wasteful for the correction hot path: every
+tile extraction re-gathers ``w`` one-byte columns and re-packs them into
+an id.  This module packs a block once — 4 bases per byte, 32 bases per
+``uint64`` word, leftmost base in the most significant bits — after which
+window extraction, Hamming distance and base substitution are all whole-
+word shift/mask/XOR/popcount operations (the ``CodeWordStorage`` idiom of
+the original bit-twiddled Reptile, lifted to numpy arrays).
+
+Word layout
+-----------
+Base ``c`` of a read lands in word ``c // 32`` at bit offset
+``62 - 2 * (c % 32)`` (MSB-first), so a whole word *is* the window id of
+the 32-base window aligned at that word boundary.  A window of ``w <= 32``
+bases starting at ``s`` therefore spans at most two words and is extracted
+branch-free as::
+
+    combined = (words[q] << 2r) | (words[q+1] >> (64 - 2r))   # q=s//32, r=s%32
+    id       = combined >> (64 - 2w)
+
+One sentinel zero word is appended per read so ``q + 1`` never indexes out
+of bounds; its bits are always shifted out for in-range windows.
+
+Ambiguous bases cannot live in 2 bits, so validity travels separately as
+a per-read *bad-prefix* array: ``bad_prefix[i, c]`` counts the ambiguous
+(or past-length) bases of read ``i`` strictly before position ``c``, and
+such bases pack as ``0b00`` in the code words.  A window ``[s, s + w)``
+is valid exactly when ``bad_prefix[i, s + w] == bad_prefix[i, s]`` — two
+gathers and a compare, no second bit plane to pack or extract.  The
+prefix never changes under substitution, because corrections only ever
+rewrite windows that are valid to begin with.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.errors import CodecError
+from repro.kmer.codec import INVALID_CODE, MAX_K
+
+#: Bases stored per 64-bit word.
+BASES_PER_WORD = 32
+
+_U64 = np.uint64
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+# SWAR popcount constants (the 0x5555…/0x3333… reduction).
+_M1 = _U64(0x5555555555555555)
+_M2 = _U64(0x3333333333333333)
+_M4 = _U64(0x0F0F0F0F0F0F0F0F)
+_H01 = _U64(0x0101010101010101)
+
+#: Bit shift of each base lane within a word (MSB-first).
+_LANE_SHIFTS: NDArray[np.uint64] = (
+    62 - 2 * np.arange(BASES_PER_WORD, dtype=np.int64)
+).astype(np.uint64)
+
+
+def _check_window(w: int) -> None:
+    if not 1 <= w <= MAX_K:
+        raise CodecError(f"window length must be in [1, {MAX_K}], got {w}")
+
+
+def popcount64(x: NDArray[np.uint64]) -> NDArray[np.uint64]:
+    """Per-element population count of a uint64 array (SWAR reduction)."""
+    x = np.ascontiguousarray(x, dtype=np.uint64)
+    x = x - ((x >> _U64(1)) & _M1)
+    x = (x & _M2) + ((x >> _U64(2)) & _M2)
+    x = (x + (x >> _U64(4))) & _M4
+    return (x * _H01) >> _U64(56)
+
+
+@dataclass
+class PackedBlock:
+    """A read block packed 2 bits per base into a uint64 word matrix.
+
+    ``words`` is ``(n, n_words + 1)`` — one sentinel zero word per read
+    (see module docstring) — and is mutated in place by
+    :func:`substitute_many`.  ``bad_prefix`` is ``(n, width + 1)``: the
+    running count of ambiguous/past-length bases, immutable under
+    substitution (corrections only rewrite valid windows).  It is ``None``
+    when the block contains no such base at all — the common case for
+    full-width clean reads — so validity checks cost nothing there.
+    """
+
+    words: NDArray[np.uint64]
+    bad_prefix: NDArray[np.int32] | None
+    lengths: NDArray[np.int64]
+    width: int
+
+    def __len__(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed arrays."""
+        prefix = 0 if self.bad_prefix is None else self.bad_prefix.nbytes
+        return self.words.nbytes + prefix + self.lengths.nbytes
+
+
+def _pack_plane(
+    plane: NDArray[np.uint8], n_words: int
+) -> NDArray[np.uint64]:
+    """Pack one zero-padded 2-bit byte plane into MSB-first words.
+
+    Byte-pyramid: two halving rounds fuse 4 bases into each byte, then a
+    big-endian uint64 view of the byte rows *is* the MSB-first word
+    layout (first byte most significant) — three small vectorized passes
+    instead of a 32-lane shift reduction.  On little-endian hosts the
+    halving rounds read adjacent byte pairs through wider integer views,
+    keeping every pass contiguous instead of stride-2.
+    """
+    n = plane.shape[0]
+    if _LITTLE_ENDIAN:
+        v2 = plane.view(np.uint16)           # even | odd << 8
+        b2 = ((v2 & np.uint16(0xFF)) << np.uint16(2)) | (v2 >> np.uint16(8))
+        v4 = b2.view(np.uint32)              # b2_even | b2_odd << 16
+        b4 = (
+            (v4 & np.uint32(0xFFFF)) << np.uint32(4)
+        ) | (v4 >> np.uint32(16))
+        b4 = b4.astype(np.uint8)             # values < 256: one byte each
+    else:
+        b2 = (plane[:, 0::2] << 2) | plane[:, 1::2]
+        b4 = np.ascontiguousarray((b2[:, 0::2] << 4) | b2[:, 1::2])
+    words = b4.view(">u8").astype(np.uint64)
+    out = np.empty((n, n_words + 1), dtype=np.uint64)
+    out[:, :n_words] = words
+    out[:, n_words] = 0
+    return out
+
+
+def pack_block(
+    codes: NDArray[np.uint8], lengths: NDArray[np.int64] | NDArray[np.int32]
+) -> PackedBlock:
+    """Pack a 2-bit code matrix (``INVALID_CODE`` for ambiguous/padding)
+    into a :class:`PackedBlock`."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    if codes.ndim != 2:
+        raise CodecError(f"codes must be 2-D, got shape {codes.shape}")
+    n, width = codes.shape
+    lengths64 = np.ascontiguousarray(lengths, dtype=np.int64)
+    if lengths64.shape != (n,):
+        raise CodecError(
+            f"lengths shape {lengths64.shape} != (n_reads,) = ({n},)"
+        )
+    n_words = (width + BASES_PER_WORD - 1) // BASES_PER_WORD
+    padded_width = n_words * BASES_PER_WORD
+    bad = codes == INVALID_CODE
+    bad_prefix: NDArray[np.int32] | None = None
+    if bad.any():
+        clean = np.where(bad, np.uint8(0), codes)
+        bad_prefix = np.zeros((n, width + 1), dtype=np.int32)
+        bad_prefix[:, 1:] = np.cumsum(bad, axis=1, dtype=np.int32)
+    else:
+        clean = codes
+    if padded_width != width:
+        pad = np.zeros((n, padded_width - width), dtype=np.uint8)
+        clean = np.concatenate([clean, pad], axis=1)
+    return PackedBlock(
+        words=_pack_plane(clean, n_words),
+        bad_prefix=bad_prefix,
+        lengths=lengths64,
+        width=width,
+    )
+
+
+def unpack_block(packed: PackedBlock) -> NDArray[np.uint8]:
+    """Inverse of :func:`pack_block`: the ``(n, width)`` uint8 code matrix
+    with ``INVALID_CODE`` restored at every ambiguous/past-length base."""
+    n = len(packed)
+    n_words = packed.words.shape[1] - 1
+    lanes = (
+        packed.words[:, :n_words, None] >> _LANE_SHIFTS
+    ) & _U64(3)
+    codes = lanes.astype(np.uint8).reshape(n, n_words * BASES_PER_WORD)
+    codes = np.ascontiguousarray(codes[:, : packed.width])
+    if packed.bad_prefix is not None:
+        bad = np.diff(packed.bad_prefix, axis=1) > 0
+        codes[bad] = INVALID_CODE
+    return codes
+
+
+def _extract(
+    matrix: NDArray[np.uint64],
+    rows: NDArray[np.int64],
+    starts: NDArray[np.int64],
+    w: int,
+) -> NDArray[np.uint64]:
+    """The two-word shift/OR window extraction on one packed plane."""
+    q = starts >> 5
+    r2 = ((starts & 31) << 1).astype(np.uint64)  # 2r, <= 62
+    # Flat takes instead of 2-D fancy gathers; indices were validated by
+    # the caller, so bounds re-checking (mode="raise") buys nothing.
+    flat_idx = rows * matrix.shape[1] + q
+    flat = matrix.reshape(-1)
+    hi = flat.take(flat_idx, mode="clip")
+    lo = flat.take(flat_idx + 1, mode="clip")
+    # (lo >> (64 - 2r)) via two shifts: 64 - 2r can be 64, which a single
+    # uint64 shift must not perform; (63 - 2r) + 1 never exceeds 63 + 1.
+    combined = (hi << r2) | ((lo >> (_U64(63) - r2)) >> _U64(1))
+    return combined >> _U64(64 - 2 * w)
+
+
+def windows_at(
+    packed: PackedBlock,
+    rows: NDArray[np.int64],
+    starts: NDArray[np.int64],
+    w: int,
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
+    """Window ids at arbitrary ``(row, start)`` sites, plus validity.
+
+    The packed replacement for the corrector's per-column gather-and-
+    repack: two word gathers and a handful of whole-array shifts
+    regardless of ``w``.  ``starts[i] + w`` must not exceed the block
+    width.  A window is invalid when it touches an ambiguous or
+    past-length base.
+    """
+    _check_window(w)
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    if rows.shape != starts.shape:
+        raise CodecError(
+            f"rows shape {rows.shape} != starts shape {starts.shape}"
+        )
+    if starts.size and (starts.min() < 0 or starts.max() + w > packed.width):
+        raise CodecError(
+            f"window [start, start+{w}) out of range for width {packed.width}"
+        )
+    ids = _extract(packed.words, rows, starts, w)
+    prefix = packed.bad_prefix
+    if prefix is None:
+        return ids, np.ones(rows.shape[0], dtype=np.bool_)
+    valid = prefix[rows, starts + w] == prefix[rows, starts]
+    return ids, valid
+
+
+def windows_at_unchecked(
+    packed: PackedBlock,
+    rows: NDArray[np.int64],
+    starts: NDArray[np.int64],
+    w: int,
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_] | None]:
+    """:func:`windows_at` without argument validation or an all-ones mask.
+
+    For callers that construct ``(rows, starts)`` from a validated tile
+    geometry (the correction wavefront): returns ``valid=None`` when the
+    block has no ambiguous base at all, so fully clean blocks skip both
+    the validity gathers and the mask allocation.
+    """
+    ids = _extract(packed.words, rows, starts, w)
+    prefix = packed.bad_prefix
+    if prefix is None:
+        return ids, None
+    return ids, prefix[rows, starts + w] == prefix[rows, starts]
+
+
+def window_id_matrix(
+    packed: PackedBlock, w: int, step: int = 1
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
+    """All window ids of every read at the given stride: packed
+    equivalent of :func:`repro.kmer.codec.block_window_ids`.
+
+    Returns ``(ids, valid)`` shaped ``(n, n_starts)``; ``valid`` is False
+    for windows extending past a read's length or touching an ambiguous
+    base.  Bit-identical to the unpacked version (both compute ids over
+    zeroed ambiguous lanes), in O(1) vectorized passes instead of O(w).
+    """
+    _check_window(w)
+    if step < 1:
+        raise CodecError(f"step must be >= 1, got {step}")
+    n = len(packed)
+    if packed.width < w:
+        return (
+            np.empty((n, 0), dtype=np.uint64),
+            np.empty((n, 0), dtype=np.bool_),
+        )
+    starts = np.arange(0, packed.width - w + 1, step, dtype=np.int64)
+    q = starts >> 5
+    r2 = ((starts & 31) << 1).astype(np.uint64)
+    hi = packed.words[:, q]
+    lo = packed.words[:, q + 1]
+    combined = (hi << r2[None, :]) | (
+        (lo >> (_U64(63) - r2[None, :])) >> _U64(1)
+    )
+    ids = combined >> _U64(64 - 2 * w)
+    within = (starts[None, :] + w) <= packed.lengths[:, None]
+    if packed.bad_prefix is None:
+        return ids, within
+    nbad = packed.bad_prefix[:, starts + w] - packed.bad_prefix[:, starts]
+    valid = within & (nbad == 0)
+    return ids, valid
+
+
+def hamming_many(
+    a: NDArray[np.uint64], b: NDArray[np.uint64], w: int
+) -> NDArray[np.int64]:
+    """Per-pair base-level Hamming distance between window ids.
+
+    ORs the odd and even bit planes of the XOR so each differing base
+    contributes exactly one set bit, then popcounts — constant vectorized
+    passes for any batch, replacing the per-base scalar loop of
+    :func:`repro.kmer.neighbors.hamming_distance`.
+    """
+    _check_window(w)
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    diff = (a ^ b) & _U64((1 << (2 * w)) - 1)
+    one_bit_per_base = (diff | (diff >> _U64(1))) & _M1
+    return popcount64(one_bit_per_base).astype(np.int64)
+
+
+def substitute_many(
+    codes: NDArray[np.uint8],
+    packed: PackedBlock,
+    rows: NDArray[np.int64],
+    starts: NDArray[np.int64],
+    old_ids: NDArray[np.uint64],
+    new_ids: NDArray[np.uint64],
+    w: int,
+) -> NDArray[np.int64]:
+    """Write many winning tiles at once; returns bases changed per site.
+
+    For every site ``i`` the window ``[starts[i], starts[i]+w)`` of read
+    ``rows[i]`` currently spells ``old_ids[i]`` and is rewritten to
+    ``new_ids[i]`` — in the byte matrix by scattering only the differing
+    bases and in the packed words by an XOR of the id diff placed at the
+    window's bit position.  ``applied`` is the popcount-derived number
+    of differing bases per site.
+
+    Sites must target distinct rows within one call (the corrector's
+    wavefront guarantees this: one site per read per step) — overlapping
+    windows in a single batch would race their fancy-index writes.
+    """
+    _check_window(w)
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    old = np.ascontiguousarray(old_ids, dtype=np.uint64)
+    new = np.ascontiguousarray(new_ids, dtype=np.uint64)
+    diff = (old ^ new) & _U64((1 << (2 * w)) - 1)
+    one_bit = (diff | (diff >> _U64(1))) & _M1
+    applied = popcount64(one_bit).astype(np.int64)
+    if rows.size == 0:
+        return applied
+    # Byte matrix: write only the differing bases (typically one or two
+    # per site, versus a full w-wide window rewrite).
+    shifts = ((w - 1 - np.arange(w, dtype=np.int64)) * 2).astype(np.uint64)
+    site_i, col_i = np.nonzero((diff[:, None] >> shifts[None, :]) & _U64(3))
+    codes[rows[site_i], starts[site_i] + col_i] = (
+        (new[site_i] >> shifts[col_i]) & _U64(3)
+    ).astype(np.uint8)
+    # Packed words: XOR the diff into the (at most two) covering words.
+    q = starts >> 5
+    r = starts & 31
+    # Bases of the window landing in the second word (0 when it fits).
+    low_n = np.maximum(0, w - (BASES_PER_WORD - r))
+    hi_part = diff >> (low_n.astype(np.uint64) << _U64(1))
+    # hi occupies bases r .. r + (w - low_n) - 1 of word q; the shift is
+    # 0 when the window spans into word q+1 and <= 62 otherwise.
+    hi_shift = (64 - 2 * r - 2 * (w - low_n)).astype(np.uint64)
+    packed.words[rows, q] ^= hi_part << hi_shift
+    two_low = (low_n << 1).astype(np.uint64)
+    lo_mask = (_U64(1) << two_low) - _U64(1)
+    lo_part = diff & lo_mask
+    # Shift 64 - 2*low_n can be 64 (low_n = 0, lo_part = 0): split it.
+    lo_shifted = (lo_part << (_U64(63) - two_low)) << _U64(1)
+    packed.words[rows, q + 1] ^= lo_shifted
+    return applied

@@ -14,6 +14,7 @@ base can be skipped, which is what Reptile does.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import CodecError
 
@@ -32,7 +33,9 @@ for _i, _b in enumerate(_BASES):
     _ENCODE_LUT[ord(_b.lower())] = _i
 
 
-def encode_sequence(seq: str | bytes | np.ndarray) -> np.ndarray:
+def encode_sequence(
+    seq: str | bytes | NDArray[np.uint8],
+) -> NDArray[np.uint8]:
     """Encode a DNA sequence into an array of 2-bit codes (dtype uint8).
 
     Ambiguous bases become :data:`INVALID_CODE`; no exception is raised so
@@ -49,7 +52,8 @@ def encode_sequence(seq: str | bytes | np.ndarray) -> np.ndarray:
         raw = np.frombuffer(bytes(seq), dtype=np.uint8)
     else:
         raw = np.asarray(seq, dtype=np.uint8)
-    return _ENCODE_LUT[raw]
+    codes: NDArray[np.uint8] = _ENCODE_LUT[raw]
+    return codes
 
 
 def is_valid_sequence(seq: str | bytes) -> bool:
@@ -63,7 +67,9 @@ def _check_window(w: int) -> None:
         raise CodecError(f"window length must be in [1, {MAX_K}], got {w}")
 
 
-def window_ids(codes: np.ndarray, w: int) -> tuple[np.ndarray, np.ndarray]:
+def window_ids(
+    codes: NDArray[np.uint8], w: int
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
     """All length-``w`` window ids of a 2-bit code array, plus validity.
 
     Returns ``(ids, valid)`` where ``ids`` has dtype uint64 and length
@@ -82,16 +88,20 @@ def window_ids(codes: np.ndarray, w: int) -> tuple[np.ndarray, np.ndarray]:
             np.empty(0, dtype=bool),
         )
     windows = np.lib.stride_tricks.sliding_window_view(codes, w)
-    valid = ~(windows == INVALID_CODE).any(axis=1)
+    valid: NDArray[np.bool_] = ~(windows == INVALID_CODE).any(axis=1)
     # Shift weights: leftmost base is most significant.
     shifts = np.arange(w - 1, -1, -1, dtype=np.uint64) * np.uint64(2)
     # 0xFF codes would corrupt the ids; zero them first (masked out anyway).
     clean = np.where(windows == INVALID_CODE, np.uint8(0), windows)
-    ids = (clean.astype(np.uint64) << shifts).sum(axis=1, dtype=np.uint64)
+    ids: NDArray[np.uint64] = (clean.astype(np.uint64) << shifts).sum(
+        axis=1, dtype=np.uint64
+    )
     return ids, valid
 
 
-def kmer_ids(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+def kmer_ids(
+    codes: NDArray[np.uint8], k: int
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
     """Alias of :func:`window_ids` named for the k-mer use case."""
     return window_ids(codes, k)
 
@@ -108,7 +118,9 @@ def decode_kmer(kid: int, k: int) -> str:
     return "".join(out)
 
 
-def reverse_complement_id(kid: int | np.ndarray, k: int) -> int | np.ndarray:
+def reverse_complement_id(
+    kid: int | NDArray[np.uint64], k: int
+) -> int | NDArray[np.uint64]:
     """Reverse-complement of a window id (or array of ids).
 
     Complementing a 2-bit base is ``3 - code`` (A<->T, C<->G); reversal swaps
@@ -126,22 +138,25 @@ def reverse_complement_id(kid: int | np.ndarray, k: int) -> int | np.ndarray:
     return out
 
 
-def canonical_id(kid: int | np.ndarray, k: int) -> int | np.ndarray:
+def canonical_id(
+    kid: int | NDArray[np.uint64], k: int
+) -> int | NDArray[np.uint64]:
     """The lexicographically smaller of a window id and its reverse
     complement — the strand-independent representative."""
     rc = reverse_complement_id(kid, k)
     if np.isscalar(kid) or np.asarray(kid).ndim == 0:
         return min(int(kid), int(rc))
     ids = np.asarray(kid, dtype=np.uint64)
-    return np.minimum(ids, rc)
+    smaller: NDArray[np.uint64] = np.minimum(ids, rc)
+    return smaller
 
 
 def block_window_ids(
-    codes: np.ndarray,
-    lengths: np.ndarray,
+    codes: NDArray[np.uint8],
+    lengths: NDArray[np.int64] | NDArray[np.int32],
     w: int,
     step: int = 1,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
     """Window ids for a whole batch of reads at once.
 
     ``codes`` is a (n_reads, width) 2-bit code matrix (padded rows hold
@@ -158,7 +173,7 @@ def block_window_ids(
     if step < 1:
         raise CodecError(f"step must be >= 1, got {step}")
     codes = np.ascontiguousarray(codes, dtype=np.uint8)
-    lengths = np.asarray(lengths, dtype=np.int64)
+    lens = np.asarray(lengths, dtype=np.int64)
     n, width = codes.shape
     if width < w:
         return (
@@ -176,11 +191,11 @@ def block_window_ids(
         ids <<= np.uint64(2)
         ids |= clean[:, cols].astype(np.uint64)
         bad |= invalid[:, cols]
-    within = (starts[None, :] + w) <= lengths[:, None]
+    within = (starts[None, :] + w) <= lens[:, None]
     return ids, within & ~bad
 
 
-def decode_sequence(codes: np.ndarray) -> str:
+def decode_sequence(codes: NDArray[np.uint8]) -> str:
     """Decode a 2-bit code array back to a DNA string ('N' for invalid)."""
     codes = np.asarray(codes, dtype=np.uint8)
     lut = np.frombuffer(b"ACGT", dtype=np.uint8)

@@ -13,6 +13,7 @@ distance-1 flips.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import CodecError
 from repro.kmer.codec import MAX_K
@@ -36,8 +37,8 @@ def hamming_distance(a: int, b: int, w: int) -> int:
 
 
 def neighbors_at_positions(
-    wid: int, w: int, positions: np.ndarray | list[int]
-) -> np.ndarray:
+    wid: int, w: int, positions: NDArray[np.int64] | list[int]
+) -> NDArray[np.uint64]:
     """All ids obtained by substituting one base at one of ``positions``.
 
     ``positions`` are 0-based offsets from the *left* end of the window
@@ -51,20 +52,20 @@ def neighbors_at_positions(
         return np.empty(0, dtype=np.uint64)
     if pos.min() < 0 or pos.max() >= w:
         raise CodecError(f"positions must be in [0, {w}), got {positions!r}")
-    wid = np.uint64(wid)
+    wid64 = np.uint64(wid)
     # Bit shift of each position: leftmost base is most significant.
     shifts = ((w - 1 - pos) * 2).astype(np.uint64)
-    current = (wid >> shifts) & np.uint64(3)
+    current = (wid64 >> shifts) & np.uint64(3)
     # For each position, the three alternative base codes.
     alts = (current[:, None] + np.arange(1, 4, dtype=np.uint64)) & np.uint64(3)
-    cleared = wid & ~(np.uint64(3) << shifts)
+    cleared = wid64 & ~(np.uint64(3) << shifts)
     out = cleared[:, None] | (alts << shifts[:, None])
     return out.ravel()
 
 
 def substitute_at(
-    wids: np.ndarray, w: int, positions: np.ndarray
-) -> np.ndarray:
+    wids: NDArray[np.uint64], w: int, positions: NDArray[np.int64]
+) -> NDArray[np.uint64]:
     """Distance-1 substitutions for many (window, position) pairs at once.
 
     ``wids[i]`` and ``positions[i]`` describe one substitution site; the
@@ -93,7 +94,7 @@ def substitute_at(
     return cleared[:, None] | (alts << shifts[:, None])
 
 
-def hamming_neighbors(wid: int, w: int, d: int = 1) -> np.ndarray:
+def hamming_neighbors(wid: int, w: int, d: int = 1) -> NDArray[np.uint64]:
     """All ids within Hamming distance exactly ``d`` of ``wid`` (d in {1, 2}).
 
     Distance-1 yields ``3w`` ids; distance-2 yields ``9·C(w,2)`` ids.  The
@@ -108,7 +109,7 @@ def hamming_neighbors(wid: int, w: int, d: int = 1) -> np.ndarray:
         first = neighbors_at_positions(wid, w, np.arange(w))
         # For every distance-1 neighbour, flip a *later* position to avoid
         # generating each pair twice or undoing the first flip.
-        chunks: list[np.ndarray] = []
+        chunks: list[NDArray[np.uint64]] = []
         per_pos = first.reshape(w, 3)
         for p in range(w - 1):
             later = np.arange(p + 1, w)
@@ -122,16 +123,18 @@ def hamming_neighbors(wid: int, w: int, d: int = 1) -> np.ndarray:
 
 
 def neighbors_many(
-    wids: np.ndarray, w: int, positions_per_wid: list[np.ndarray]
-) -> tuple[np.ndarray, np.ndarray]:
+    wids: NDArray[np.uint64],
+    w: int,
+    positions_per_wid: list[NDArray[np.int64]],
+) -> tuple[NDArray[np.uint64], NDArray[np.int64]]:
     """Batch candidate generation for several windows at once.
 
     Returns ``(candidates, owner_index)`` where ``owner_index[i]`` is the
     index into ``wids`` whose substitution produced ``candidates[i]``.  Used
     by the corrector to batch remote spectrum lookups across a whole read.
     """
-    cands: list[np.ndarray] = []
-    owners: list[np.ndarray] = []
+    cands: list[NDArray[np.uint64]] = []
+    owners: list[NDArray[np.int64]] = []
     for i, (wid, pos) in enumerate(zip(np.asarray(wids, dtype=np.uint64),
                                        positions_per_wid)):
         c = neighbors_at_positions(int(wid), w, pos)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import CodecError
 from repro.kmer.codec import MAX_K, window_ids
@@ -57,14 +58,14 @@ class TileShape:
         """Stride between consecutive tile (and k-mer) start positions."""
         return self.k - self.overlap
 
-    def tile_starts(self, read_length: int) -> np.ndarray:
+    def tile_starts(self, read_length: int) -> NDArray[np.int64]:
         """Start offsets of every whole tile within a read of given length."""
         last = read_length - self.length
         if last < 0:
             return np.empty(0, dtype=np.int64)
         return np.arange(0, last + 1, self.step, dtype=np.int64)
 
-    def kmer_starts(self, read_length: int) -> np.ndarray:
+    def kmer_starts(self, read_length: int) -> NDArray[np.int64]:
         """Start offsets of the k-mers participating in the tiling."""
         last = read_length - self.k
         if last < 0:
@@ -77,7 +78,9 @@ def tile_length(k: int, overlap: int) -> int:
     return TileShape(k, overlap).length
 
 
-def tile_ids(codes: np.ndarray, shape: TileShape) -> tuple[np.ndarray, np.ndarray]:
+def tile_ids(
+    codes: NDArray[np.uint8], shape: TileShape
+) -> tuple[NDArray[np.uint64], NDArray[np.bool_]]:
     """All tile ids of a read (2-bit code array), plus a validity mask.
 
     Tiles start every ``shape.step`` bases; a tile containing an ambiguous

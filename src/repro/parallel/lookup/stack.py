@@ -88,6 +88,15 @@ class LookupStack:
             ),
             -1,
         )
+        # Degenerate stack (serial, or fully replicated with no cache):
+        # one authoritative replica tier resolves everything, so
+        # :meth:`counts` can skip the Resolution bookkeeping entirely.
+        self._sole_replica: AllgatherReplicaTier | None = (
+            self.tiers[0]
+            if len(self.tiers) == 1
+            and isinstance(self.tiers[0], AllgatherReplicaTier)
+            else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -159,6 +168,23 @@ class LookupStack:
         """Fully resolved counts (the stack must end in an authoritative
         tier — remote or replica — for every configuration reachable
         here)."""
+        tier = self._sole_replica
+        if tier is not None:
+            # Bumps exactly the counters a full resolve() would: the
+            # replica tier answers every id, so requests == hits.
+            ids = np.ascontiguousarray(ids, dtype=np.uint64)
+            out = tier.table.lookup(ids)
+            if record_stats:
+                stats = self.comm.stats
+                n = int(ids.size)
+                stats.bump(f"{self.kind}_lookups", n)
+                if n:
+                    stats.bump(f"local_{self.kind}_lookups", n)
+                    stats.bump(f"lookup_{tier.name}_requests", n)
+                    stats.bump(f"lookup_{tier.name}_hits", n)
+                    stats.bump(f"lookup_{tier.name}_misses", 0)
+                    stats.bump(f"lookup_{tier.name}_bytes", BYTES_PER_HIT * n)
+            return out
         return self.resolve(ids, record_stats=record_stats).counts
 
 

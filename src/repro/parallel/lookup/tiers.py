@@ -190,7 +190,12 @@ class AllgatherReplicaTier(LookupTier):
         self, req: Resolution, stats: StatsSink, record_stats: bool
     ) -> NDArray[np.bool_]:
         sel = req.unresolved.copy()
-        req.counts[sel] = self.table.lookup(req.ids[sel])
+        if sel.all():
+            # Common case (first authoritative tier): skip the masked
+            # gather/scatter copies and look the whole batch up directly.
+            req.counts[:] = self.table.lookup(req.ids)
+        else:
+            req.counts[sel] = self.table.lookup(req.ids[sel])
         if record_stats:
             stats.bump(
                 f"local_{self.kind}_lookups", int(np.count_nonzero(sel))

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.errors import ModelError
 from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.lookup.tiers import BYTES_PER_HIT
 from repro.perfmodel.machine import BGQMachine
 from repro.perfmodel.workload import DatasetWorkload
 
@@ -68,6 +69,12 @@ class PhaseBreakdown:
     correction_compute: float
     comm_kmers: float
     comm_tiles: float
+    #: Predicted per-rank remote-lookup payload (bytes) per spectrum —
+    #: the model-side counterpart of the runtime's per-tier
+    #: ``lookup_*_bytes`` counters, so tier traffic can be compared
+    #: between a run report and an α–β projection directly.
+    lookup_kmer_bytes: float
+    lookup_tile_bytes: float
     #: Time spent answering other ranks' lookups (the communication
     #: thread's share of the core) — reported separately because the
     #: paper's "communication time" is the requester-side wait.
@@ -94,6 +101,11 @@ class PhaseBreakdown:
     def comm_total(self) -> float:
         """Correction-phase communication (tile + k-mer streams)."""
         return self.comm_kmers + self.comm_tiles
+
+    @property
+    def lookup_bytes_total(self) -> float:
+        """Combined per-rank remote-lookup payload (bytes)."""
+        return self.lookup_kmer_bytes + self.lookup_tile_bytes
 
     @property
     def correction_total(self) -> float:
@@ -207,6 +219,8 @@ class PerformancePredictor:
         comm_kmers = kmer_remote * rtt
         comm_tiles = tile_remote * rtt
         serve_time = (kmer_remote + tile_remote) * serve
+        lookup_kmer_bytes = kmer_remote * BYTES_PER_HIT
+        lookup_tile_bytes = tile_remote * BYTES_PER_HIT
 
         correction_compute = (
             reads_per_rank
@@ -229,6 +243,8 @@ class PerformancePredictor:
             correction_compute=correction_compute,
             comm_kmers=comm_kmers,
             comm_tiles=comm_tiles,
+            lookup_kmer_bytes=lookup_kmer_bytes,
+            lookup_tile_bytes=lookup_tile_bytes,
             serve_time=serve_time,
             fixed=m.fixed_overhead,
             memory_construction_peak=mem_construct,

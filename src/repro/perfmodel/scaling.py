@@ -44,6 +44,12 @@ class ScalingPoint:
         """Would the imbalanced run blow the paper's patience budget?"""
         return self.imbalanced.total > DNF_SECONDS
 
+    @property
+    def lookup_bytes_per_rank(self) -> float:
+        """Predicted per-rank remote-lookup payload (bytes, balanced) —
+        the per-tier ``lookup_*_bytes`` counters as the model sees them."""
+        return self.balanced.lookup_bytes_total
+
 
 @dataclass
 class ScalingStudy:

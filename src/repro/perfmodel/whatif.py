@@ -69,6 +69,10 @@ class ConfigPoint:
     fits: bool
     memory_per_rank: float
     total_seconds: float
+    #: Per-rank remote-lookup payload (bytes) the α–β model predicts at
+    #: this rank count — the projection-side view of the runtime's
+    #: per-tier ``lookup_*_bytes`` counters.
+    lookup_bytes_per_rank: float = 0.0
 
     @property
     def node_hours(self) -> float:
@@ -102,6 +106,7 @@ def cheapest_config(
                 fits=pb.memory_peak <= budget_bytes,
                 memory_per_rank=pb.memory_peak,
                 total_seconds=pb.total,
+                lookup_bytes_per_rank=pb.lookup_bytes_total,
             )
         )
     return points

@@ -1,0 +1,89 @@
+"""Regression tests for the tile-start matrix memo.
+
+Chunked runs present the same (shape, lengths) key over and over; the
+LRU memo must compute each distinct key exactly once and hand out a
+shared read-only matrix, while the frozen reference corrector keeps the
+seed's recompute-per-call behavior.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.corrector as corrector_mod
+from repro.config import ReptileConfig
+from repro.core import ReptileCorrector
+from repro.core.corrector import (
+    _compute_tile_start_matrix,
+    clear_tile_starts_cache,
+)
+from repro.core.reference import UnpackedReferenceCorrector
+
+
+@pytest.fixture
+def counted_compute(monkeypatch):
+    calls = []
+
+    def counting(shape, lengths):
+        calls.append((shape.k, shape.overlap, lengths.tobytes()))
+        return _compute_tile_start_matrix(shape, lengths)
+
+    monkeypatch.setattr(
+        corrector_mod, "_compute_tile_start_matrix", counting
+    )
+    clear_tile_starts_cache()
+    yield calls
+    clear_tile_starts_cache()
+
+
+def test_one_compute_per_unique_shape(counted_compute):
+    config = ReptileConfig(kmer_length=8, tile_overlap=3)
+    corrector = ReptileCorrector(config, None)
+    lengths_a = np.full(7, 64, dtype=np.int64)
+    lengths_b = np.array([40, 64, 52], dtype=np.int64)
+
+    first = corrector._tile_start_matrix(lengths_a)
+    assert len(counted_compute) == 1
+    # Same key again — served from the memo, no recompute, same object.
+    again = corrector._tile_start_matrix(lengths_a)
+    assert len(counted_compute) == 1
+    assert again is first
+    # A fresh corrector shares the module-level memo.
+    other = ReptileCorrector(config, None)
+    assert other._tile_start_matrix(lengths_a) is first
+    assert len(counted_compute) == 1
+
+    # Distinct lengths: one more compute, exactly one.
+    corrector._tile_start_matrix(lengths_b)
+    corrector._tile_start_matrix(lengths_b)
+    assert len(counted_compute) == 2
+
+    # Distinct tile geometry over the same lengths is its own key.
+    narrow = ReptileCorrector(
+        ReptileConfig(kmer_length=6, tile_overlap=2), None
+    )
+    narrow._tile_start_matrix(lengths_a)
+    assert len(counted_compute) == 3
+
+
+def test_memoized_matrix_is_shared_readonly(counted_compute):
+    config = ReptileConfig(kmer_length=8, tile_overlap=3)
+    corrector = ReptileCorrector(config, None)
+    lengths = np.array([30, 41, 64], dtype=np.int64)
+    out = corrector._tile_start_matrix(lengths)
+    assert not out.flags.writeable
+    assert np.array_equal(
+        out, _compute_tile_start_matrix(config.tile_shape, lengths)
+    )
+
+
+def test_reference_corrector_never_memoizes(counted_compute):
+    """The frozen seed recomputes per call and returns writable arrays."""
+    config = ReptileConfig(kmer_length=8, tile_overlap=3)
+    ref = UnpackedReferenceCorrector(config, None)
+    lengths = np.full(5, 64, dtype=np.int64)
+    a = ref._tile_start_matrix(lengths)
+    b = ref._tile_start_matrix(lengths)
+    assert a is not b
+    assert np.array_equal(a, b)
+    # The reference path bypasses the memo entirely.
+    assert len(counted_compute) == 0

@@ -1,0 +1,201 @@
+"""Property tests for the bit-packed kernels.
+
+Every property pins a packed kernel to the unpacked seed implementation
+it replaced: pack/unpack round-trips (including non-multiple-of-32
+widths and ambiguous bases), ``windows_at`` against the reference
+corrector's byte-per-base gather, popcount Hamming against the scalar
+per-base loop, and whole-block correction bit-identity between
+:class:`~repro.core.corrector.ReptileCorrector` and the frozen
+:class:`~repro.core.reference.UnpackedReferenceCorrector` at both
+correction distances.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ReptileConfig
+from repro.core import ReptileCorrector, build_spectra
+from repro.core.reference import UnpackedReferenceCorrector
+from repro.core.spectrum import LocalSpectrumView
+from repro.io.records import ReadBlock
+from repro.kmer.bitpack import (
+    hamming_many,
+    pack_block,
+    substitute_many,
+    unpack_block,
+    windows_at,
+)
+from repro.kmer.codec import INVALID_CODE
+from repro.kmer.neighbors import hamming_distance
+
+
+def _random_codes(rng, n, width, lengths, ambiguous_fraction):
+    """A code matrix with INVALID_CODE at past-length and ambiguous spots."""
+    codes = rng.integers(0, 4, (n, width), dtype=np.uint8)
+    if ambiguous_fraction > 0:
+        mask = rng.random((n, width)) < ambiguous_fraction
+        codes[mask] = INVALID_CODE
+    past = np.arange(width)[None, :] >= lengths[:, None]
+    codes[past] = INVALID_CODE
+    return codes
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 20),
+    width=st.integers(1, 140),
+    ambiguous=st.sampled_from([0.0, 0.02, 0.3]),
+)
+@settings(max_examples=80, deadline=None)
+def test_pack_unpack_roundtrip(seed, n, width, ambiguous):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, width + 1, n, dtype=np.int64)
+    codes = _random_codes(rng, n, width, lengths, ambiguous)
+    packed = pack_block(codes, lengths)
+    assert np.array_equal(unpack_block(packed), codes)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 12),
+    width=st.integers(8, 90),
+    k=st.integers(2, 8),
+    ambiguous=st.sampled_from([0.0, 0.05]),
+)
+@settings(max_examples=80, deadline=None)
+def test_windows_at_matches_gather_tiles(seed, n, width, k, ambiguous):
+    rng = np.random.default_rng(seed)
+    overlap = int(rng.integers(1, k)) if k > 1 else 0
+    config = ReptileConfig(kmer_length=k, tile_overlap=overlap)
+    w = config.tile_shape.length
+    if w > width:
+        width = w + 3
+    lengths = rng.integers(1, width + 1, n, dtype=np.int64)
+    codes = _random_codes(rng, n, width, lengths, ambiguous)
+    packed = pack_block(codes, lengths)
+
+    n_sites = int(rng.integers(1, 4 * n))
+    rows = rng.integers(0, n, n_sites, dtype=np.int64)
+    starts = rng.integers(0, width - w + 1, n_sites, dtype=np.int64)
+
+    ref = UnpackedReferenceCorrector(config, None)
+    ref_ids, ref_valid = ref._gather_tiles(codes, rows, starts)
+    ids, valid = windows_at(packed, rows, starts, w)
+    assert np.array_equal(valid, ref_valid)
+    assert np.array_equal(ids[valid], ref_ids[ref_valid])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    w=st.integers(1, 32),
+    n=st.integers(1, 200),
+)
+@settings(max_examples=80, deadline=None)
+def test_hamming_many_matches_scalar(seed, w, n):
+    rng = np.random.default_rng(seed)
+    hi = (1 << (2 * w)) - 1
+    a = rng.integers(0, hi, n, dtype=np.uint64, endpoint=True)
+    b = rng.integers(0, hi, n, dtype=np.uint64, endpoint=True)
+    expected = [hamming_distance(int(x), int(y), w) for x, y in zip(a, b)]
+    assert np.array_equal(hamming_many(a, b, w), np.array(expected))
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 15),
+    width=st.integers(10, 130),
+    w=st.integers(1, 32),
+    n_subs=st.integers(1, 12),
+)
+@settings(max_examples=60, deadline=None)
+def test_substitute_many_keeps_words_and_codes_aligned(
+    seed, n, width, w, n_subs
+):
+    """After batched substitution, the packed words still unpack to the
+    mutated code matrix — the two representations never diverge.
+
+    One site per row, per the kernel's contract (the corrector's
+    wavefront substitutes at most once per read per step)."""
+    rng = np.random.default_rng(seed)
+    if w > width:
+        width = w
+    lengths = np.full(n, width, dtype=np.int64)
+    codes = _random_codes(rng, n, width, lengths, 0.0)
+    packed = pack_block(codes, lengths)
+
+    n_subs = min(n_subs, n)
+    rows = rng.permutation(n)[:n_subs].astype(np.int64)
+    starts = rng.integers(0, width - w + 1, n_subs, dtype=np.int64)
+    old_ids, valid = windows_at(packed, rows, starts, w)
+    assert valid.all()
+    hi = (1 << (2 * w)) - 1
+    new_ids = rng.integers(0, hi, n_subs, dtype=np.uint64, endpoint=True)
+
+    applied = substitute_many(codes, packed, rows, starts, old_ids, new_ids, w)
+    # applied counts exactly the differing bases of each rewrite.
+    expected = [
+        hamming_distance(int(o), int(nw), w)
+        for o, nw in zip(old_ids, new_ids)
+    ]
+    assert np.array_equal(applied, np.array(expected))
+    assert np.array_equal(unpack_block(packed), codes)
+    # The rewritten windows now spell the new ids.
+    re_ids, re_valid = windows_at(packed, rows, starts, w)
+    assert re_valid.all()
+    assert np.array_equal(re_ids, new_ids)
+
+
+@st.composite
+def correction_instances(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    k = draw(st.integers(3, 8))
+    overlap = draw(st.integers(1, 2))
+    max_distance = draw(st.sampled_from([1, 2]))
+    ambiguity_ratio = draw(st.sampled_from([1.0, 1.5, 2.0]))
+    config = ReptileConfig(
+        kmer_length=k,
+        tile_overlap=min(overlap, k - 1),
+        kmer_threshold=draw(st.integers(1, 3)),
+        tile_threshold=draw(st.integers(1, 3)),
+        quality_threshold=draw(st.integers(5, 50)),
+        max_candidate_positions=draw(st.integers(1, 4)),
+        max_distance=max_distance,
+        ambiguity_ratio=ambiguity_ratio,
+    )
+    w = config.tile_shape.length
+    n = draw(st.integers(1, 12))
+    width = draw(st.integers(w, w + 40))
+    lengths = rng.integers(w, width + 1, n, dtype=np.int64)
+    codes = _random_codes(
+        rng, n, width, lengths, draw(st.sampled_from([0.0, 0.02]))
+    )
+    quals = rng.integers(0, 60, (n, width), dtype=np.uint8)
+    quals[np.arange(width)[None, :] >= lengths[:, None]] = 0
+    block = ReadBlock(
+        ids=np.arange(n, dtype=np.int64),
+        codes=codes,
+        lengths=lengths,
+        quals=quals,
+    )
+    return config, block
+
+
+@given(instance=correction_instances())
+@settings(max_examples=40, deadline=None)
+def test_correct_block_bit_identity(instance):
+    """The packed corrector and the frozen unpacked seed agree exactly:
+    same corrected bases, same per-read counts, same reverted reads."""
+    config, block = instance
+    spectra = build_spectra(block, config)
+    view = LocalSpectrumView(spectra)
+    ref = UnpackedReferenceCorrector(config, view).correct_block(block)
+    packed = ReptileCorrector(config, view).correct_block(block)
+    assert np.array_equal(ref.block.codes, packed.block.codes)
+    assert np.array_equal(
+        ref.corrections_per_read, packed.corrections_per_read
+    )
+    assert np.array_equal(ref.reads_reverted, packed.reads_reverted)
+    assert ref.tiles_examined == packed.tiles_examined
+    assert ref.tiles_below_threshold == packed.tiles_below_threshold
