@@ -4,6 +4,9 @@ Three subcommands mirror the project's workflows:
 
 * ``repro correct`` — run distributed Reptile on a fasta + quality pair
   (or a Reptile configuration file), writing corrected reads;
+* ``repro session`` — long-lived correction session: ingest several
+  fasta inputs as incremental spectrum deltas, correct them against the
+  combined spectrum, optionally checkpoint/resume the session state;
 * ``repro simulate`` — synthesize a dataset (genome, reads, qualities)
   as fasta/quality/fastq files, with optional localized error bursts;
 * ``repro project`` — print a BlueGene/Q scaling projection for one of
@@ -78,6 +81,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject faults from a FaultPlan JSON file "
                         "(see docs/FAULTS.md); the run must still produce "
                         "bit-identical output")
+
+    # ----------------------------------------------------------- session
+    se = sub.add_parser(
+        "session",
+        help="ingest several fasta inputs incrementally, then correct "
+             "them against the combined spectrum",
+    )
+    se.add_argument("--fasta", action="append", default=[],
+                    help="input fasta; repeat for each incremental delta")
+    se.add_argument("--quality", action="append", default=[],
+                    help="quality file matching each --fasta (all or none)")
+    se.add_argument("--output", required=True, help="corrected fasta path")
+    se.add_argument("--nranks", type=int, default=4,
+                    help="simulated MPI ranks (default 4)")
+    se.add_argument("--engine",
+                    choices=["cooperative", "sequential", "threaded",
+                             "process"],
+                    default="cooperative",
+                    help="rank scheduler (see 'repro correct --help')")
+    se.add_argument("--kmer-length", type=int, default=12)
+    se.add_argument("--tile-overlap", type=int, default=4)
+    se.add_argument("--kmer-threshold", type=int, default=0,
+                    help="0 = derive from the first input")
+    se.add_argument("--tile-threshold", type=int, default=0)
+    se.add_argument("--chunk-size", type=int, default=2000)
+    se.add_argument("--universal", action="store_true",
+                    help="universal message heuristic")
+    se.add_argument("--prefetch", action="store_true",
+                    help="bulk-prefetch Step IV lookups per chunk")
+    se.add_argument("--batch-reads", action="store_true",
+                    help="batch reads table heuristic")
+    se.add_argument("--read-tables", action="store_true",
+                    help="retain read k-mer/tile tables")
+    se.add_argument("--allgather", choices=["none", "kmers", "tiles", "both"],
+                    default="none", help="spectrum replication")
+    se.add_argument("--replication-group", type=int, default=1,
+                    help="partial replication group size (Sec. V)")
+    se.add_argument("--no-load-balance", action="store_true",
+                    help="disable the static read redistribution")
+    se.add_argument("--checkpoint-dir",
+                    help="write per-rank session bundles here after the run")
+    se.add_argument("--resume-dir",
+                    help="resume the session from bundles written by a "
+                         "previous --checkpoint-dir run")
+    se.add_argument("--stats", action="store_true",
+                    help="print per-rank and session statistics")
+    se.add_argument("--report", help="write a JSON run report to this path")
 
     # ---------------------------------------------------------- simulate
     s = sub.add_parser("simulate", help="synthesize a dataset")
@@ -239,6 +289,91 @@ def cmd_correct(args: argparse.Namespace) -> int:
                   f"{totals.get(f'lookup_{tier}_hits'):>12,d} "
                   f"{totals.get(f'lookup_{tier}_misses'):>12,d} "
                   f"{totals.get(f'lookup_{tier}_bytes'):>14,d}")
+        _print_session_row(totals)
+    return 0
+
+
+def _print_session_row(totals) -> None:
+    """The construction-session ledger lines of the ``--stats`` table."""
+    print(f"{'session':>12} {'ingests':>10} {'exchanges':>10} "
+          f"{'delta_bytes':>14} {'recompiles':>10}")
+    print(f"{'':>12} {totals.get('session_ingests'):>10,d} "
+          f"{totals.get('session_delta_exchanges'):>10,d} "
+          f"{totals.get('session_delta_bytes'):>14,d} "
+          f"{totals.get('session_recompiles'):>10,d}")
+
+
+def cmd_session(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.io.fasta import write_fasta
+    from repro.io.partition import load_rank_block
+    from repro.io.records import ReadBlock
+    from repro.parallel.driver import ParallelSession
+    from repro.parallel.session import CheckpointOp, CorrectOp, IngestOp
+
+    if not args.fasta:
+        raise ReproError("at least one --fasta is required")
+    if args.quality and len(args.quality) != len(args.fasta):
+        raise ReproError(
+            "--quality must be repeated once per --fasta (or omitted)"
+        )
+    # Each file is one delta: load it whole (nranks=1 partitioning) and
+    # let the SPMD session program slice it per rank.
+    blocks = [
+        load_rank_block(
+            fasta, args.quality[i] if args.quality else None, 1, 0
+        )
+        for i, fasta in enumerate(args.fasta)
+    ]
+    cfg_ns = argparse.Namespace(**vars(args))
+    cfg_ns.config = None
+    cfg_ns.fasta = args.fasta[0]
+    cfg_ns.quality = args.quality[0] if args.quality else None
+    cfg = _config_from_args(cfg_ns)
+    heur = _heuristics_from_args(args)
+    # The corrected dataset is the union of every ingested delta,
+    # renumbered so the merged output keeps one global order.
+    full = ReadBlock.concat(blocks)
+    full.ids[:] = np.arange(1, len(full) + 1, dtype=np.int64)
+    ops: list = [IngestOp(b) for b in blocks]
+    ops.append(CorrectOp(full))
+    if args.checkpoint_dir:
+        ops.append(CheckpointOp(args.checkpoint_dir))
+    driver = ParallelSession(
+        cfg, heur, nranks=args.nranks, engine=args.engine
+    )
+    out = driver.run(ops, resume_dir=args.resume_dir)
+    result = out.result_for(0)
+    block = result.corrected_block
+    write_fasta(
+        args.output, block.to_strings(),
+        start_id=int(block.ids[0]) if len(block) else 1,
+    )
+    totals = out.session_totals()
+    print(f"session: {len(blocks)} delta(s) ingested, corrected "
+          f"{len(block)} reads ({result.total_corrections} substitutions) "
+          f"-> {args.output}")
+    if args.checkpoint_dir:
+        print(f"session checkpoint -> {args.checkpoint_dir}")
+    if args.report:
+        from repro.parallel.report import write_run_report
+
+        write_run_report(result, args.report)
+        print(f"run report -> {args.report}")
+    if args.stats:
+        print(f"{'rank':>4} {'reads':>8} {'corrected':>9} {'ingests':>8} "
+              f"{'peak_bytes':>12}")
+        for r, report in enumerate(result.reports):
+            rr = out.rank_reports[r]
+            print(f"{r:>4} {len(report.block):>8} "
+                  f"{report.errors_corrected:>9} "
+                  f"{(rr.ingest_count if rr is not None else 0):>8} "
+                  f"{report.memory.peak:>12,d}")
+        merged = out.stats[0].__class__()
+        for s in out.stats:
+            merged.merge(s)
+        _print_session_row(merged)
     return 0
 
 
@@ -397,6 +532,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "correct":
             return cmd_correct(args)
+        if args.command == "session":
+            return cmd_session(args)
         if args.command == "simulate":
             return cmd_simulate(args)
         if args.command == "project":

@@ -27,6 +27,10 @@ _FORMAT = "repro.spectra/1"
 #: Format marker of a rank's recovery bundle (spill-mode replication).
 _RECOVERY_FORMAT = "repro.recovery/1"
 
+#: Format marker of a correction-session checkpoint (one rank's raw,
+#: unfiltered spectrum state plus its read-table key unions).
+_SESSION_FORMAT = "repro.session/1"
+
 
 def save_spectra(spectra: SpectrumPair, path: str | os.PathLike) -> None:
     """Write a spectrum pair as compressed npz."""
@@ -122,5 +126,78 @@ def load_recovery_bundle(path: str | os.PathLike) -> dict:
             "codes": data["codes"],
             "lengths": data["lengths"],
             "quals": data["quals"],
+        }
+    return out
+
+
+def save_session_bundle(
+    path: str | os.PathLike,
+    *,
+    k: int,
+    overlap: int,
+    nranks: int,
+    rank: int,
+    n_ingests: int,
+    kmer_keys: np.ndarray,
+    kmer_counts: np.ndarray,
+    tile_keys: np.ndarray,
+    tile_counts: np.ndarray,
+    read_kmer_keys: np.ndarray,
+    read_tile_keys: np.ndarray,
+) -> None:
+    """Write one rank's correction-session checkpoint as compressed npz.
+
+    The bundle holds the *raw* (unfiltered) owned tables — thresholds are
+    lossy, so resumable sessions persist the pre-filter counts — plus the
+    accumulated read-table key unions, so a resumed session can re-derive
+    its complete serving state with one finalize."""
+    np.savez_compressed(
+        path,
+        format=np.array(_SESSION_FORMAT),
+        k=np.array(k),
+        overlap=np.array(overlap),
+        nranks=np.array(nranks),
+        rank=np.array(rank),
+        n_ingests=np.array(n_ingests),
+        kmer_keys=kmer_keys,
+        kmer_counts=kmer_counts,
+        tile_keys=tile_keys,
+        tile_counts=tile_counts,
+        read_kmer_keys=read_kmer_keys,
+        read_tile_keys=read_tile_keys,
+    )
+
+
+def load_session_bundle(path: str | os.PathLike) -> dict:
+    """Read a bundle written by :func:`save_session_bundle`.
+
+    Returns a dict with ``kmers``/``tiles`` rebuilt as raw
+    :class:`CountHash` tables, the ``read_kmer_keys``/``read_tile_keys``
+    unions, and the geometry/identity scalars for validation."""
+    with np.load(path) as data:
+        fmt = str(data["format"])
+        if fmt != _SESSION_FORMAT:
+            raise SpectrumError(
+                f"{path}: unsupported session format {fmt!r} "
+                f"(expected {_SESSION_FORMAT!r})"
+            )
+        kmers = CountHash(capacity=2 * max(1, data["kmer_keys"].shape[0]))
+        kmers.add_counts(
+            data["kmer_keys"], data["kmer_counts"].astype(np.uint64)
+        )
+        tiles = CountHash(capacity=2 * max(1, data["tile_keys"].shape[0]))
+        tiles.add_counts(
+            data["tile_keys"], data["tile_counts"].astype(np.uint64)
+        )
+        out = {
+            "kmers": kmers,
+            "tiles": tiles,
+            "read_kmer_keys": data["read_kmer_keys"].astype(np.uint64),
+            "read_tile_keys": data["read_tile_keys"].astype(np.uint64),
+            "k": int(data["k"]),
+            "overlap": int(data["overlap"]),
+            "nranks": int(data["nranks"]),
+            "rank": int(data["rank"]),
+            "n_ingests": int(data["n_ingests"]),
         }
     return out

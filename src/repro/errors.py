@@ -29,6 +29,11 @@ class SpectrumError(ReproError):
     """Spectrum construction or lookup failed (bad k, empty input, ...)."""
 
 
+class SessionError(ReproError):
+    """A correction-session operation was used out of protocol (e.g.
+    ingest after a one-shot finalize, or checkpoint without raw state)."""
+
+
 class HashTableError(ReproError):
     """An open-addressing table operation failed (e.g. table is full)."""
 

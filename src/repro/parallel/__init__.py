@@ -47,7 +47,37 @@ from repro.parallel.lookup import (
 from repro.parallel.prefetch import PrefetchEndpoint
 from repro.parallel.memory import RankMemoryReport
 from repro.parallel.report import run_report, write_run_report
-from repro.parallel.driver import ParallelReptile, ParallelRunResult, RankReport
+from repro.parallel.session import (
+    CheckpointOp,
+    CorrectionSession,
+    CorrectOp,
+    IngestOp,
+    SessionRankReport,
+)
+from repro.parallel.stages import (
+    BuildStage,
+    CorrectStage,
+    FileInputStage,
+    PlanConfig,
+    RedistributeStage,
+    SliceInputStage,
+    SpectrumExchangeStage,
+    Stage,
+    StageContext,
+    StagePlan,
+    WriteBackStage,
+    build_only_plan,
+    dynamic_plan,
+    files_plan,
+    static_plan,
+)
+from repro.parallel.driver import (
+    ParallelReptile,
+    ParallelRunResult,
+    ParallelSession,
+    RankReport,
+    SessionRunResult,
+)
 
 __all__ = [
     "HeuristicConfig",
@@ -76,5 +106,27 @@ __all__ = [
     "write_run_report",
     "ParallelReptile",
     "ParallelRunResult",
+    "ParallelSession",
     "RankReport",
+    "SessionRunResult",
+    "CorrectionSession",
+    "SessionRankReport",
+    "IngestOp",
+    "CorrectOp",
+    "CheckpointOp",
+    "Stage",
+    "StageContext",
+    "StagePlan",
+    "PlanConfig",
+    "SliceInputStage",
+    "FileInputStage",
+    "RedistributeStage",
+    "BuildStage",
+    "SpectrumExchangeStage",
+    "CorrectStage",
+    "WriteBackStage",
+    "static_plan",
+    "files_plan",
+    "build_only_plan",
+    "dynamic_plan",
 ]

@@ -9,6 +9,14 @@ after every chunk of reads — the reads tables never hold more than one
 chunk's keys, which is what fits the human dataset in 512 MB/rank — with an
 ``MPI_Reduce``-style maximum so every rank participates in the same number
 of collective rounds.
+
+Since the stage/session refactor the build machinery lives here as
+reusable pieces — :func:`accumulate_block`, :func:`fetch_read_table`,
+:func:`apply_replication` — and the classic one-call build,
+:func:`build_rank_spectra`, is a thin wrapper over a one-shot
+:class:`~repro.parallel.session.CorrectionSession` (ingest once,
+finalize once), so the incremental and the batch path share one
+implementation and stay bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from repro.hashing.counthash import CountHash
 from repro.hashing.inthash import mix_to_rank
 from repro.io.records import ReadBlock
 from repro.kmer.tiles import TileShape
-from repro.parallel.exchange import exchange_counts, fetch_global_counts
+from repro.parallel.exchange import fetch_global_counts
 from repro.parallel.heuristics import HeuristicConfig
 from repro.simmpi.communicator import Communicator
 from repro.util.timer import PhaseTimer
@@ -115,118 +123,80 @@ def build_rank_spectra(
 
     Collective: every rank must call this with its own block.  The
     heuristics control batching, reads-table retention and replication.
+    Implemented as a one-shot session (ingest + finalize), which is why
+    the incremental :meth:`~repro.parallel.session.CorrectionSession.ingest`
+    path reproduces this builder's counts exactly.
     """
-    timer = timer or PhaseTimer()
-    shape = config.tile_shape
-    spectra = RankSpectra(shape=shape, rank=comm.rank, nranks=comm.size)
-    reads_kmers = CountHash()
-    reads_tiles = CountHash()
+    # Runtime import: session.py builds on this module's helpers.
+    from repro.parallel.session import CorrectionSession
 
-    with timer.phase("kmer_construction"):
-        def note_peak() -> None:
-            footprint = spectra.nbytes + reads_kmers.nbytes + reads_tiles.nbytes
-            if footprint > spectra.peak_construction_bytes:
-                spectra.peak_construction_bytes = footprint
-
-        if heuristics.batch_reads:
-            n_batches = _n_batches(len(block), config.chunk_size)
-            max_batches = comm.allreduce(n_batches, op=max)
-            chunk_iter = list(block.chunks(config.chunk_size))
-            for b in range(max_batches):
-                chunk = chunk_iter[b] if b < len(chunk_iter) else ReadBlock.empty()
-                _accumulate(chunk, shape, comm.rank, comm.size,
-                            spectra, reads_kmers, reads_tiles,
-                            config.count_reverse_complement)
-                note_peak()
-                # Every rank joins every round's exchange even when out of
-                # reads, because alltoallv is collective.
-                exchange_counts(comm, reads_kmers, spectra.kmers)
-                exchange_counts(comm, reads_tiles, spectra.tiles)
-                reads_kmers.clear()
-                reads_tiles.clear()
-        else:
-            _accumulate(block, shape, comm.rank, comm.size,
-                        spectra, reads_kmers, reads_tiles,
-                        config.count_reverse_complement)
-            note_peak()
-            exchange_counts(comm, reads_kmers, spectra.kmers)
-            exchange_counts(comm, reads_tiles, spectra.tiles)
-            reads_kmers.clear()
-            reads_tiles.clear()
-        note_peak()
-
-        # Owners now hold true global counts; apply the thresholds.
-        spectra.kmers.filter_below(config.kmer_threshold)
-        spectra.tiles.filter_below(config.tile_threshold)
-
-        _apply_read_tables(comm, block, config, heuristics, spectra)
-        _apply_replication(comm, heuristics, spectra)
-
-    return spectra
+    session = CorrectionSession(
+        comm, config, heuristics, retain_raw=False, timer=timer
+    )
+    session.ingest(block)
+    session.finalize()
+    return session.spectra
 
 
-def _n_batches(n_reads: int, chunk_size: int) -> int:
+def n_batches(n_reads: int, chunk_size: int) -> int:
+    """Batch-reads rounds a rank needs for ``n_reads`` (0 when empty)."""
     return (n_reads + chunk_size - 1) // chunk_size if n_reads else 0
 
 
-def _accumulate(
+def accumulate_block(
     block: ReadBlock,
     shape: TileShape,
     rank: int,
     nranks: int,
-    spectra: RankSpectra,
+    owned_kmers: CountHash,
+    owned_tiles: CountHash,
     reads_kmers: CountHash,
     reads_tiles: CountHash,
     count_reverse_complement: bool = False,
 ) -> None:
+    """Step II for one block: split its k-mer/tile ids by ownership.
+
+    Owned ids accumulate into ``owned_kmers``/``owned_tiles``; non-owned
+    ids into the transient ``reads_kmers``/``reads_tiles`` awaiting the
+    owner-routed exchange.
+    """
     if len(block) == 0:
         return
     kids, kvalid = block_kmer_ids(block, shape)
     flat_k = block_window_ids_both_strands(
         kids, kvalid, shape.k, count_reverse_complement
     )
-    _split_flat_by_ownership(flat_k, rank, nranks, spectra.kmers, reads_kmers)
+    _split_flat_by_ownership(flat_k, rank, nranks, owned_kmers, reads_kmers)
     tids, tvalid = block_tile_ids(block, shape)
     flat_t = block_window_ids_both_strands(
         tids, tvalid, shape.length, count_reverse_complement
     )
-    _split_flat_by_ownership(flat_t, rank, nranks, spectra.tiles, reads_tiles)
+    _split_flat_by_ownership(flat_t, rank, nranks, owned_tiles, reads_tiles)
 
 
-def _apply_read_tables(
-    comm: Communicator,
-    block: ReadBlock,
-    config: ReptileConfig,
-    heuristics: HeuristicConfig,
-    spectra: RankSpectra,
-) -> None:
-    """Read k-mers/tiles heuristic: fetch global counts for my reads' keys.
+def fetch_read_table(
+    comm: Communicator, keys: np.ndarray, owned: CountHash
+) -> CountHash:
+    """Read k-mers/tiles heuristic: a global-count cache for ``keys``.
 
     "an additional collective communication step is needed where each rank
     sends the k-mers it does not own to the owning rank, requesting the
     global count" — globally absent (sub-threshold) keys are cached with
     count 0, so correction-time lookups can answer *absent* locally too.
+    Keys this rank owns are filtered out (the owned shard already answers
+    them); collective.
     """
-    shape = config.tile_shape
-    if heuristics.read_kmers:
-        kids, kvalid = block_kmer_ids(block, shape)
-        flat = np.unique(kids[kvalid]) if len(block) else np.empty(0, np.uint64)
-        not_mine = flat[mix_to_rank(flat, comm.size) != comm.rank] if flat.size else flat
-        keys, counts = fetch_global_counts(comm, not_mine, spectra.kmers)
-        cache = CountHash(capacity=max(64, 2 * keys.size))
-        cache.add_counts(keys, counts)
-        spectra.reads_kmers = cache
-    if heuristics.read_tiles:
-        tids, tvalid = block_tile_ids(block, shape)
-        flat = np.unique(tids[tvalid]) if len(block) else np.empty(0, np.uint64)
-        not_mine = flat[mix_to_rank(flat, comm.size) != comm.rank] if flat.size else flat
-        keys, counts = fetch_global_counts(comm, not_mine, spectra.tiles)
-        cache = CountHash(capacity=max(64, 2 * keys.size))
-        cache.add_counts(keys, counts)
-        spectra.reads_tiles = cache
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    not_mine = (
+        keys[mix_to_rank(keys, comm.size) != comm.rank] if keys.size else keys
+    )
+    fetched, counts = fetch_global_counts(comm, not_mine, owned)
+    cache = CountHash(capacity=max(64, 2 * fetched.size))
+    cache.add_counts(fetched, counts)
+    return cache
 
 
-def _apply_replication(
+def apply_replication(
     comm: Communicator,
     heuristics: HeuristicConfig,
     spectra: RankSpectra,

@@ -12,6 +12,13 @@ blocking (or resilient) wire protocol.  See ``docs/RUNTIME.md``.
 The same :class:`~repro.core.corrector.ReptileCorrector` used serially
 drives correction, so the distributed result is bit-identical to the
 serial reference on the same spectra.
+
+:func:`correct_distributed` is the classic one-shot entry point.  Since
+the session refactor it is a thin wrapper: it seals the prebuilt spectra
+into a :class:`~repro.parallel.session.CorrectionSession`
+(:meth:`~repro.parallel.session.CorrectionSession.from_spectra`) and runs
+one correction round, so the one-shot path and the long-lived session
+path execute literally the same code.
 """
 
 from __future__ import annotations
@@ -19,14 +26,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import ReptileConfig
-from repro.core.corrector import CorrectionResult, ReptileCorrector
-from repro.errors import ConfigError
+from repro.core.corrector import CorrectionResult
 from repro.io.records import ReadBlock
 from repro.parallel.build import RankSpectra
 from repro.parallel.heuristics import HeuristicConfig
-from repro.parallel.lookup.planner import PrefetchExecutor
 from repro.parallel.lookup.stack import StackPair, compile_stacks
-from repro.parallel.recovery import RecoveryState, replicate_state
 from repro.parallel.server import CorrectionProtocol
 from repro.simmpi.communicator import Communicator
 from repro.util.timer import PhaseTimer
@@ -91,116 +95,10 @@ def correct_distributed(
     so the run's corrected output stays bit-identical to the fault-free
     reference.
     """
+    from repro.parallel.session import CorrectionSession
+
     timer = timer or PhaseTimer()
-    plan = comm.fault_plan
-    resilient = plan is not None and plan.needs_resilient_lookups
-    if comm_thread and resilient:
-        raise ConfigError(
-            "comm_thread=True cannot combine with a FaultPlan that drops "
-            "frames or crashes ranks; use the pump-mode protocol"
-        )
-    recovery = RecoveryState()
-    if plan is not None and plan.doomed_ranks():
-        recovery = replicate_state(comm, plan, spectra, block)
-    injector = comm.fault_injector
-    if injector is not None:
-        # Scripted crash/stall triggers count communication events only
-        # from here on — replication traffic above must stay reliable.
-        injector.enter_phase(comm.rank, "correction")
-    if comm_thread:
-        from repro.parallel.commthread import CommThreadProtocol
-
-        # Under prefetch the endpoint's handlers must be registered
-        # before the thread serves its first message (a fast peer's
-        # prefetch request could arrive that early), so start deferred.
-        protocol = CommThreadProtocol(
-            comm,
-            owned_kmers=spectra.kmers,
-            owned_tiles=spectra.tiles,
-            universal=heuristics.universal,
-            autostart=not heuristics.use_prefetch,
-        )
-    else:
-        protocol = CorrectionProtocol(
-            comm,
-            owned_kmers=spectra.kmers,
-            owned_tiles=spectra.tiles,
-            universal=heuristics.universal,
-            faults=plan,
-        )
-    # Recovery as a re-bind: each ward replica this rank holds becomes
-    # part of its serving shard, so every protocol path (pump, comm
-    # thread, prefetch endpoint) answers for the ward with no special
-    # casing — see repro.parallel.lookup.routing.ShardServer.
-    for ward, (ward_kmers, ward_tiles) in recovery.replicas.items():
-        protocol.shards.bind_ward(ward, ward_kmers, ward_tiles)
-    view = DistributedSpectrumView(comm, spectra, heuristics, protocol, timer)
-    corrector = ReptileCorrector(config, view)
-
-    results: list[CorrectionResult] = []
-    with timer.phase("error_correction"):
-        chunks = list(block.chunks(config.chunk_size)) if len(block) else []
-        executor = None
-        if heuristics.use_prefetch:
-            # Bulk-prefetch engine: plan, fetch, and pipeline so the
-            # corrector itself never blocks on request_counts.
-            executor = PrefetchExecutor(
-                comm, config, heuristics, spectra, protocol, timer
-            )
-            if comm_thread:
-                protocol.start()
-            results = executor.run(chunks)
-        else:
-            for chunk in chunks:
-                results.append(corrector.correct_block(chunk))
-                if not comm_thread:
-                    # Give the "communication thread" a turn between
-                    # chunks even if this chunk needed no remote lookups.
-                    while protocol.pump(block=False):
-                        pass
-        if plan is not None and comm.rank in plan.doomed_ranks():
-            # Surviving one's own scripted crash means the plan was
-            # mis-calibrated (after_events beyond the rank's event
-            # count): the partner would replay these reads *as well*.
-            raise ConfigError(
-                f"rank {comm.rank} finished correction but its scripted "
-                "crash never fired; lower the fault's after_events"
-            )
-        # Re-own and replay each dead ward's reads from the replica.
-        # The ward's owned ids resolve from the held replica tables; the
-        # rest go through the same (resilient) lookup ladder, so the
-        # replayed output is identical to what the ward would have
-        # produced.  Replay precedes finish(): peers are still serving.
-        for ward in sorted(recovery.ward_blocks):
-            wblock = recovery.ward_blocks[ward]
-            comm.stats.bump("takeover_reads", len(wblock))
-            wchunks = (
-                list(wblock.chunks(config.chunk_size)) if len(wblock) else []
-            )
-            if executor is not None:
-                results.extend(executor.run(wchunks))
-            else:
-                for chunk in wchunks:
-                    results.append(corrector.correct_block(chunk))
-                    while protocol.pump(block=False):
-                        pass
-        protocol.finish()
-
-    if not results:
-        empty = ReadBlock.empty(block.max_length)
-        return CorrectionResult(
-            block=empty,
-            corrections_per_read=np.empty(0, dtype=np.int64),
-            reads_reverted=np.empty(0, dtype=bool),
-            tiles_examined=0,
-            tiles_below_threshold=0,
-        )
-    return CorrectionResult(
-        block=ReadBlock.concat([r.block for r in results]),
-        corrections_per_read=np.concatenate(
-            [r.corrections_per_read for r in results]
-        ),
-        reads_reverted=np.concatenate([r.reads_reverted for r in results]),
-        tiles_examined=sum(r.tiles_examined for r in results),
-        tiles_below_threshold=sum(r.tiles_below_threshold for r in results),
+    session = CorrectionSession.from_spectra(
+        comm, config, heuristics, spectra, timer=timer
     )
+    return session.correct(block, timer=timer, comm_thread=comm_thread)

@@ -1,53 +1,61 @@
-"""Top-level distributed Reptile driver.
+"""Top-level distributed Reptile drivers.
 
 :class:`ParallelReptile` assembles the whole pipeline — Step I partitioned
 input, optional static load balancing, Steps II-III distributed spectrum
-construction, Step IV messaging correction — into one SPMD program and
-runs it on the chosen engine.  The result bundles everything the paper's
-figures measure: per-rank corrected reads, errors corrected, table sizes,
-memory footprints, phase timings and communication counters.
+construction, Step IV messaging correction — and runs it on the chosen
+engine.  Since the stage refactor each run flavour is a *plan selection*:
+a :class:`~repro.parallel.stages.StagePlan` composed from the shared
+stage executors in :mod:`repro.parallel.stages`, one picklable rank
+program per run.  The result bundles everything the paper's figures
+measure: per-rank corrected reads, errors corrected, table sizes, memory
+footprints, phase timings and communication counters.
+
+:class:`ParallelSession` is the long-lived counterpart: it drives a
+:class:`~repro.parallel.session.CorrectionSession` per rank through an
+op list (ingest / correct / checkpoint), so the spectrum is built once
+and corrected against repeatedly — or grown incrementally between
+corrections — with no rebuilds.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.config import ReptileConfig
 from repro.core.metrics import AccuracyReport, evaluate_correction
 from repro.datasets.reads import SimulatedDataset
 from repro.faults import FaultPlan
-from repro.io.partition import load_rank_block
 from repro.io.records import ReadBlock
-from repro.parallel.build import build_rank_spectra
-from repro.parallel.correct import correct_distributed
 from repro.parallel.heuristics import HeuristicConfig
-from repro.parallel.loadbalance import redistribute_reads
-from repro.parallel.memory import RankMemoryReport
+from repro.parallel.session import (
+    CheckpointOp,
+    CorrectOp,
+    IngestOp,
+    SessionOp,
+    SessionProgram,
+    SessionRankReport,
+)
+from repro.parallel.stages import (
+    PlanConfig,
+    RankReport,
+    StagePlan,
+    build_only_plan,
+    dynamic_plan,
+    empty_rank_report,
+    files_plan,
+    slice_bounds,
+    static_plan,
+)
 from repro.simmpi.engine import Engine, run_spmd
-from repro.simmpi.instrument import CommStats
-from repro.util.timer import PhaseTimer
+from repro.simmpi.instrument import SESSION_COUNTERS, CommStats
 
-
-@dataclass
-class RankReport:
-    """Everything one rank reports back from an SPMD run."""
-
-    rank: int
-    block: ReadBlock
-    corrections_per_read: np.ndarray
-    reads_reverted: int
-    tiles_examined: int
-    tiles_below_threshold: int
-    timings: dict[str, float]
-    memory: RankMemoryReport
-    table_sizes: dict[str, int]
-
-    @property
-    def errors_corrected(self) -> int:
-        """Substitutions applied by this rank (Fig. 4's per-rank series)."""
-        return int(self.corrections_per_read.sum())
+#: Backwards-compatible alias: the bounds helper moved to the stages
+#: module with the report type; old imports keep working.
+_slice_bounds = slice_bounds
 
 
 @dataclass
@@ -81,29 +89,29 @@ class ParallelRunResult:
     def total_corrections(self) -> int:
         return sum(r.errors_corrected for r in self.reports)
 
-    def corrections_per_rank(self) -> np.ndarray:
+    def corrections_per_rank(self) -> NDArray[np.int64]:
         """Errors corrected by each rank (the Fig. 4 imbalance signal)."""
         return np.array([r.errors_corrected for r in self.reports], dtype=np.int64)
 
-    def reads_per_rank(self) -> np.ndarray:
+    def reads_per_rank(self) -> NDArray[np.int64]:
         """Number of reads each rank corrected."""
         return np.array([len(r.block) for r in self.reports], dtype=np.int64)
 
-    def table_sizes_per_rank(self, table: str = "kmers") -> np.ndarray:
+    def table_sizes_per_rank(self, table: str = "kmers") -> NDArray[np.int64]:
         """Entries in a named table on each rank (the Fig. 3 series)."""
         return np.array(
             [r.table_sizes.get(table, 0) for r in self.reports], dtype=np.int64
         )
 
-    def memory_per_rank(self) -> np.ndarray:
+    def memory_per_rank(self) -> NDArray[np.int64]:
         """Peak table bytes on each rank (Fig. 5's footprint metric)."""
         return np.array([r.memory.peak for r in self.reports], dtype=np.int64)
 
-    def counter_per_rank(self, name: str) -> np.ndarray:
+    def counter_per_rank(self, name: str) -> NDArray[np.int64]:
         """A protocol counter (e.g. 'remote_tile_lookups') on each rank."""
         return np.array([s.get(name) for s in self.stats], dtype=np.int64)
 
-    def timing_per_rank(self, phase: str) -> np.ndarray:
+    def timing_per_rank(self, phase: str) -> NDArray[np.float64]:
         """Measured wall seconds of a phase on each rank."""
         return np.array(
             [r.timings.get(phase, 0.0) for r in self.reports], dtype=np.float64
@@ -113,22 +121,27 @@ class ParallelRunResult:
         """Score against a simulated dataset's ground truth."""
         return evaluate_correction(dataset, self.corrected_block)
 
-    def write_outputs(self, fasta_path: str, quality_path: str | None = None) -> int:
+    def write_outputs(
+        self,
+        fasta_path: str | os.PathLike[str],
+        quality_path: str | os.PathLike[str] | None = None,
+    ) -> int:
         """Write the corrected reads (and optionally their qualities).
 
-        Sequence numbers are preserved from the input, so the output lines
-        up record-for-record with the original files.  Returns the number
-        of reads written.
+        Both paths accept anything path-like (``str`` or
+        ``pathlib.Path``).  Sequence numbers are preserved from the
+        input, so the output lines up record-for-record with the
+        original files.  Returns the number of reads written.
         """
         from repro.io.fasta import write_fasta
         from repro.io.quality import write_quality
 
         block = self.corrected_block
         start = int(block.ids[0]) if len(block) else 1
-        n = write_fasta(fasta_path, block.to_strings(), start_id=start)
+        n = write_fasta(os.fspath(fasta_path), block.to_strings(), start_id=start)
         if quality_path is not None:
             write_quality(
-                quality_path,
+                os.fspath(quality_path),
                 [
                     block.quals[i, : block.lengths[i]].tolist()
                     for i in range(len(block))
@@ -138,175 +151,35 @@ class ParallelRunResult:
         return n
 
 
-def _slice_bounds(n: int, nranks: int) -> list[int]:
-    """Contiguous per-rank chunk bounds (the paper's byte partitioning)."""
-    return [n * r // nranks for r in range(nranks + 1)]
-
-
-def _pipeline(
-    comm,
-    mine: ReadBlock,
-    timer: PhaseTimer,
-    config: ReptileConfig,
-    heuristics: HeuristicConfig,
+def _validate_run_params(
+    nranks: int,
+    engine: Engine | str,
     comm_thread: bool,
-) -> RankReport:
-    """Steps II-IV on one rank's reads (after Step I input loading)."""
-    if heuristics.load_balance:
-        with timer.phase("load_balance"):
-            mine = redistribute_reads(comm, mine)
-    spectra = build_rank_spectra(comm, mine, config, heuristics, timer)
-    memory = RankMemoryReport.capture(
-        comm.rank, spectra, mine, phase="construction"
-    )
-    result = correct_distributed(
-        comm, mine, config, heuristics, spectra, timer,
-        comm_thread=comm_thread,
-    )
-    RankMemoryReport.capture(
-        comm.rank, spectra, mine, phase="correction", into=memory
-    )
-    return RankReport(
-        rank=comm.rank,
-        block=result.block,
-        corrections_per_read=result.corrections_per_read,
-        reads_reverted=int(result.reads_reverted.sum()),
-        tiles_examined=result.tiles_examined,
-        tiles_below_threshold=result.tiles_below_threshold,
-        timings=timer.as_dict(),
-        memory=memory,
-        table_sizes=spectra.table_sizes,
-    )
+    faults: FaultPlan | None,
+) -> None:
+    """The shared driver-construction checks (both driver classes)."""
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    if comm_thread:
+        from repro.simmpi.engine import ProcessEngine, ThreadedEngine
 
-
-# ----------------------------------------------------------------------
-# Rank programs.  These are module-level picklable callables rather than
-# closures inside ParallelReptile: the process engine ships each rank's
-# program to a spawned interpreter by pickle, and a closure cannot make
-# that trip.  Every engine runs the same program objects.
-# ----------------------------------------------------------------------
-@dataclass
-class _StaticProgram:
-    """Static scheme: a contiguous slice of the block, full pipeline."""
-
-    config: ReptileConfig
-    heuristics: HeuristicConfig
-    comm_thread: bool
-    block: ReadBlock
-    bounds: list[int]
-
-    def __call__(self, comm) -> RankReport:
-        timer = PhaseTimer()
-        with timer.phase("read_input"):
-            mine = self.block.slice(
-                self.bounds[comm.rank], self.bounds[comm.rank + 1]
+        concurrent = engine in ("threaded", "process") or isinstance(
+            engine, (ThreadedEngine, ProcessEngine)
+        )
+        if not concurrent:
+            raise ValueError(
+                "comm_thread=True (the paper's two-thread Step IV) "
+                "requires the threaded or process engine"
             )
-        return _pipeline(comm, mine, timer, self.config, self.heuristics,
-                         self.comm_thread)
+    if faults is not None:
+        faults.validate(nranks)
+        if comm_thread and faults.needs_resilient_lookups:
+            from repro.errors import ConfigError
 
-
-@dataclass
-class _FilesProgram:
-    """Static scheme over a fasta (+ quality) file pair (Step I)."""
-
-    config: ReptileConfig
-    heuristics: HeuristicConfig
-    comm_thread: bool
-    fasta_path: str
-    quality_path: str | None
-
-    def __call__(self, comm) -> RankReport:
-        timer = PhaseTimer()
-        with timer.phase("read_input"):
-            mine = load_rank_block(
-                self.fasta_path, self.quality_path, comm.size, comm.rank
+            raise ConfigError(
+                "comm_thread=True cannot combine with a FaultPlan "
+                "that drops frames or crashes ranks"
             )
-        return _pipeline(comm, mine, timer, self.config, self.heuristics,
-                         self.comm_thread)
-
-
-@dataclass
-class _BuildOnlyProgram:
-    """Steps I-III only (no correction) — for spectrum studies."""
-
-    config: ReptileConfig
-    heuristics: HeuristicConfig
-    block: ReadBlock
-    bounds: list[int]
-
-    def __call__(self, comm) -> RankReport:
-        timer = PhaseTimer()
-        with timer.phase("read_input"):
-            mine = self.block.slice(
-                self.bounds[comm.rank], self.bounds[comm.rank + 1]
-            )
-        if self.heuristics.load_balance:
-            with timer.phase("load_balance"):
-                mine = redistribute_reads(comm, mine)
-        spectra = build_rank_spectra(
-            comm, mine, self.config, self.heuristics, timer
-        )
-        memory = RankMemoryReport.capture(
-            comm.rank, spectra, mine, phase="construction"
-        )
-        return RankReport(
-            rank=comm.rank,
-            block=mine,
-            corrections_per_read=np.zeros(len(mine), dtype=np.int64),
-            reads_reverted=0,
-            tiles_examined=0,
-            tiles_below_threshold=0,
-            timings=timer.as_dict(),
-            memory=memory,
-            table_sizes=spectra.table_sizes,
-        )
-
-
-@dataclass
-class _DynamicProgram:
-    """The prior work's dynamic master-worker allocation ablation."""
-
-    config: ReptileConfig
-    heuristics: HeuristicConfig
-    block: ReadBlock
-    bounds: list[int]
-
-    def __call__(self, comm) -> RankReport:
-        from repro.parallel.dynamicbalance import correct_dynamic
-
-        timer = PhaseTimer()
-        with timer.phase("read_input"):
-            mine = self.block.slice(
-                self.bounds[comm.rank], self.bounds[comm.rank + 1]
-            )
-        spectra = build_rank_spectra(
-            comm, mine, self.config, self.heuristics, timer
-        )
-        memory = RankMemoryReport.capture(
-            comm.rank, spectra, mine, phase="construction"
-        )
-        with timer.phase("error_correction"):
-            result = correct_dynamic(
-                comm,
-                self.block if comm.rank == 0 else None,
-                self.config,
-                self.heuristics,
-                spectra,
-            )
-        RankMemoryReport.capture(
-            comm.rank, spectra, mine, phase="correction", into=memory
-        )
-        return RankReport(
-            rank=comm.rank,
-            block=result.block,
-            corrections_per_read=result.corrections_per_read,
-            reads_reverted=int(result.reads_reverted.sum()),
-            tiles_examined=result.tiles_examined,
-            tiles_below_threshold=result.tiles_below_threshold,
-            timings=timer.as_dict(),
-            memory=memory,
-            table_sizes=spectra.table_sizes,
-        )
 
 
 class ParallelReptile:
@@ -347,34 +220,20 @@ class ParallelReptile:
         comm_thread: bool = False,
         faults: FaultPlan | None = None,
     ) -> None:
-        if nranks < 1:
-            raise ValueError("nranks must be >= 1")
-        if comm_thread:
-            from repro.simmpi.engine import ProcessEngine, ThreadedEngine
-
-            concurrent = engine in ("threaded", "process") or isinstance(
-                engine, (ThreadedEngine, ProcessEngine)
-            )
-            if not concurrent:
-                raise ValueError(
-                    "comm_thread=True (the paper's two-thread Step IV) "
-                    "requires the threaded or process engine"
-                )
-        if faults is not None:
-            faults.validate(nranks)
-            if comm_thread and faults.needs_resilient_lookups:
-                from repro.errors import ConfigError
-
-                raise ConfigError(
-                    "comm_thread=True cannot combine with a FaultPlan "
-                    "that drops frames or crashes ranks"
-                )
+        _validate_run_params(nranks, engine, comm_thread, faults)
         self.config = config
         self.heuristics = heuristics or HeuristicConfig()
         self.nranks = nranks
         self.engine = engine
         self.comm_thread = comm_thread
         self.faults = faults
+
+    def _plan_config(self) -> PlanConfig:
+        return PlanConfig(
+            config=self.config,
+            heuristics=self.heuristics,
+            comm_thread=self.comm_thread,
+        )
 
     # ------------------------------------------------------------------
     def run(self, block: ReadBlock) -> ParallelRunResult:
@@ -385,13 +244,7 @@ class ParallelReptile:
         what makes localized error bursts land on few ranks unless load
         balancing is on.
         """
-        return self._execute(_StaticProgram(
-            config=self.config,
-            heuristics=self.heuristics,
-            comm_thread=self.comm_thread,
-            block=block,
-            bounds=_slice_bounds(len(block), self.nranks),
-        ))
+        return self._execute(static_plan(self._plan_config(), block, self.nranks))
 
     def run_dynamic(self, block: ReadBlock) -> ParallelRunResult:
         """Correct with the prior work's dynamic master-worker allocation.
@@ -413,12 +266,7 @@ class ParallelReptile:
                 "the dynamic work-allocation ablation does not support "
                 "the prefetch heuristic"
             )
-        return self._execute(_DynamicProgram(
-            config=self.config,
-            heuristics=self.heuristics,
-            block=block,
-            bounds=_slice_bounds(len(block), self.nranks),
-        ))
+        return self._execute(dynamic_plan(self._plan_config(), block, self.nranks))
 
     def build_only(self, block: ReadBlock) -> ParallelRunResult:
         """Run Steps I-III only (no correction) — for spectrum studies.
@@ -427,27 +275,20 @@ class ParallelReptile:
         uncorrected; table sizes and memory reports reflect the built
         spectra.  Used by the Fig. 3 uniformity measurement.
         """
-        return self._execute(_BuildOnlyProgram(
-            config=self.config,
-            heuristics=self.heuristics,
-            block=block,
-            bounds=_slice_bounds(len(block), self.nranks),
-        ))
+        return self._execute(
+            build_only_plan(self._plan_config(), block, self.nranks)
+        )
 
     def run_files(self, fasta_path: str, quality_path: str | None) -> ParallelRunResult:
         """Correct a dataset from a fasta (+ quality) file pair (Step I)."""
-        return self._execute(_FilesProgram(
-            config=self.config,
-            heuristics=self.heuristics,
-            comm_thread=self.comm_thread,
-            fasta_path=fasta_path,
-            quality_path=quality_path,
-        ))
+        return self._execute(
+            files_plan(self._plan_config(), fasta_path, quality_path)
+        )
 
     # ------------------------------------------------------------------
-    def _execute(self, rank_fn) -> ParallelRunResult:
+    def _execute(self, plan: StagePlan) -> ParallelRunResult:
         spmd = run_spmd(
-            rank_fn, self.nranks, engine=self.engine, faults=self.faults
+            plan, self.nranks, engine=self.engine, faults=self.faults
         )
         reports: list[RankReport] = []
         crashed: list[int] = []
@@ -456,26 +297,14 @@ class ParallelReptile:
                 reports.append(report)
                 continue
             # A CrashedRank sentinel: the plan killed this rank mid-
-            # correction.  Its reads live on in the partner's report;
-            # stand in an empty placeholder so per-rank series keep
-            # one entry per rank.
+            # correction.  Its reads live on in the partner's report.
             crashed.append(r)
             width = 0
             for other in spmd.results:
                 if isinstance(other, RankReport):
                     width = other.block.max_length
                     break
-            reports.append(RankReport(
-                rank=r,
-                block=ReadBlock.empty(width),
-                corrections_per_read=np.empty(0, dtype=np.int64),
-                reads_reverted=0,
-                tiles_examined=0,
-                tiles_below_threshold=0,
-                timings={},
-                memory=RankMemoryReport(rank=r),
-                table_sizes={},
-            ))
+            reports.append(empty_rank_report(r, width))
         return ParallelRunResult(
             reports=reports,
             stats=spmd.stats,
@@ -483,3 +312,185 @@ class ParallelReptile:
             heuristics=self.heuristics,
             crashed_ranks=crashed,
         )
+
+
+@dataclass
+class SessionRunResult:
+    """Combined outcome of a session-driven run (an op sequence)."""
+
+    rank_reports: list[SessionRankReport | None]
+    stats: list[CommStats]
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    crashed_ranks: list[int] = field(default_factory=list)
+
+    @property
+    def nranks(self) -> int:
+        return len(self.rank_reports)
+
+    def _surviving(self) -> SessionRankReport:
+        for report in self.rank_reports:
+            if report is not None:
+                return report
+        raise ValueError("every rank crashed; the session has no results")
+
+    @property
+    def n_correct_ops(self) -> int:
+        """How many correct ops the session ran."""
+        return len(self._surviving().correct_blocks)
+
+    def result_for(self, index: int = 0) -> ParallelRunResult:
+        """The ``index``-th correct op's outcome as a classic run result.
+
+        Timings in the per-rank reports are that op's phase deltas, so
+        ``timing_per_rank("kmer_construction")`` on a repeat correction
+        shows the zero build time the session is for."""
+        survivor = self._surviving()
+        if not 0 <= index < len(survivor.correct_blocks):
+            raise IndexError(
+                f"correct op {index} out of range "
+                f"({len(survivor.correct_blocks)} ran)"
+            )
+        # Map the correct-op ordinal back to its position in the op
+        # list, where the per-op timing deltas are indexed.
+        op_pos = [
+            p for p, kind in enumerate(survivor.op_kinds) if kind == "correct"
+        ][index]
+        width = survivor.correct_blocks[index].max_length
+        reports: list[RankReport] = []
+        for r, rr in enumerate(self.rank_reports):
+            if rr is None:
+                reports.append(empty_rank_report(r, width))
+                continue
+            reports.append(RankReport(
+                rank=r,
+                block=rr.correct_blocks[index],
+                corrections_per_read=rr.correct_corrections[index],
+                reads_reverted=rr.correct_reverted[index],
+                tiles_examined=rr.correct_tiles_examined[index],
+                tiles_below_threshold=rr.correct_tiles_below[index],
+                timings=rr.op_timings[op_pos],
+                memory=rr.memory,
+                table_sizes=rr.table_sizes,
+            ))
+        return ParallelRunResult(
+            reports=reports,
+            stats=self.stats,
+            config=self.config,
+            heuristics=self.heuristics,
+            crashed_ranks=list(self.crashed_ranks),
+        )
+
+    def session_totals(self) -> dict[str, int]:
+        """The session counters summed over ranks (the report's
+        ``session`` section, straight from the ledger)."""
+        return {
+            name: sum(s.get(name) for s in self.stats)
+            for name in SESSION_COUNTERS
+        }
+
+    def spectrum_items(
+        self, rank: int
+    ) -> tuple[NDArray[np.uint64], NDArray[np.uint64],
+               NDArray[np.uint64], NDArray[np.uint64]]:
+        """One rank's captured serving tables (requires the run to have
+        been launched with ``capture_spectrum=True``)."""
+        report = self.rank_reports[rank]
+        if report is None:
+            raise ValueError(f"rank {rank} crashed; no spectrum captured")
+        if report.spectrum is None:
+            raise ValueError(
+                "run the session with capture_spectrum=True to keep "
+                "the serving tables"
+            )
+        return report.spectrum
+
+
+class ParallelSession:
+    """Driver for long-lived, incrementally-fed correction sessions.
+
+    Construction mirrors :class:`ParallelReptile`; :meth:`run` takes an
+    op sequence instead of one dataset:
+
+    >>> driver = ParallelSession(config, heuristics, nranks=4)
+    >>> out = driver.run([IngestOp(reads), CorrectOp(reads)])
+    >>> out.result_for(0).corrected_block      # == ParallelReptile.run
+
+    Each rank opens one :class:`~repro.parallel.session.CorrectionSession`
+    and feeds it the ops in order; repeated :class:`CorrectOp` entries
+    reuse the built spectrum with zero reconstruction.  Under a fault
+    plan with scripted crashes the crash round's :class:`CorrectOp` must
+    be the last op (a dead rank joins no further collectives).
+    """
+
+    def __init__(
+        self,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig | None = None,
+        nranks: int = 4,
+        engine: Engine | str = "cooperative",
+        comm_thread: bool = False,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        _validate_run_params(nranks, engine, comm_thread, faults)
+        self.config = config
+        self.heuristics = heuristics or HeuristicConfig()
+        self.nranks = nranks
+        self.engine = engine
+        self.comm_thread = comm_thread
+        self.faults = faults
+
+    def run(
+        self,
+        ops: "list[SessionOp] | tuple[SessionOp, ...]",
+        *,
+        resume_dir: str | None = None,
+        capture_spectrum: bool = False,
+    ) -> SessionRunResult:
+        """Run the op sequence on every rank (SPMD) and collect results.
+
+        ``resume_dir`` starts each rank's session from a
+        :class:`CheckpointOp` directory written by an earlier run;
+        ``capture_spectrum`` ships the final serving tables back in the
+        per-rank reports (for spectrum-identity checks)."""
+        ops = tuple(ops)
+        if not ops:
+            raise ValueError("a session run needs at least one op")
+        program = SessionProgram(
+            config=self.config,
+            heuristics=self.heuristics,
+            comm_thread=self.comm_thread,
+            ops=ops,
+            resume_dir=resume_dir,
+            capture_spectrum=capture_spectrum,
+        )
+        spmd = run_spmd(
+            program, self.nranks, engine=self.engine, faults=self.faults
+        )
+        rank_reports: list[SessionRankReport | None] = []
+        crashed: list[int] = []
+        for r, report in enumerate(spmd.results):
+            if isinstance(report, SessionRankReport):
+                rank_reports.append(report)
+            else:
+                crashed.append(r)
+                rank_reports.append(None)
+        return SessionRunResult(
+            rank_reports=rank_reports,
+            stats=spmd.stats,
+            config=self.config,
+            heuristics=self.heuristics,
+            crashed_ranks=crashed,
+        )
+
+
+__all__ = [
+    "CheckpointOp",
+    "CorrectOp",
+    "IngestOp",
+    "ParallelReptile",
+    "ParallelRunResult",
+    "ParallelSession",
+    "RankReport",
+    "SessionRunResult",
+]

@@ -70,6 +70,37 @@ def exchange_counts(
     return total
 
 
+def exchange_deltas(
+    comm: Communicator, table: CountHash, target: CountHash
+) -> int:
+    """The session DELTA exchange: route count deltas to their owners.
+
+    Identical wire pattern to :func:`exchange_counts` — one alltoallv,
+    keys+counts packed per destination — so a one-shot session build
+    moves exactly the frames a classic Step III build would.  Because
+    the exchange rides the collective tags, it is automatically reliable
+    under a :class:`~repro.faults.FaultPlan` (collectives never drop).
+    On top of the exchange it keeps the session ledger: every call bumps
+    ``session_delta_exchanges`` and charges the payload bytes routed to
+    *other* ranks to ``session_delta_bytes``.  Returns the number of
+    key/count pairs received.
+    """
+    keys, counts = table.items()
+    sendbufs = bucket_by_owner(keys, counts.astype(np.uint64), comm.size)
+    comm.stats.bump("session_delta_exchanges")
+    comm.stats.bump(
+        "session_delta_bytes",
+        sum(int(b.nbytes) for d, b in enumerate(sendbufs) if d != comm.rank),
+    )
+    received = comm.alltoallv(sendbufs)
+    total = 0
+    for buf in received:
+        rkeys, rcounts = unpack_pairs(buf)
+        target.add_counts(rkeys, rcounts)
+        total += rkeys.shape[0]
+    return total
+
+
 def fetch_global_counts(
     comm: Communicator, wanted: np.ndarray, owned: CountHash
 ) -> tuple[np.ndarray, np.ndarray]:

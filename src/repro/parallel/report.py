@@ -15,7 +15,11 @@ from typing import Any
 
 from repro.parallel.driver import ParallelRunResult
 from repro.parallel.lookup.stack import TIER_NAMES, resolution_order
-from repro.simmpi.instrument import LOOKUP_TIER_COUNTER_KINDS, RESILIENCE_COUNTERS
+from repro.simmpi.instrument import (
+    LOOKUP_TIER_COUNTER_KINDS,
+    RESILIENCE_COUNTERS,
+    SESSION_COUNTERS,
+)
 
 
 def run_report(result: ParallelRunResult) -> dict[str, Any]:
@@ -102,6 +106,12 @@ def run_report(result: ParallelRunResult) -> dict[str, Any]:
         # The whole prefetch_* counter family (hits, misses, dedup,
         # fetches, messages, replans, served) summed over ranks.
         "prefetch": total.prefixed("prefetch_"),
+        # Correction-session ledger (construction happens inside a
+        # session even for classic runs, so ingest/delta counters are
+        # populated on every run): ingest rounds, DELTA exchange rounds
+        # and foreign-destined delta bytes, serving-state recompiles —
+        # summed over ranks.  See SESSION_COUNTERS for the glossary.
+        "session": {name: total.get(name) for name in SESSION_COUNTERS},
         # Fault-injection and recovery counters (all zero on a
         # fault-free run); see RESILIENCE_COUNTERS for the glossary.
         "resilience": {

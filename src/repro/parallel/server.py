@@ -360,6 +360,29 @@ class CorrectionProtocol:
         )
 
     # ------------------------------------------------------------------
+    # session rounds
+    # ------------------------------------------------------------------
+    def reset_round(self) -> None:
+        """Re-arm the protocol for another correction round.
+
+        A :class:`~repro.parallel.session.CorrectionSession` keeps one
+        protocol alive across repeated ``correct()`` calls; after each
+        round's DONE/SHUTDOWN handshake this clears the round-local
+        termination and response state so the next round starts clean.
+        ``_req_seq`` deliberately keeps counting across rounds: a delayed
+        or duplicated frame from *any* earlier round then carries a stale
+        sequence number and is discarded, never mistaken for an answer to
+        the current round's request.
+        """
+        self._done_sent = False
+        self._shutdown = False
+        self._done_seen = 0
+        self._responses.clear()
+        self._resilient_pending.clear()
+        self._resilient_responses.clear()
+        self._active_seq = -1
+
+    # ------------------------------------------------------------------
     # termination
     # ------------------------------------------------------------------
     def finish(self) -> None:

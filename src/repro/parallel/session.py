@@ -1,0 +1,779 @@
+"""Long-lived per-rank correction sessions.
+
+A :class:`CorrectionSession` is the object ROADMAP item 2 asks for: it
+outlives a single run, owns one rank's share of the distributed spectra
+(the raw count shards, the compiled serving state, the Step IV protocol
+endpoint and its recovery bindings), and exposes the pipeline as three
+verbs instead of one fused program:
+
+* :meth:`ingest` — merge a block's k-mer/tile count *deltas* into the
+  distributed spectrum.  Owned deltas accumulate locally; foreign ones
+  travel to their owners over the reliable DELTA exchange
+  (:func:`~repro.parallel.exchange.exchange_deltas`), which rides the
+  same alltoallv frames as the classic Step III build.
+* :meth:`correct` — correct a block against the current spectrum,
+  repeatedly, with no rebuild in between: the serving tables, protocol
+  and compiled lookup stack persist across calls.
+* :meth:`checkpoint` / :meth:`resume` — persist the raw (pre-threshold)
+  state through :mod:`repro.core.persist` session bundles and pick the
+  session up in a later process.
+
+Serving state is *derived*: thresholds are lossy, so a resumable session
+keeps the unfiltered raw tables and recompiles the serving side (filter,
+read tables, replication, lookup stacks) at the next chunk boundary —
+:meth:`finalize`, run lazily by :meth:`correct`.  A **one-shot** session
+(``retain_raw=False``) skips the raw/serving split and accumulates
+straight into the serving tables, which is byte-for-byte the classic
+:func:`~repro.parallel.build.build_rank_spectra` build; that function is
+now literally ``ingest() + finalize()`` on a one-shot session, so the
+incremental path and the classic path cannot drift apart.
+
+Every mutating verb is collective: all ranks of the communicator must
+call it together, in the same order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.core.corrector import CorrectionResult, ReptileCorrector
+from repro.core.spectrum import block_kmer_ids, block_tile_ids
+from repro.errors import ConfigError, SessionError
+from repro.hashing.counthash import CountHash
+from repro.io.records import ReadBlock
+from repro.parallel.build import (
+    RankSpectra,
+    accumulate_block,
+    apply_replication,
+    fetch_read_table,
+    n_batches,
+)
+from repro.parallel.exchange import exchange_deltas
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.loadbalance import redistribute_reads
+from repro.parallel.lookup.planner import PrefetchExecutor
+from repro.parallel.lookup.stack import StackPair, compile_stacks
+from repro.parallel.memory import RankMemoryReport
+from repro.parallel.recovery import RecoveryState, replicate_state
+from repro.parallel.server import CorrectionProtocol
+from repro.simmpi.communicator import Communicator
+from repro.util.timer import PhaseTimer
+
+
+class _StackView:
+    """The corrector's spectrum interface over a compiled tier stack.
+
+    The session's internal twin of
+    :class:`~repro.parallel.correct.DistributedSpectrumView` (which
+    compiles its own stack and stays put for external callers); this one
+    wraps a stack the session already owns."""
+
+    def __init__(self, stacks: StackPair) -> None:
+        self.stacks = stacks
+
+    def kmer_counts(self, ids: np.ndarray) -> np.ndarray:
+        return self.stacks.kmers.counts(ids)
+
+    def tile_counts(self, ids: np.ndarray) -> np.ndarray:
+        return self.stacks.tiles.counts(ids)
+
+
+class CorrectionSession:
+    """One rank's long-lived endpoint in the distributed spectrum.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator (fault plan and ledger included).
+    config / heuristics:
+        Algorithm parameters and execution heuristics, fixed for the
+        session's lifetime.
+    retain_raw:
+        ``True`` (the session default) keeps the raw pre-threshold
+        tables alongside the serving tables, so the session can keep
+        ingesting after a finalize and can checkpoint/resume.
+        ``False`` builds a **one-shot** session: accumulation happens
+        directly in the serving tables (the classic build, byte for
+        byte), a single finalize seals them, and further ingests raise
+        :class:`~repro.errors.SessionError`.
+    timer:
+        Default :class:`~repro.util.timer.PhaseTimer` phases accumulate
+        into (each verb also accepts a per-call override).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig | None = None,
+        *,
+        retain_raw: bool = True,
+        timer: PhaseTimer | None = None,
+    ) -> None:
+        self.comm = comm
+        self.config = config
+        self.heuristics = heuristics or HeuristicConfig()
+        self.retain_raw = retain_raw
+        self.timer = timer or PhaseTimer()
+        shape = config.tile_shape
+        self._shape = shape
+        if retain_raw:
+            #: Raw, unfiltered owned counts — the durable truth.
+            self.raw_kmers = CountHash()
+            self.raw_tiles = CountHash()
+            self._spectra: RankSpectra | None = None
+        else:
+            # One-shot: the serving tables ARE the accumulation target,
+            # exactly as in the classic builder.
+            self._spectra = RankSpectra(
+                shape=shape, rank=comm.rank, nranks=comm.size
+            )
+            self.raw_kmers = self._spectra.kmers
+            self.raw_tiles = self._spectra.tiles
+        #: Union of the rank's reads' unique k-mer/tile ids, accumulated
+        #: per ingest (the read-table heuristics fetch counts for these).
+        self._read_kmer_keys = np.empty(0, dtype=np.uint64)
+        self._read_tile_keys = np.empty(0, dtype=np.uint64)
+        self._peak = 0
+        self._dirty = False
+        self._sealed = False  # one-shot sessions seal at finalize
+        self._ingest_count = 0
+        self._protocol: CorrectionProtocol | None = None
+        self._stacks: StackPair | None = None
+        self._stack_timer: PhaseTimer | None = None
+        self._recovery: RecoveryState | None = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spectra(
+        cls,
+        comm: Communicator,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig | None,
+        spectra: RankSpectra,
+        *,
+        timer: PhaseTimer | None = None,
+    ) -> "CorrectionSession":
+        """Wrap already-finalized spectra in a one-shot session.
+
+        This is how :func:`~repro.parallel.correct.correct_distributed`
+        keeps its public signature: callers with prebuilt spectra get a
+        sealed session whose :meth:`correct` runs immediately."""
+        session = cls(comm, config, heuristics, retain_raw=False, timer=timer)
+        session._spectra = spectra
+        session.raw_kmers = spectra.kmers
+        session.raw_tiles = spectra.tiles
+        session._sealed = True
+        session._peak = spectra.peak_construction_bytes
+        return session
+
+    @classmethod
+    def resume(
+        cls,
+        comm: Communicator,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig | None,
+        directory: str | os.PathLike,
+        *,
+        timer: PhaseTimer | None = None,
+    ) -> "CorrectionSession":
+        """Rebuild a session from a :meth:`checkpoint` directory.
+
+        Collective; every rank loads its own ``rank<r>.npz`` bundle.  The
+        bundle's geometry and rank count must match this session's — a
+        spectrum sharded for a different ``nranks`` or built with a
+        different tiling is not reinterpretable."""
+        from repro.core.persist import load_session_bundle
+
+        session = cls(comm, config, heuristics, retain_raw=True, timer=timer)
+        bundle = load_session_bundle(
+            os.path.join(os.fspath(directory), f"rank{comm.rank}.npz")
+        )
+        shape = config.tile_shape
+        if bundle["nranks"] != comm.size:
+            raise SessionError(
+                f"checkpoint was taken with {bundle['nranks']} ranks; "
+                f"cannot resume on {comm.size} (keys are owner-sharded)"
+            )
+        if bundle["k"] != shape.k or bundle["overlap"] != shape.overlap:
+            raise SessionError(
+                f"checkpoint tiling (k={bundle['k']}, "
+                f"overlap={bundle['overlap']}) does not match the "
+                f"session config (k={shape.k}, overlap={shape.overlap})"
+            )
+        session.raw_kmers = bundle["kmers"]
+        session.raw_tiles = bundle["tiles"]
+        session._read_kmer_keys = bundle["read_kmer_keys"]
+        session._read_tile_keys = bundle["read_tile_keys"]
+        session._ingest_count = bundle["n_ingests"]
+        session._dirty = True
+        return session
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def spectra(self) -> RankSpectra:
+        """The serving-side spectra (finalize must have run)."""
+        if self._spectra is None:
+            raise SessionError(
+                "the session has no serving spectra yet; ingest then "
+                "finalize (or correct, which finalizes lazily) first"
+            )
+        return self._spectra
+
+    @property
+    def finalized(self) -> bool:
+        """Is the serving state current with everything ingested?"""
+        return self._spectra is not None and not self._dirty
+
+    @property
+    def ingest_count(self) -> int:
+        """Ingest calls over the session's lifetime (survives resume)."""
+        return self._ingest_count
+
+    def _note_peak(self, pending_kmers: CountHash, pending_tiles: CountHash) -> None:
+        footprint = (
+            self.raw_kmers.nbytes
+            + self.raw_tiles.nbytes
+            + pending_kmers.nbytes
+            + pending_tiles.nbytes
+        )
+        if self.retain_raw and self._spectra is not None:
+            footprint += self._spectra.nbytes
+        if footprint > self._peak:
+            self._peak = footprint
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest(self, block: ReadBlock, timer: PhaseTimer | None = None) -> None:
+        """Merge one block's count deltas into the distributed spectrum.
+
+        Collective.  Owned window ids accumulate straight into the raw
+        shard; foreign ids ride the DELTA exchange to their owners —
+        under the *batch reads table* heuristic once per chunk (with an
+        allreduce so every rank joins the same number of collective
+        rounds), otherwise once per ingest.  Saturating addition is
+        order-independent, so any split of a dataset across ingests
+        yields the same shard counts as one big build."""
+        if self._sealed:
+            raise SessionError(
+                "ingest after a one-shot finalize; construct the session "
+                "with retain_raw=True to keep ingesting"
+            )
+        timer = timer or self.timer
+        comm = self.comm
+        config = self.config
+        pending_kmers = CountHash()
+        pending_tiles = CountHash()
+        with timer.phase("kmer_construction"):
+            if self.heuristics.batch_reads:
+                mine = n_batches(len(block), config.chunk_size)
+                max_batches = comm.allreduce(mine, op=max)
+                chunk_iter = list(block.chunks(config.chunk_size))
+                for b in range(max_batches):
+                    chunk = (
+                        chunk_iter[b]
+                        if b < len(chunk_iter)
+                        else ReadBlock.empty()
+                    )
+                    accumulate_block(
+                        chunk, self._shape, comm.rank, comm.size,
+                        self.raw_kmers, self.raw_tiles,
+                        pending_kmers, pending_tiles,
+                        config.count_reverse_complement,
+                    )
+                    self._note_peak(pending_kmers, pending_tiles)
+                    # Every rank joins every round's exchange even when
+                    # out of reads: alltoallv is collective.
+                    exchange_deltas(comm, pending_kmers, self.raw_kmers)
+                    exchange_deltas(comm, pending_tiles, self.raw_tiles)
+                    pending_kmers.clear()
+                    pending_tiles.clear()
+            else:
+                accumulate_block(
+                    block, self._shape, comm.rank, comm.size,
+                    self.raw_kmers, self.raw_tiles,
+                    pending_kmers, pending_tiles,
+                    config.count_reverse_complement,
+                )
+                self._note_peak(pending_kmers, pending_tiles)
+                exchange_deltas(comm, pending_kmers, self.raw_kmers)
+                exchange_deltas(comm, pending_tiles, self.raw_tiles)
+                pending_kmers.clear()
+                pending_tiles.clear()
+            self._note_peak(pending_kmers, pending_tiles)
+            self._track_read_keys(block)
+        comm.stats.bump("session_ingests")
+        self._ingest_count += 1
+        self._dirty = True
+
+    def _track_read_keys(self, block: ReadBlock) -> None:
+        """Grow the read-table key unions with this block's unique ids."""
+        if self.heuristics.read_kmers:
+            kids, kvalid = block_kmer_ids(block, self._shape)
+            flat = (
+                np.unique(kids[kvalid]) if len(block)
+                else np.empty(0, np.uint64)
+            )
+            self._read_kmer_keys = np.union1d(self._read_kmer_keys, flat)
+        if self.heuristics.read_tiles:
+            tids, tvalid = block_tile_ids(block, self._shape)
+            flat = (
+                np.unique(tids[tvalid]) if len(block)
+                else np.empty(0, np.uint64)
+            )
+            self._read_tile_keys = np.union1d(self._read_tile_keys, flat)
+
+    # ------------------------------------------------------------------
+    # finalize (recompile the serving state)
+    # ------------------------------------------------------------------
+    def finalize(self, timer: PhaseTimer | None = None) -> None:
+        """Recompile the serving state from the raw shards (collective).
+
+        Thresholds are applied, read tables fetched, replication
+        performed, and the compiled lookup stack invalidated — the
+        chunk-boundary recompile.  A no-op when nothing was ingested
+        since the last finalize.  For a ``retain_raw`` session the raw
+        tables stay untouched (the serving side is a filtered copy), so
+        ingest → finalize → ingest keeps exact counts throughout."""
+        if not self._dirty:
+            return
+        timer = timer or self.timer
+        comm = self.comm
+        config = self.config
+        heuristics = self.heuristics
+        with timer.phase("kmer_construction"):
+            if self.retain_raw:
+                serving = RankSpectra(
+                    shape=self._shape, rank=comm.rank, nranks=comm.size
+                )
+                serving.kmers = self.raw_kmers.copy()
+                serving.tiles = self.raw_tiles.copy()
+            else:
+                serving = self.spectra
+                self._sealed = True
+            serving.peak_construction_bytes = self._peak
+            # Owners hold true global counts; apply the thresholds.
+            serving.kmers.filter_below(config.kmer_threshold)
+            serving.tiles.filter_below(config.tile_threshold)
+            if heuristics.read_kmers:
+                serving.reads_kmers = fetch_read_table(
+                    comm, self._read_kmer_keys, serving.kmers
+                )
+            if heuristics.read_tiles:
+                serving.reads_tiles = fetch_read_table(
+                    comm, self._read_tile_keys, serving.tiles
+                )
+            apply_replication(comm, heuristics, serving)
+        self._spectra = serving
+        self._dirty = False
+        # The old protocol serves superseded tables; drop it with the
+        # compiled stacks so the next correct() rebinds everything.
+        self._protocol = None
+        self._stacks = None
+        comm.stats.bump("session_recompiles")
+
+    # ------------------------------------------------------------------
+    # correct
+    # ------------------------------------------------------------------
+    def correct(
+        self,
+        block: ReadBlock,
+        *,
+        timer: PhaseTimer | None = None,
+        comm_thread: bool = False,
+    ) -> CorrectionResult:
+        """Correct one block against the current spectrum (collective).
+
+        Repeated calls reuse the serving tables, the protocol endpoint
+        and the compiled lookup stack — nothing is rebuilt unless an
+        ingest dirtied the session (then a finalize runs first).
+
+        ``comm_thread=True`` runs the paper's literal two-thread Step IV;
+        the thread is joined by the round's DONE/SHUTDOWN handshake, so
+        that mode forks a fresh thread per call.
+
+        Under a fault plan with scripted crashes the session's crash
+        round must be its last collective operation (a dead rank joins
+        no further collectives); plans that only drop/duplicate/delay
+        frames are fully compatible with repeated rounds."""
+        timer = timer or self.timer
+        comm = self.comm
+        config = self.config
+        heuristics = self.heuristics
+        self.finalize(timer=timer)
+        spectra = self.spectra
+        plan = comm.fault_plan
+        resilient = plan is not None and plan.needs_resilient_lookups
+        if comm_thread and resilient:
+            raise ConfigError(
+                "comm_thread=True cannot combine with a FaultPlan that "
+                "drops frames or crashes ranks; use the pump-mode protocol"
+            )
+        doomed = plan.doomed_ranks() if plan is not None else frozenset()
+        if doomed and self._recovery is None:
+            self._recovery = replicate_state(comm, plan, spectra, block)
+        recovery = self._recovery or RecoveryState()
+        injector = comm.fault_injector
+        if injector is not None:
+            # Scripted crash/stall triggers count communication events
+            # only from here on — replication traffic stays reliable.
+            injector.enter_phase(comm.rank, "correction")
+        if comm_thread:
+            from repro.parallel.commthread import CommThreadProtocol
+
+            # The handshake joins the thread, so each round gets a fresh
+            # one; under prefetch the endpoint's handlers must register
+            # before the thread serves its first message.
+            protocol = CommThreadProtocol(
+                comm,
+                owned_kmers=spectra.kmers,
+                owned_tiles=spectra.tiles,
+                universal=heuristics.universal,
+                autostart=not heuristics.use_prefetch,
+            )
+            stacks = compile_stacks(
+                comm, spectra, heuristics, protocol=protocol, timer=timer
+            )
+        else:
+            protocol = self._ensure_protocol(plan, recovery)
+            protocol.reset_round()
+            stacks = self._ensure_stacks(protocol, timer)
+        corrector = ReptileCorrector(config, _StackView(stacks))
+
+        results: list[CorrectionResult] = []
+        with timer.phase("error_correction"):
+            chunks = list(block.chunks(config.chunk_size)) if len(block) else []
+            executor = None
+            if heuristics.use_prefetch:
+                # Bulk-prefetch engine: plan, fetch, and pipeline so the
+                # corrector itself never blocks on request_counts.
+                executor = PrefetchExecutor(
+                    comm, config, heuristics, spectra, protocol, timer
+                )
+                if comm_thread:
+                    protocol.start()
+                results = executor.run(chunks)
+            else:
+                for chunk in chunks:
+                    results.append(corrector.correct_block(chunk))
+                    if not comm_thread:
+                        # Give the "communication thread" a turn between
+                        # chunks even when no remote lookups were needed.
+                        while protocol.pump(block=False):
+                            pass
+            if plan is not None and comm.rank in doomed:
+                # Surviving one's own scripted crash means the plan was
+                # mis-calibrated (after_events beyond the rank's event
+                # count): the partner would replay these reads *as well*.
+                raise ConfigError(
+                    f"rank {comm.rank} finished correction but its "
+                    "scripted crash never fired; lower the fault's "
+                    "after_events"
+                )
+            # Re-own and replay each dead ward's reads from the replica.
+            # Replay precedes finish(): peers are still serving.
+            for ward in sorted(recovery.ward_blocks):
+                wblock = recovery.ward_blocks[ward]
+                comm.stats.bump("takeover_reads", len(wblock))
+                wchunks = (
+                    list(wblock.chunks(config.chunk_size))
+                    if len(wblock) else []
+                )
+                if executor is not None:
+                    results.extend(executor.run(wchunks))
+                else:
+                    for chunk in wchunks:
+                        results.append(corrector.correct_block(chunk))
+                        while protocol.pump(block=False):
+                            pass
+            protocol.finish()
+        if self.retain_raw and not doomed:
+            # Round separator.  finish() lets rank 0 leave while peers
+            # still pump with a wildcard probe that would swallow the
+            # next round's collective frames; the barrier's rank-0-
+            # centric, tag-filtered pattern is safe to enter early and
+            # guarantees every rank has left finish() before any rank
+            # starts the next collective.  Skipped for one-shot sessions
+            # (their ledger must match the classic run exactly) and for
+            # crash plans (a dead rank never arrives at a barrier).
+            comm.barrier()
+
+        if not results:
+            empty = ReadBlock.empty(block.max_length)
+            return CorrectionResult(
+                block=empty,
+                corrections_per_read=np.empty(0, dtype=np.int64),
+                reads_reverted=np.empty(0, dtype=bool),
+                tiles_examined=0,
+                tiles_below_threshold=0,
+            )
+        return CorrectionResult(
+            block=ReadBlock.concat([r.block for r in results]),
+            corrections_per_read=np.concatenate(
+                [r.corrections_per_read for r in results]
+            ),
+            reads_reverted=np.concatenate([r.reads_reverted for r in results]),
+            tiles_examined=sum(r.tiles_examined for r in results),
+            tiles_below_threshold=sum(r.tiles_below_threshold for r in results),
+        )
+
+    def _ensure_protocol(
+        self, plan, recovery: RecoveryState
+    ) -> CorrectionProtocol:
+        """The session's persistent pump-mode endpoint (lazy, local)."""
+        if self._protocol is None:
+            spectra = self.spectra
+            self._protocol = CorrectionProtocol(
+                self.comm,
+                owned_kmers=spectra.kmers,
+                owned_tiles=spectra.tiles,
+                universal=self.heuristics.universal,
+                faults=plan,
+            )
+            # Recovery as a re-bind: each ward replica becomes part of
+            # the serving shard, so every protocol path answers for the
+            # ward with no special casing.
+            for ward, (wk, wt) in recovery.replicas.items():
+                self._protocol.shards.bind_ward(ward, wk, wt)
+        return self._protocol
+
+    def _ensure_stacks(
+        self, protocol: CorrectionProtocol, timer: PhaseTimer
+    ) -> StackPair:
+        """The session's compiled lookup stack (lazy, local).
+
+        Recompiled only when finalize invalidated it or the caller's
+        timer changed (the remote tier attributes its comm time there)."""
+        if self._stacks is None or self._stack_timer is not timer:
+            self._stacks = compile_stacks(
+                self.comm, self.spectra, self.heuristics,
+                protocol=protocol, timer=timer,
+            )
+            self._stack_timer = timer
+        return self._stacks
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str | os.PathLike) -> str:
+        """Write this rank's raw state to ``directory/rank<r>.npz``.
+
+        Collective (ends with a barrier so every rank's bundle is
+        durable before any rank proceeds).  Requires a ``retain_raw``
+        session: a one-shot session's tables are already thresholded,
+        and a checkpoint of lossy state could not honour later ingests.
+        Returns the written path."""
+        if not self.retain_raw:
+            raise SessionError(
+                "checkpoint requires retain_raw=True (one-shot sessions "
+                "hold only thresholded state, which is lossy)"
+            )
+        from repro.core.persist import save_session_bundle
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(os.fspath(directory), f"rank{self.comm.rank}.npz")
+        kmer_keys, kmer_counts = self.raw_kmers.items()
+        tile_keys, tile_counts = self.raw_tiles.items()
+        save_session_bundle(
+            path,
+            k=self._shape.k,
+            overlap=self._shape.overlap,
+            nranks=self.comm.size,
+            rank=self.comm.rank,
+            n_ingests=self._ingest_count,
+            kmer_keys=kmer_keys,
+            kmer_counts=kmer_counts,
+            tile_keys=tile_keys,
+            tile_counts=tile_counts,
+            read_kmer_keys=self._read_kmer_keys,
+            read_tile_keys=self._read_tile_keys,
+        )
+        self.comm.barrier()
+        return path
+
+
+# ----------------------------------------------------------------------
+# Session ops and the SPMD session program.  Module-level picklable
+# objects: the process engine ships each rank's program by pickle.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IngestOp:
+    """Ingest a dataset's count deltas (each rank takes its slice)."""
+
+    block: ReadBlock
+
+
+@dataclass(frozen=True)
+class CorrectOp:
+    """Correct a dataset against the current spectrum."""
+
+    block: ReadBlock
+
+
+@dataclass(frozen=True)
+class CheckpointOp:
+    """Write every rank's session bundle into a directory."""
+
+    directory: str
+
+
+SessionOp = IngestOp | CorrectOp | CheckpointOp
+
+
+@dataclass
+class SessionRankReport:
+    """Everything one rank reports back from a session program."""
+
+    rank: int
+    #: One entry per op, e.g. ``("ingest", "correct", "correct")``.
+    op_kinds: tuple[str, ...]
+    #: Phase-seconds consumed by each op (same indexing as op_kinds).
+    op_timings: list[dict[str, float]]
+    #: Per-CorrectOp outcomes, in op order.
+    correct_blocks: list[ReadBlock]
+    correct_corrections: list[np.ndarray]
+    correct_reverted: list[int]
+    correct_tiles_examined: list[int]
+    correct_tiles_below: list[int]
+    timings: dict[str, float]
+    memory: RankMemoryReport
+    table_sizes: dict[str, int]
+    ingest_count: int
+    #: Serving-table contents ((kmer_keys, kmer_counts, tile_keys,
+    #: tile_counts)) when the program was asked to capture them.
+    spectrum: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+
+
+@dataclass
+class SessionProgram:
+    """The SPMD rank program driving one :class:`CorrectionSession`.
+
+    Runs the op list in order on every rank: ingest ops slice (and,
+    under load balancing, redistribute) their dataset and feed the
+    session; the serving state is finalized at the end of each *run* of
+    consecutive ingests (the chunk boundary), so correct ops never pay
+    construction time; correct ops slice/redistribute identically and
+    collect per-op results."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    comm_thread: bool
+    ops: tuple[SessionOp, ...]
+    resume_dir: str | None = None
+    capture_spectrum: bool = False
+
+    def __call__(self, comm: Communicator) -> SessionRankReport:
+        from repro.parallel.stages import slice_bounds
+
+        timer = PhaseTimer()
+        if self.resume_dir is not None:
+            session = CorrectionSession.resume(
+                comm, self.config, self.heuristics, self.resume_dir,
+                timer=timer,
+            )
+        else:
+            session = CorrectionSession(
+                comm, self.config, self.heuristics,
+                retain_raw=True, timer=timer,
+            )
+        op_kinds: list[str] = []
+        op_timings: list[dict[str, float]] = []
+        blocks: list[ReadBlock] = []
+        corrections: list[np.ndarray] = []
+        reverted: list[int] = []
+        examined: list[int] = []
+        below: list[int] = []
+        memory: RankMemoryReport | None = None
+        last_block = ReadBlock.empty()
+
+        def my_slice(block: ReadBlock) -> ReadBlock:
+            bounds = slice_bounds(len(block), comm.size)
+            with timer.phase("read_input"):
+                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
+            if self.heuristics.load_balance:
+                with timer.phase("load_balance"):
+                    mine = redistribute_reads(comm, mine)
+            return mine
+
+        for i, op in enumerate(self.ops):
+            before = timer.as_dict()
+            if isinstance(op, IngestOp):
+                op_kinds.append("ingest")
+                mine = my_slice(op.block)
+                last_block = mine
+                session.ingest(mine)
+                at_boundary = i + 1 == len(self.ops) or not isinstance(
+                    self.ops[i + 1], IngestOp
+                )
+                if at_boundary:
+                    # Chunk boundary: recompile now, charged to the
+                    # ingest, so repeat corrections pay zero build time.
+                    session.finalize()
+            elif isinstance(op, CorrectOp):
+                op_kinds.append("correct")
+                mine = my_slice(op.block)
+                last_block = mine
+                result = session.correct(
+                    mine, timer=timer, comm_thread=self.comm_thread
+                )
+                blocks.append(result.block)
+                corrections.append(result.corrections_per_read)
+                reverted.append(int(result.reads_reverted.sum()))
+                examined.append(result.tiles_examined)
+                below.append(result.tiles_below_threshold)
+            elif isinstance(op, CheckpointOp):
+                op_kinds.append("checkpoint")
+                session.checkpoint(op.directory)
+            else:
+                raise SessionError(f"unknown session op {op!r}")
+            after = timer.as_dict()
+            op_timings.append({
+                name: seconds - before.get(name, 0.0)
+                for name, seconds in after.items()
+                if seconds - before.get(name, 0.0) > 0.0
+            })
+            if memory is None and session.finalized:
+                memory = RankMemoryReport.capture(
+                    comm.rank, session.spectra, last_block,
+                    phase="construction",
+                )
+
+        session.finalize()  # a trailing ingest still lands in the report
+        if memory is None:
+            memory = RankMemoryReport.capture(
+                comm.rank, session.spectra, last_block, phase="construction"
+            )
+        if blocks:
+            RankMemoryReport.capture(
+                comm.rank, session.spectra, last_block,
+                phase="correction", into=memory,
+            )
+        spectrum = None
+        if self.capture_spectrum:
+            kk, kc = session.spectra.kmers.items()
+            tk, tc = session.spectra.tiles.items()
+            spectrum = (kk, kc, tk, tc)
+        return SessionRankReport(
+            rank=comm.rank,
+            op_kinds=tuple(op_kinds),
+            op_timings=op_timings,
+            correct_blocks=blocks,
+            correct_corrections=corrections,
+            correct_reverted=reverted,
+            correct_tiles_examined=examined,
+            correct_tiles_below=below,
+            timings=timer.as_dict(),
+            memory=memory,
+            table_sizes=session.spectra.table_sizes,
+            ingest_count=session.ingest_count,
+            spectrum=spectrum,
+        )

@@ -1,0 +1,441 @@
+"""Typed stage executors composing the distributed pipeline.
+
+A run used to be one fused function per flavour (static, file-backed,
+build-only, dynamic) inside the driver.  This module decomposes it into
+:class:`Stage` executors — each one step of the paper's pipeline, with a
+``run(ctx)`` that mutates a shared :class:`StageContext` — composed by a
+:class:`StagePlan`, the picklable SPMD rank program every engine runs.
+The four run flavours are now just plan selections
+(:func:`static_plan`, :func:`files_plan`, :func:`build_only_plan`,
+:func:`dynamic_plan`) over the same stage classes.
+
+The layer stack (see ``docs/RUNTIME.md`` for the diagram)::
+
+    StagePlan            one picklable rank program, a list of stages
+      └─ Stage.run(ctx)  input → redistribute → build → exchange →
+                         correct → write-back
+           └─ CorrectionSession   owns the state the stages act on:
+                                  raw shards, serving spectra, protocol,
+                                  compiled lookup stack
+
+Stages communicate only through the context, so a plan can be
+rearranged (or a stage reused by a different driver, like the session
+program) without touching the stage bodies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import ClassVar, Protocol
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.config import ReptileConfig
+from repro.core.corrector import CorrectionResult
+from repro.errors import ConfigError
+from repro.io.partition import load_rank_block
+from repro.io.records import ReadBlock
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.loadbalance import redistribute_reads
+from repro.parallel.memory import RankMemoryReport
+from repro.parallel.session import CorrectionSession
+from repro.simmpi.communicator import Communicator
+from repro.util.timer import PhaseTimer
+
+
+@dataclass
+class RankReport:
+    """Everything one rank reports back from an SPMD run."""
+
+    rank: int
+    block: ReadBlock
+    corrections_per_read: NDArray[np.int64]
+    reads_reverted: int
+    tiles_examined: int
+    tiles_below_threshold: int
+    timings: dict[str, float]
+    memory: RankMemoryReport
+    table_sizes: dict[str, int]
+
+    @property
+    def errors_corrected(self) -> int:
+        """Substitutions applied by this rank (Fig. 4's per-rank series)."""
+        return int(self.corrections_per_read.sum())
+
+
+def slice_bounds(n: int, nranks: int) -> list[int]:
+    """Contiguous per-rank chunk bounds (the paper's byte partitioning)."""
+    return [n * r // nranks for r in range(nranks + 1)]
+
+
+def empty_rank_report(rank: int, width: int) -> RankReport:
+    """The placeholder report standing in for a crashed rank.
+
+    Its reads live on in the recovery partner's block; an empty entry
+    keeps every per-rank series one-entry-per-rank."""
+    return RankReport(
+        rank=rank,
+        block=ReadBlock.empty(width),
+        corrections_per_read=np.empty(0, dtype=np.int64),
+        reads_reverted=0,
+        tiles_examined=0,
+        tiles_below_threshold=0,
+        timings={},
+        memory=RankMemoryReport(rank=rank),
+        table_sizes={},
+    )
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """The run-wide parameters every stage can read."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    comm_thread: bool = False
+
+
+@dataclass
+class StageContext:
+    """The mutable state a plan threads through its stages.
+
+    Stages read what upstream stages produced and write what downstream
+    stages consume; the conventions are documented per field."""
+
+    comm: Communicator
+    cfg: PlanConfig
+    timer: PhaseTimer
+    #: This rank's reads (input stage writes; redistribute replaces).
+    block: ReadBlock | None = None
+    #: The whole dataset, kept only when a stage needs it (dynamic
+    #: correction hands rank 0 the full read set).
+    full_block: ReadBlock | None = None
+    #: The per-rank session owning spectra/protocol/stack state
+    #: (build stage writes).
+    session: CorrectionSession | None = None
+    #: Footprint checkpoints (exchange stage writes construction,
+    #: write-back adds correction).
+    memory: RankMemoryReport | None = None
+    #: Correction outcome (correct stages write; absent for build-only).
+    result: CorrectionResult | None = None
+    #: The finished report (write-back stage writes).
+    report: RankReport | None = None
+
+    def require_block(self) -> ReadBlock:
+        """This rank's reads, or a ConfigError if no input stage ran."""
+        if self.block is None:
+            raise ConfigError("no input stage ran before a stage needing reads")
+        return self.block
+
+    def require_session(self) -> CorrectionSession:
+        """The rank's session, or a ConfigError if no build stage ran."""
+        if self.session is None:
+            raise ConfigError("no build stage ran before a stage needing spectra")
+        return self.session
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One stage's completion record (collected by the plan)."""
+
+    stage: str
+    seconds: float
+
+
+class Stage(Protocol):
+    """One step of the pipeline: mutate the context, report completion."""
+
+    name: ClassVar[str]
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Execute the step against the shared context."""
+        ...
+
+
+def _done(name: str, start: float) -> StageResult:
+    return StageResult(stage=name, seconds=time.perf_counter() - start)
+
+
+@dataclass(frozen=True)
+class SliceInputStage:
+    """Step I over an in-memory dataset: take this rank's slice."""
+
+    name: ClassVar[str] = "input"
+
+    block: ReadBlock
+    bounds: tuple[int, ...]
+    #: Keep the undivided dataset on the context (dynamic correction
+    #: needs it on rank 0).
+    keep_full: bool = False
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Slice this rank's contiguous share of the dataset."""
+        start = time.perf_counter()
+        with ctx.timer.phase("read_input"):
+            ctx.block = self.block.slice(
+                self.bounds[ctx.comm.rank], self.bounds[ctx.comm.rank + 1]
+            )
+        if self.keep_full:
+            ctx.full_block = self.block
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class FileInputStage:
+    """Step I over a fasta (+ quality) file pair: partitioned loading."""
+
+    name: ClassVar[str] = "input"
+
+    fasta_path: str
+    quality_path: str | None
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Load this rank's partition of the file pair."""
+        start = time.perf_counter()
+        with ctx.timer.phase("read_input"):
+            ctx.block = load_rank_block(
+                self.fasta_path, self.quality_path,
+                ctx.comm.size, ctx.comm.rank,
+            )
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class RedistributeStage:
+    """Section III-A static load balancing (no-op when disabled)."""
+
+    name: ClassVar[str] = "redistribute"
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Re-hash reads to ranks when load balancing is on."""
+        start = time.perf_counter()
+        if ctx.cfg.heuristics.load_balance:
+            with ctx.timer.phase("load_balance"):
+                ctx.block = redistribute_reads(ctx.comm, ctx.require_block())
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class BuildStage:
+    """Step II: open a one-shot session and ingest this rank's reads."""
+
+    name: ClassVar[str] = "build"
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Accumulate and exchange the block's count deltas."""
+        start = time.perf_counter()
+        session = CorrectionSession(
+            ctx.comm, ctx.cfg.config, ctx.cfg.heuristics,
+            retain_raw=False, timer=ctx.timer,
+        )
+        session.ingest(ctx.require_block())
+        ctx.session = session
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class SpectrumExchangeStage:
+    """Step III: finalize the serving spectrum (threshold, read tables,
+    replication) and record the construction footprint."""
+
+    name: ClassVar[str] = "exchange"
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Threshold, fetch read tables, replicate."""
+        start = time.perf_counter()
+        session = ctx.require_session()
+        session.finalize()
+        ctx.memory = RankMemoryReport.capture(
+            ctx.comm.rank, session.spectra, ctx.require_block(),
+            phase="construction",
+        )
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class CorrectStage:
+    """Step IV: messaging correction of this rank's reads."""
+
+    name: ClassVar[str] = "correct"
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Run one messaging correction round on the session."""
+        start = time.perf_counter()
+        ctx.result = ctx.require_session().correct(
+            ctx.require_block(),
+            timer=ctx.timer,
+            comm_thread=ctx.cfg.comm_thread,
+        )
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class DynamicCorrectStage:
+    """The prior work's master-worker correction ablation."""
+
+    name: ClassVar[str] = "correct"
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Run the master-worker correction round."""
+        from repro.parallel.dynamicbalance import correct_dynamic
+
+        start = time.perf_counter()
+        session = ctx.require_session()
+        with ctx.timer.phase("error_correction"):
+            ctx.result = correct_dynamic(
+                ctx.comm,
+                ctx.full_block if ctx.comm.rank == 0 else None,
+                ctx.cfg.config,
+                ctx.cfg.heuristics,
+                session.spectra,
+            )
+        return _done(self.name, start)
+
+
+@dataclass(frozen=True)
+class WriteBackStage:
+    """Assemble the rank's report from whatever the plan produced.
+
+    With a correction result the report carries the corrected block and
+    a correction-phase memory checkpoint; without one (build-only plans)
+    it carries the rank's uncorrected input and zeroed correction
+    counters."""
+
+    name: ClassVar[str] = "write_back"
+
+    def run(self, ctx: StageContext) -> StageResult:
+        """Write the rank's report onto the context."""
+        start = time.perf_counter()
+        session = ctx.require_session()
+        block = ctx.require_block()
+        memory = ctx.memory or RankMemoryReport(rank=ctx.comm.rank)
+        result = ctx.result
+        if result is None:
+            ctx.report = RankReport(
+                rank=ctx.comm.rank,
+                block=block,
+                corrections_per_read=np.zeros(len(block), dtype=np.int64),
+                reads_reverted=0,
+                tiles_examined=0,
+                tiles_below_threshold=0,
+                timings=ctx.timer.as_dict(),
+                memory=memory,
+                table_sizes=session.spectra.table_sizes,
+            )
+        else:
+            RankMemoryReport.capture(
+                ctx.comm.rank, session.spectra, block,
+                phase="correction", into=memory,
+            )
+            ctx.report = RankReport(
+                rank=ctx.comm.rank,
+                block=result.block,
+                corrections_per_read=result.corrections_per_read,
+                reads_reverted=int(result.reads_reverted.sum()),
+                tiles_examined=result.tiles_examined,
+                tiles_below_threshold=result.tiles_below_threshold,
+                timings=ctx.timer.as_dict(),
+                memory=memory,
+                table_sizes=session.spectra.table_sizes,
+            )
+        return _done(self.name, start)
+
+
+@dataclass
+class StagePlan:
+    """An ordered stage composition — the SPMD rank program.
+
+    Picklable (frozen-dataclass stages over plain configs), so the
+    process engine can ship the identical plan to spawned interpreters.
+    Calling the plan on a communicator runs every stage in order and
+    returns the write-back stage's report."""
+
+    cfg: PlanConfig
+    stages: tuple[Stage, ...]
+    #: Filled during the run: one completion record per stage.
+    results: list[StageResult] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """The composition as a stable string, e.g.
+        ``"input->redistribute->build->exchange->correct->write_back"``."""
+        return "->".join(stage.name for stage in self.stages)
+
+    def __call__(self, comm: Communicator) -> RankReport:
+        ctx = StageContext(comm=comm, cfg=self.cfg, timer=PhaseTimer())
+        self.results = []
+        for stage in self.stages:
+            self.results.append(stage.run(ctx))
+        if ctx.report is None:
+            raise ConfigError(
+                f"plan {self.describe()!r} produced no report "
+                "(every plan must end in a write-back stage)"
+            )
+        return ctx.report
+
+
+# ----------------------------------------------------------------------
+# Plan selections: the four classic run flavours.
+# ----------------------------------------------------------------------
+def static_plan(
+    cfg: PlanConfig, block: ReadBlock, nranks: int
+) -> StagePlan:
+    """The paper's static scheme over an in-memory dataset."""
+    return StagePlan(cfg, (
+        SliceInputStage(
+            block=block, bounds=tuple(slice_bounds(len(block), nranks))
+        ),
+        RedistributeStage(),
+        BuildStage(),
+        SpectrumExchangeStage(),
+        CorrectStage(),
+        WriteBackStage(),
+    ))
+
+
+def files_plan(
+    cfg: PlanConfig, fasta_path: str, quality_path: str | None
+) -> StagePlan:
+    """The static scheme over a fasta (+ quality) file pair."""
+    return StagePlan(cfg, (
+        FileInputStage(fasta_path=fasta_path, quality_path=quality_path),
+        RedistributeStage(),
+        BuildStage(),
+        SpectrumExchangeStage(),
+        CorrectStage(),
+        WriteBackStage(),
+    ))
+
+
+def build_only_plan(
+    cfg: PlanConfig, block: ReadBlock, nranks: int
+) -> StagePlan:
+    """Steps I-III only (no correction) — for spectrum studies."""
+    return StagePlan(cfg, (
+        SliceInputStage(
+            block=block, bounds=tuple(slice_bounds(len(block), nranks))
+        ),
+        RedistributeStage(),
+        BuildStage(),
+        SpectrumExchangeStage(),
+        WriteBackStage(),
+    ))
+
+
+def dynamic_plan(
+    cfg: PlanConfig, block: ReadBlock, nranks: int
+) -> StagePlan:
+    """The dynamic master-worker ablation (no redistribution; rank 0
+    coordinates correction over the full read set)."""
+    return StagePlan(cfg, (
+        SliceInputStage(
+            block=block,
+            bounds=tuple(slice_bounds(len(block), nranks)),
+            keep_full=True,
+        ),
+        BuildStage(),
+        SpectrumExchangeStage(),
+        DynamicCorrectStage(),
+        WriteBackStage(),
+    ))

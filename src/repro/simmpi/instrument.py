@@ -49,6 +49,27 @@ RESILIENCE_COUNTERS = (
     "failover_requests_served",
 )
 
+#: The correction-session counter family (all in
+#: :attr:`CommStats.counters`, bumped by
+#: :class:`repro.parallel.session.CorrectionSession` and summed over
+#: ranks in ``run_report``'s ``session`` section):
+#:
+#: * ``session_ingests`` — ``ingest()`` calls (one per rank per block of
+#:   count deltas merged into the distributed spectrum).
+#: * ``session_delta_exchanges`` — DELTA alltoallv rounds routing
+#:   non-owned deltas to their owners (several per ingest under the
+#:   batch-reads heuristic).
+#: * ``session_delta_bytes`` — payload bytes of delta key/count pairs
+#:   this rank routed to *other* ranks across those exchanges.
+#: * ``session_recompiles`` — serving-state finalizations (threshold +
+#:   read tables + replication + lookup-stack recompile).
+SESSION_COUNTERS = (
+    "session_ingests",
+    "session_delta_exchanges",
+    "session_delta_bytes",
+    "session_recompiles",
+)
+
 #: The per-tier lookup counter family.  Every count resolution runs an
 #: ordered tier stack (:mod:`repro.parallel.lookup`); the stack bumps
 #: ``lookup_<tier>_requests`` / ``_hits`` / ``_misses`` / ``_bytes`` for

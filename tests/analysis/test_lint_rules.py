@@ -3,8 +3,8 @@
 
 import textwrap
 
-from repro.analysis import lint_source
-from repro.analysis.lint import RULES, iter_python_files, lint_paths
+from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.runner import iter_python_files
 
 
 def lint(code):

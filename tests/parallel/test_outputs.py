@@ -50,3 +50,15 @@ class TestWriteOutputs:
         in_ids = sorted(scale.dataset.block.ids.tolist())
         out_ids = [rid for rid, _ in read_fasta(out)]
         assert out_ids == in_ids
+
+    def test_accepts_pathlib_paths(self, run, tmp_path):
+        """Regression: write_outputs takes pathlib.Path, not just str."""
+        scale, result = run
+        fa = tmp_path / "path.fa"
+        qual = tmp_path / "path.qual"
+        n = result.write_outputs(fa, qual)
+        assert n == len(scale.dataset.block)
+        str_fa = tmp_path / "str.fa"
+        result.write_outputs(str(str_fa))
+        assert fa.read_text() == str_fa.read_text()
+        assert qual.stat().st_size > 0

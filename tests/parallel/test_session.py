@@ -1,0 +1,268 @@
+"""Session-layer tests: the long-lived incremental pipeline.
+
+The contract under test is the PR's acceptance matrix: a session that
+ingests a dataset and corrects it must be bit-identical to the classic
+one-shot ``ParallelReptile.run`` on every engine × heuristic × fault
+combination, any K-way split of a dataset across ingests must reproduce
+the single-build spectrum exactly, and repeated corrections must reuse
+the built state (zero construction time after the first finalize).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import small_scale
+from repro.faults import CrashFault, FaultPlan
+from repro.parallel.driver import ParallelReptile, ParallelSession
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.session import CheckpointOp, CorrectOp, IngestOp
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return small_scale("E.Coli", genome_size=3_000, chunk_size=100)
+
+
+@pytest.fixture(scope="module")
+def classic_codes(scale):
+    """The one-shot driver's output — the bit-identity anchor."""
+    result = ParallelReptile(
+        scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+    ).run(scale.dataset.block)
+    return result.corrected_block.codes
+
+
+MATRIX_MODES = {
+    "base": HeuristicConfig(),
+    "group2": HeuristicConfig(replication_group=2),
+    "prefetch_group2": HeuristicConfig(prefetch=True, replication_group=2),
+}
+
+
+class TestBitIdentityMatrix:
+    """ingest(all) + correct(all) == ParallelReptile.run, everywhere."""
+
+    @pytest.mark.parametrize("engine", ["threaded", "process"])
+    @pytest.mark.parametrize("mode", list(MATRIX_MODES), ids=list(MATRIX_MODES))
+    def test_session_matches_classic_run(
+        self, engine, mode, scale, classic_codes
+    ):
+        block = scale.dataset.block
+        heur = MATRIX_MODES[mode]
+        classic = ParallelReptile(
+            scale.config, heur, nranks=4, engine=engine
+        ).run(block)
+        out = ParallelSession(
+            scale.config, heur, nranks=4, engine=engine
+        ).run([IngestOp(block), CorrectOp(block)])
+        session_block = out.result_for(0).corrected_block
+        assert np.array_equal(session_block.ids, classic.corrected_block.ids)
+        assert np.array_equal(session_block.codes, classic.corrected_block.codes)
+        assert np.array_equal(session_block.codes, classic_codes)
+
+    def test_session_survives_fault_plan(self, scale, classic_codes):
+        """A survivable chaos plan (frame faults + one scripted crash)
+        changes nothing about the merged corrected output."""
+        plan = FaultPlan(
+            seed=1234,
+            drop_rate=0.05,
+            duplicate_rate=0.02,
+            delay_rate=0.02,
+            max_drops_per_frame=2,
+            crashes=(CrashFault(rank=2, after_events=4),),
+            base_timeout_s=0.1,
+            max_retries=8,
+        )
+        block = scale.dataset.block
+        out = ParallelSession(
+            scale.config, HeuristicConfig(), nranks=4,
+            engine="cooperative", faults=plan,
+        ).run([IngestOp(block), CorrectOp(block)])
+        assert out.crashed_ranks == [2]
+        merged = out.result_for(0).corrected_block
+        assert np.array_equal(merged.ids, np.sort(block.ids))
+        assert np.array_equal(merged.codes, classic_codes)
+
+
+class TestRepeatedCorrection:
+    @pytest.fixture(scope="class")
+    def repeat_out(self, scale):
+        block = scale.dataset.block
+        return ParallelSession(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run([IngestOp(block), CorrectOp(block),
+               CorrectOp(block), CorrectOp(block)])
+
+    def test_every_round_bit_identical(self, repeat_out, classic_codes):
+        for i in range(3):
+            assert np.array_equal(
+                repeat_out.result_for(i).corrected_block.codes, classic_codes
+            )
+
+    def test_corrections_pay_no_construction(self, repeat_out):
+        """After the chunk-boundary finalize, correct rounds never touch
+        the build phase: its per-op timing delta is exactly zero."""
+        for rr in repeat_out.rank_reports:
+            for kind, timing in zip(rr.op_kinds, rr.op_timings):
+                if kind == "correct":
+                    assert "kmer_construction" not in timing
+
+    def test_single_recompile_across_rounds(self, repeat_out):
+        totals = repeat_out.session_totals()
+        assert totals["session_ingests"] == 4  # one per rank
+        assert totals["session_recompiles"] == 4
+
+
+class TestCheckpointResume:
+    def test_resumed_session_matches_uninterrupted(self, scale, tmp_path):
+        block = scale.dataset.block
+        half = len(block) // 2
+        first, second = block.slice(0, half), block.slice(half, len(block))
+        ckpt = str(tmp_path / "bundles")
+
+        driver = ParallelSession(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        )
+        driver.run([IngestOp(first), CheckpointOp(ckpt)])
+        resumed = driver.run(
+            [IngestOp(second), CorrectOp(block)], resume_dir=ckpt
+        )
+        straight = driver.run(
+            [IngestOp(first), IngestOp(second), CorrectOp(block)]
+        )
+        assert np.array_equal(
+            resumed.result_for(0).corrected_block.codes,
+            straight.result_for(0).corrected_block.codes,
+        )
+        # The ingest counter survives the checkpoint/resume boundary.
+        assert all(
+            rr.ingest_count == 2 for rr in resumed.rank_reports
+        )
+
+    def test_resume_rejects_mismatched_nranks(self, scale, tmp_path):
+        from repro.errors import SessionError
+
+        block = scale.dataset.block
+        ckpt = str(tmp_path / "bundles")
+        ParallelSession(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run([IngestOp(block), CheckpointOp(ckpt)])
+        with pytest.raises(SessionError):
+            ParallelSession(
+                scale.config, HeuristicConfig(), nranks=2,
+                engine="cooperative",
+            ).run([CorrectOp(block)], resume_dir=ckpt)
+
+
+def _sorted_items(keys, counts):
+    order = np.argsort(keys)
+    return keys[order], counts[order]
+
+
+class TestSplitInvariance:
+    """Any K-way split of the dataset across ingests yields shard
+    counts identical to one full build (saturating add is
+    order-independent and ownership is key-determined)."""
+
+    @pytest.mark.parametrize("engine", ["threaded", "process"])
+    @settings(max_examples=5, deadline=None)
+    @given(data=st.data())
+    def test_k_split_ingest_matches_full_build(self, engine, scale, data):
+        block = scale.dataset.block
+        k = data.draw(st.sampled_from([1, 2, 5]), label="K")
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(block)),
+                    min_size=k - 1, max_size=k - 1,
+                ),
+                label="cuts",
+            )
+        )
+        bounds = [0, *cuts, len(block)]
+        parts = [
+            block.slice(bounds[i], bounds[i + 1]) for i in range(k)
+        ]
+        driver = ParallelSession(
+            scale.config, HeuristicConfig(), nranks=2, engine=engine
+        )
+        split = driver.run(
+            [IngestOp(p) for p in parts], capture_spectrum=True
+        )
+        whole = driver.run([IngestOp(block)], capture_spectrum=True)
+        for rank in range(2):
+            sk, sc, stk, stc = split.spectrum_items(rank)
+            wk, wc, wtk, wtc = whole.spectrum_items(rank)
+            # Compare in key order: CountHash iteration order depends on
+            # insertion history, which legitimately differs by split.
+            assert all(
+                np.array_equal(a, b)
+                for a, b in zip(_sorted_items(sk, sc), _sorted_items(wk, wc))
+            )
+            assert all(
+                np.array_equal(a, b)
+                for a, b in zip(_sorted_items(stk, stc), _sorted_items(wtk, wtc))
+            )
+
+
+class TestSessionReport:
+    def test_run_report_session_section(self, scale):
+        from repro.parallel.report import run_report
+
+        block = scale.dataset.block
+        out = ParallelSession(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run([IngestOp(block), CorrectOp(block)])
+        payload = run_report(out.result_for(0))
+        section = payload["session"]
+        assert set(section) == {
+            "session_ingests", "session_delta_exchanges",
+            "session_delta_bytes", "session_recompiles",
+        }
+        assert section["session_ingests"] == 4
+        assert section["session_recompiles"] == 4
+        assert section["session_delta_bytes"] > 0
+
+    def test_classic_run_populates_session_counters(self, scale):
+        """Construction goes through a one-shot session even in the
+        classic driver, so its ledger shows up there too."""
+        from repro.parallel.report import run_report
+
+        result = ParallelReptile(
+            scale.config, HeuristicConfig(), nranks=4, engine="cooperative"
+        ).run(scale.dataset.block)
+        section = run_report(result)["session"]
+        assert section["session_ingests"] == 4
+        assert section["session_delta_exchanges"] > 0
+
+
+class TestSessionValidation:
+    def test_empty_op_list_rejected(self, scale):
+        with pytest.raises(ValueError):
+            ParallelSession(
+                scale.config, HeuristicConfig(), nranks=2,
+                engine="cooperative",
+            ).run([])
+
+    def test_one_shot_session_seals(self, scale):
+        """build_rank_spectra's one-shot session refuses further ingests."""
+        from repro.errors import SessionError
+        from repro.parallel.session import CorrectionSession
+        from repro.simmpi.engine import run_spmd
+
+        def program(comm):
+            session = CorrectionSession(
+                comm, scale.config, HeuristicConfig(), retain_raw=False
+            )
+            session.ingest(scale.dataset.block)
+            session.finalize()
+            try:
+                session.ingest(scale.dataset.block)
+            except SessionError:
+                return True
+            return False
+
+        spmd = run_spmd(program, 2, engine="cooperative")
+        assert all(spmd.results)
