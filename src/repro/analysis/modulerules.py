@@ -2,10 +2,13 @@
 
 MPI001 and MPI009 police collective ordering under rank conditionals,
 MPI004/MPI005 the service-loop and buffer-reuse hazards, MPI006 the
-wire-codec contract, MPI007 the lookup-tier layering, and MPI010
-request-object hygiene.  Each rule is a plain function registered with
-the framework in :mod:`repro.analysis.rules`; none of them may mutate
-the summary it is given.
+wire-codec contract, MPI007 the lookup-tier layering, MPI010
+request-object hygiene, and MPI012 the session-backend layering (the
+service tier and other non-parallel code may touch spectrum state only
+through the :class:`~repro.parallel.backend.SessionBackend` verbs).
+Each rule is a plain function registered with the framework in
+:mod:`repro.analysis.rules`; none of them may mutate the summary it is
+given.
 """
 
 from __future__ import annotations
@@ -509,6 +512,132 @@ register(Rule(
         "own suppress with `# noqa: MPI007`."
     ),
     module_check=check_direct_spectrum_lookup,
+))
+
+
+# ----------------------------------------------------------------------
+# MPI012 — spectrum state touched outside the SessionBackend verbs
+# ----------------------------------------------------------------------
+#: Spectrum-construction internals only the parallel layer may call
+#: (MPI012): the machinery the SessionBackend verbs are built from.
+BACKEND_INTERNAL_CALLS = frozenset(
+    {"build_rank_spectra", "accumulate_block", "exchange_deltas",
+     "apply_replication", "fetch_read_table", "compile_stacks",
+     "replicate_state"}
+)
+
+#: Backend-owned types that outside code must not construct directly.
+BACKEND_INTERNAL_TYPES = frozenset({"RankSpectra", "CorrectionProtocol"})
+
+#: Raw per-rank session state only the checkpoint verb may serialize.
+BACKEND_INTERNAL_ATTRS = frozenset({"raw_kmers", "raw_tiles"})
+
+#: MPI012 always polices the service tier...
+_BACKEND_SERVICE_PART = "repro/service"
+#: ...and every other repro package except the layers that *implement*
+#: the backend (the parallel runtime, the core pipeline it wraps, and
+#: the hashing primitives both are built on).
+_BACKEND_EXEMPT_PARTS = ("repro/parallel", "repro/core", "repro/hashing")
+
+
+def _polices_backend_verbs(path: str) -> bool:
+    """MPI012 scope: repro.service, plus repro minus the backend layers."""
+    posix = Path(path).as_posix()
+    if _BACKEND_SERVICE_PART in posix:
+        return True
+    return (
+        "repro/" in posix
+        and not any(part in posix for part in _BACKEND_EXEMPT_PARTS)
+    )
+
+
+def check_backend_verb_bypass(summary: ModuleSummary) -> list[Finding]:
+    """Flag spectrum-state access that bypasses the SessionBackend verbs.
+
+    The service front-end (and everything else above the parallel
+    layer) holds exactly one handle on spectrum state: a
+    :class:`~repro.parallel.backend.SessionBackend` and its four verbs
+    — ``ingest``/``correct``/``finalize``/``checkpoint``.  Calling the
+    construction machinery (``build_rank_spectra``,
+    ``exchange_deltas``, ...), probing a count table, constructing
+    :class:`RankSpectra`/:class:`CorrectionProtocol` directly, or
+    reading the raw checkpoint arrays from outside skips the verbs'
+    collectives, accounting and recompilation tracking — precisely the
+    layering the service refactor exists to enforce.
+    """
+    if not _polices_backend_verbs(summary.path):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(summary.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name in BACKEND_INTERNAL_CALLS:
+                findings.append(_finding(
+                    summary.path, node, "MPI012",
+                    f"spectrum-construction call '{name}(...)' outside "
+                    "the parallel layer; reach spectrum state only "
+                    "through the SessionBackend verbs "
+                    "(ingest/correct/finalize/checkpoint)",
+                ))
+            elif name in BACKEND_INTERNAL_TYPES:
+                findings.append(_finding(
+                    summary.path, node, "MPI012",
+                    f"direct {name}(...) construction outside the "
+                    "parallel layer; the backend owns its spectra and "
+                    "protocol — hold a SessionBackend and use its verbs",
+                ))
+            elif name in TABLE_PROBE_METHODS and \
+                    isinstance(func, ast.Attribute):
+                recv = dotted_name(func.value)
+                if recv is None:
+                    continue
+                last = recv.rsplit(".", 1)[-1]
+                if last in SPECTRUM_TABLE_ATTRS or last.endswith("_table"):
+                    findings.append(_finding(
+                        summary.path, node, "MPI012",
+                        f"spectrum-table probe '{recv}.{name}' outside "
+                        "the parallel layer; counts are backend state — "
+                        "submit reads through SessionBackend.correct() "
+                        "instead of probing tables",
+                    ))
+        elif isinstance(node, ast.Attribute) and \
+                node.attr in BACKEND_INTERNAL_ATTRS:
+            findings.append(_finding(
+                summary.path, node, "MPI012",
+                f"raw session state '.{node.attr}' read outside the "
+                "parallel layer; persistence goes through "
+                "SessionBackend.checkpoint(), not the raw arrays",
+            ))
+    return findings
+
+
+register(Rule(
+    code="MPI012",
+    name="backend-verb-bypass",
+    severity="error",
+    summary="spectrum state touched outside the SessionBackend verbs",
+    doc=(
+        "Code in repro.service — or any repro package other than the "
+        "backend layers (repro.parallel, repro.core, repro.hashing) — "
+        "touches spectrum state directly: it calls the construction "
+        "machinery (`build_rank_spectra`, `exchange_deltas`, "
+        "`accumulate_block`, ...), probes a count table with "
+        "`.lookup`/`.lookup_found`, constructs `RankSpectra` or "
+        "`CorrectionProtocol` itself, or reads the raw checkpoint "
+        "arrays (`.raw_kmers`/`.raw_tiles`).  The service tier's one "
+        "handle on spectrum state is a SessionBackend and its verbs "
+        "(ingest/correct/finalize/checkpoint); anything else skips the "
+        "verbs' collectives, accounting and recompile tracking.  A "
+        "deliberate exception suppresses with `# noqa: MPI012` and a "
+        "justification."
+    ),
+    module_check=check_backend_verb_bypass,
 ))
 
 

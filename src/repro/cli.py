@@ -7,6 +7,10 @@ Three subcommands mirror the project's workflows:
 * ``repro session`` — long-lived correction session: ingest several
   fasta inputs as incremental spectrum deltas, correct them against the
   combined spectrum, optionally checkpoint/resume the session state;
+* ``repro serve`` — spectrum-as-a-service front-end: ingest every input
+  as a spectrum delta, then submit each input as one async client batch
+  so compatible requests coalesce into shared collective rounds
+  (see :mod:`repro.service` and ``docs/SERVICE.md``);
 * ``repro simulate`` — synthesize a dataset (genome, reads, qualities)
   as fasta/quality/fastq files, with optional localized error bursts;
 * ``repro project`` — print a BlueGene/Q scaling projection for one of
@@ -128,6 +132,57 @@ def build_parser() -> argparse.ArgumentParser:
     se.add_argument("--stats", action="store_true",
                     help="print per-rank and session statistics")
     se.add_argument("--report", help="write a JSON run report to this path")
+
+    # ------------------------------------------------------------- serve
+    sv = sub.add_parser(
+        "serve",
+        help="run the async correction service: each --fasta is one "
+             "client batch; compatible batches coalesce into shared "
+             "collective rounds",
+    )
+    sv.add_argument("--fasta", action="append", default=[],
+                    help="one client batch; repeat for each client "
+                         "(every batch is also ingested as a spectrum "
+                         "delta before serving begins)")
+    sv.add_argument("--quality", action="append", default=[],
+                    help="quality file matching each --fasta (all or none)")
+    sv.add_argument("--output-dir", required=True,
+                    help="corrected batches are written here as "
+                         "client<N>.fasta")
+    sv.add_argument("--nranks", type=int, default=4,
+                    help="simulated MPI ranks (default 4)")
+    sv.add_argument("--engine",
+                    choices=["cooperative", "sequential", "threaded",
+                             "process"],
+                    default="cooperative",
+                    help="rank scheduler (see 'repro correct --help')")
+    sv.add_argument("--kmer-length", type=int, default=12)
+    sv.add_argument("--tile-overlap", type=int, default=4)
+    sv.add_argument("--kmer-threshold", type=int, default=0,
+                    help="0 = derive from the first input")
+    sv.add_argument("--tile-threshold", type=int, default=0)
+    sv.add_argument("--chunk-size", type=int, default=2000)
+    sv.add_argument("--universal", action="store_true",
+                    help="universal message heuristic")
+    sv.add_argument("--prefetch", action="store_true",
+                    help="bulk-prefetch Step IV lookups per chunk")
+    sv.add_argument("--batch-reads", action="store_true",
+                    help="batch reads table heuristic")
+    sv.add_argument("--read-tables", action="store_true",
+                    help="retain read k-mer/tile tables")
+    sv.add_argument("--allgather", choices=["none", "kmers", "tiles", "both"],
+                    default="none", help="spectrum replication")
+    sv.add_argument("--replication-group", type=int, default=1,
+                    help="partial replication group size (Sec. V)")
+    sv.add_argument("--no-load-balance", action="store_true",
+                    help="disable the static read redistribution")
+    sv.add_argument("--max-pending", type=int, default=64,
+                    help="admission queue bound (jobs beyond it are "
+                         "rejected with ServiceOverloadError)")
+    sv.add_argument("--max-pending-per-client", type=int, default=8,
+                    help="per-client quota within the admission queue")
+    sv.add_argument("--stats", action="store_true",
+                    help="print the service accounting counters")
 
     # ---------------------------------------------------------- simulate
     s = sub.add_parser("simulate", help="synthesize a dataset")
@@ -377,6 +432,79 @@ def cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.io.fasta import write_fasta
+    from repro.io.partition import load_rank_block
+    from repro.service import ServicePolicy, SpectrumService
+
+    if not args.fasta:
+        raise ReproError("at least one --fasta is required")
+    if args.quality and len(args.quality) != len(args.fasta):
+        raise ReproError(
+            "--quality must be repeated once per --fasta (or omitted)"
+        )
+    blocks = [
+        load_rank_block(
+            fasta, args.quality[i] if args.quality else None, 1, 0
+        )
+        for i, fasta in enumerate(args.fasta)
+    ]
+    cfg_ns = argparse.Namespace(**vars(args))
+    cfg_ns.config = None
+    cfg_ns.fasta = args.fasta[0]
+    cfg_ns.quality = args.quality[0] if args.quality else None
+    cfg = _config_from_args(cfg_ns)
+    heur = _heuristics_from_args(args)
+    policy = ServicePolicy(
+        max_pending=args.max_pending,
+        max_pending_per_client=args.max_pending_per_client,
+    )
+    service = SpectrumService(
+        cfg, args.nranks, heuristics=heur, engine=args.engine,
+        policy=policy,
+    )
+
+    async def drive():
+        async with service:
+            # Every batch is a spectrum delta first: the service corrects
+            # each client against the union spectrum, like `repro session`.
+            for block in blocks:
+                await service.ingest(block)
+            # Then each batch is one client's submission; issuing them
+            # concurrently lets the queue coalesce compatible requests
+            # into shared collective rounds.
+            return await asyncio.gather(*(
+                service.correct(block, client=f"client{i}")
+                for i, block in enumerate(blocks)
+            ))
+
+    batches = asyncio.run(drive())
+    os.makedirs(args.output_dir, exist_ok=True)
+    total = 0
+    for i, batch in enumerate(batches):
+        path = os.path.join(args.output_dir, f"client{i}.fasta")
+        block = batch.block
+        write_fasta(
+            path, block.to_strings(),
+            start_id=int(block.ids[0]) if len(block) else 1,
+        )
+        corrections = int(batch.corrections_per_read.sum())
+        total += corrections
+        print(f"client{i}: {len(block)} reads "
+              f"({corrections} substitutions) -> {path}")
+    report = service.result.report
+    print(f"service: {report.submitted} job(s), {report.rounds} correction "
+          f"round(s), {report.coalesced} coalesced, "
+          f"{report.rejected} rejected, {total} substitutions total")
+    if args.stats:
+        for name, value in report.as_counters().items():
+            print(f"{name:>24} {value:>10,d}")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.io.fasta import write_fasta
     from repro.io.quality import write_quality
@@ -534,6 +662,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return cmd_correct(args)
         if args.command == "session":
             return cmd_session(args)
+        if args.command == "serve":
+            return cmd_serve(args)
         if args.command == "simulate":
             return cmd_simulate(args)
         if args.command == "project":

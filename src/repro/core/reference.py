@@ -211,12 +211,16 @@ class UnpackedReferenceCorrector(ReptileCorrector):
         if cand_ids.size == 0:
             return
 
-        # Per site: best and runner-up candidate counts.
+        # Per site: best and runner-up candidate counts.  The descending
+        # sort must be stable so a count tie at the top resolves to the
+        # *first* candidate in enumeration order — at ambiguity_ratio
+        # == 1.0 a top tie still corrects, and an unstable sort would
+        # leave the winner to numpy's quicksort internals.
         for site in np.unique(cand_owner):
             sel = cand_owner == site
             ids_s = cand_ids[sel]
             cnt_s = tcounts[sel]
-            order = np.argsort(cnt_s)[::-1]
+            order = np.argsort(-cnt_s, kind="stable")
             best = int(cnt_s[order[0]])
             if order.size > 1:
                 second = int(cnt_s[order[1]])

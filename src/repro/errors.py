@@ -34,6 +34,38 @@ class SessionError(ReproError):
     ingest after a one-shot finalize, or checkpoint without raw state)."""
 
 
+class ServiceError(ReproError):
+    """The correction service front-end failed (fleet down, bad client
+    request, or a round that could not complete)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """An admission-control rejection: the service's bounded queue is
+    full (``scope="queue"``) or the submitting client exceeded its
+    per-client quota (``scope="client"``).  Typed so clients can back
+    off and retry without parsing messages; carries the backpressure
+    facts the client needs to decide how long to wait."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        client: str | None = None,
+        depth: int | None = None,
+        limit: int | None = None,
+        scope: str = "queue",
+    ) -> None:
+        super().__init__(message)
+        #: The client whose submission was rejected, when known.
+        self.client = client
+        #: Queue depth (or the client's pending count) at rejection time.
+        self.depth = depth
+        #: The bound that was hit.
+        self.limit = limit
+        #: ``"queue"`` (global bound) or ``"client"`` (per-client quota).
+        self.scope = scope
+
+
 class HashTableError(ReproError):
     """An open-addressing table operation failed (e.g. table is full)."""
 

@@ -26,6 +26,7 @@ not hold:
   wire endpoint, :mod:`repro.parallel.lookup.planner` for the engine).
 """
 
+from repro.parallel.backend import SessionBackend
 from repro.parallel.heuristics import HeuristicConfig
 from repro.parallel.ownership import kmer_owner, tile_owner, sequence_owner
 from repro.parallel.build import RankSpectra, build_rank_spectra
@@ -52,6 +53,7 @@ from repro.parallel.session import (
     CorrectionSession,
     CorrectOp,
     IngestOp,
+    SessionOpRunner,
     SessionRankReport,
 )
 from repro.parallel.stages import (
@@ -110,6 +112,8 @@ __all__ = [
     "RankReport",
     "SessionRunResult",
     "CorrectionSession",
+    "SessionBackend",
+    "SessionOpRunner",
     "SessionRankReport",
     "IngestOp",
     "CorrectOp",

@@ -36,7 +36,6 @@ from repro.parallel.session import (
     CorrectOp,
     IngestOp,
     SessionOp,
-    SessionProgram,
     SessionRankReport,
 )
 from repro.parallel.stages import (
@@ -416,11 +415,20 @@ class ParallelSession:
     >>> out = driver.run([IngestOp(reads), CorrectOp(reads)])
     >>> out.result_for(0).corrected_block      # == ParallelReptile.run
 
-    Each rank opens one :class:`~repro.parallel.session.CorrectionSession`
-    and feeds it the ops in order; repeated :class:`CorrectOp` entries
-    reuse the built spectrum with zero reconstruction.  Under a fault
-    plan with scripted crashes the crash round's :class:`CorrectOp` must
-    be the last op (a dead rank joins no further collectives).
+    Since the service refactor this driver is a *thin synchronous
+    client* of :class:`repro.service.SpectrumService`: each :meth:`run`
+    opens a service over the same engine, submits the ops one at a time
+    (a solo client coalesces nothing, so every op is one collective
+    round, exactly like the old fixed-program driver) and returns the
+    fleet's per-rank session reports.  One code path serves both the
+    op-list driver and concurrent async clients.
+
+    Repeated :class:`CorrectOp` entries reuse the built spectrum with
+    zero reconstruction.  Under a fault plan with scripted crashes the
+    crash round's :class:`CorrectOp` must be the last op (a dead rank
+    joins no further collectives).  The driver is also a context
+    manager: leaving the ``with`` block (or calling :meth:`close`)
+    shuts down any fleet a failed :meth:`run` left behind.
     """
 
     def __init__(
@@ -439,7 +447,31 @@ class ParallelSession:
         self.engine = engine
         self.comm_thread = comm_thread
         self.faults = faults
+        self._active = None
 
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down a fleet left open by an interrupted run
+        (idempotent; a completed :meth:`run` has already closed its
+        service, making this a no-op)."""
+        service, self._active = self._active, None
+        if service is not None:
+            import asyncio
+
+            try:
+                asyncio.run(service.close())
+            except Exception:
+                # The run that leaked this fleet already surfaced the
+                # original error; teardown noise would mask it.
+                pass
+
+    def __enter__(self) -> "ParallelSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def run(
         self,
         ops: "list[SessionOp] | tuple[SessionOp, ...]",
@@ -453,23 +485,50 @@ class ParallelSession:
         :class:`CheckpointOp` directory written by an earlier run;
         ``capture_spectrum`` ships the final serving tables back in the
         per-rank reports (for spectrum-identity checks)."""
+        import asyncio
+
+        from repro.errors import SessionError
+        from repro.service import ServicePolicy, SpectrumService
+
         ops = tuple(ops)
         if not ops:
             raise ValueError("a session run needs at least one op")
-        program = SessionProgram(
-            config=self.config,
-            heuristics=self.heuristics,
-            comm_thread=self.comm_thread,
-            ops=ops,
-            resume_dir=resume_dir,
-            capture_spectrum=capture_spectrum,
-        )
-        spmd = run_spmd(
-            program, self.nranks, engine=self.engine, faults=self.faults
-        )
+
+        async def drive():
+            service = SpectrumService(
+                self.config,
+                self.nranks,
+                heuristics=self.heuristics,
+                engine=self.engine,
+                comm_thread=self.comm_thread,
+                faults=self.faults,
+                # The op list is the whole workload; admission control
+                # exists for concurrent tenants, not for a solo driver.
+                policy=ServicePolicy(
+                    max_pending=len(ops) + 1,
+                    max_pending_per_client=len(ops) + 1,
+                ),
+                resume_dir=resume_dir,
+                capture_spectrum=capture_spectrum,
+            )
+            self._active = service
+            async with service:
+                for op in ops:
+                    if isinstance(op, IngestOp):
+                        await service.ingest(op.block)
+                    elif isinstance(op, CorrectOp):
+                        await service.correct(op.block)
+                    elif isinstance(op, CheckpointOp):
+                        await service.checkpoint(op.directory)
+                    else:
+                        raise SessionError(f"unknown session op {op!r}")
+            self._active = None
+            return await service.close()
+
+        outcome = asyncio.run(drive())
         rank_reports: list[SessionRankReport | None] = []
         crashed: list[int] = []
-        for r, report in enumerate(spmd.results):
+        for r, report in enumerate(outcome.rank_reports):
             if isinstance(report, SessionRankReport):
                 rank_reports.append(report)
             else:
@@ -477,7 +536,7 @@ class ParallelSession:
                 rank_reports.append(None)
         return SessionRunResult(
             rank_reports=rank_reports,
-            stats=spmd.stats,
+            stats=outcome.stats,
             config=self.config,
             heuristics=self.heuristics,
             crashed_ranks=crashed,

@@ -24,6 +24,8 @@ corrects nothing.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.config import ReptileConfig
@@ -36,6 +38,9 @@ from repro.parallel.server import CorrectionProtocol
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.message import Message
 
+if TYPE_CHECKING:
+    from repro.parallel.backend import SessionBackend
+
 #: Worker -> master: "give me a chunk" (payload: None).
 WORK_REQUEST_TAG = 16
 #: Master -> worker: a chunk of reads, or None when the queue is empty.
@@ -45,17 +50,21 @@ WORK_ASSIGN_TAG = 17
 def correct_dynamic(
     comm: Communicator,
     full_block: ReadBlock | None,
-    config: ReptileConfig,
-    heuristics: HeuristicConfig,
-    spectra: RankSpectra,
+    backend: "SessionBackend",
     chunk_size: int | None = None,
 ) -> CorrectionResult:
     """Correct with master-coordinated dynamic chunk allocation.
 
-    ``full_block`` must be the complete read set on rank 0 (ignored
-    elsewhere).  Returns each rank's corrected reads; the master (rank 0)
-    returns an empty result.  Collective.
+    ``backend`` is the rank's :class:`~repro.parallel.backend.
+    SessionBackend` (configuration, heuristics and serving spectra all
+    come from it — the caller hands over one endpoint, not loose
+    tables).  ``full_block`` must be the complete read set on rank 0
+    (ignored elsewhere).  Returns each rank's corrected reads; the
+    master (rank 0) returns an empty result.  Collective.
     """
+    config = backend.config
+    heuristics = backend.heuristics
+    spectra = backend.spectra
     chunk_size = chunk_size or config.chunk_size
     if comm.size == 1:
         # Degenerate case: nobody to coordinate; correct directly.

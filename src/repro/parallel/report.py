@@ -18,6 +18,7 @@ from repro.parallel.lookup.stack import TIER_NAMES, resolution_order
 from repro.simmpi.instrument import (
     LOOKUP_TIER_COUNTER_KINDS,
     RESILIENCE_COUNTERS,
+    SERVICE_COUNTERS,
     SESSION_COUNTERS,
 )
 
@@ -112,6 +113,11 @@ def run_report(result: ParallelRunResult) -> dict[str, Any]:
         # and foreign-destined delta bytes, serving-state recompiles —
         # summed over ranks.  See SESSION_COUNTERS for the glossary.
         "session": {name: total.get(name) for name in SESSION_COUNTERS},
+        # Service front-end ledger (admissions, coalescing wins,
+        # typed rejections, collective correct rounds) — all zero on
+        # runs that never went through repro.service; see
+        # SERVICE_COUNTERS for the glossary.
+        "service": {name: total.get(name) for name in SERVICE_COUNTERS},
         # Fault-injection and recovery counters (all zero on a
         # fault-free run); see RESILIENCE_COUNTERS for the glossary.
         "resilience": {

@@ -141,11 +141,17 @@ class CorrectionSession:
         self._peak = 0
         self._dirty = False
         self._sealed = False  # one-shot sessions seal at finalize
+        self._closed = False
         self._ingest_count = 0
         self._protocol: CorrectionProtocol | None = None
         self._stacks: StackPair | None = None
         self._stack_timer: PhaseTimer | None = None
         self._recovery: RecoveryState | None = None
+        #: Extra tag handlers merged into the session's pump-mode
+        #: protocol endpoint (re-applied after every finalize rebinds
+        #: the protocol).  The serving loop uses this to stash service
+        #: control frames that arrive while a round is still pumping.
+        self.protocol_handlers: dict = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -238,6 +244,40 @@ class CorrectionSession:
         """Ingest calls over the session's lifetime (survives resume)."""
         return self._ingest_count
 
+    def _require_open(self, verb: str) -> None:
+        if self._closed:
+            raise SessionError(
+                f"{verb} on a closed session; the endpoint was released "
+                "by close() (or the session's context manager exited)"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the rank's endpoint state (local, idempotent).
+
+        The wire is already quiescent — every :meth:`correct` round ends
+        with its own DONE/SHUTDOWN handshake (and, for retained-raw
+        rounds, a separating barrier) — so closing is purely a local
+        release: the protocol endpoint, the compiled lookup stacks and
+        any recovery bindings are dropped, and further mutating verbs
+        raise :class:`~repro.errors.SessionError`.  Safe to call twice;
+        safe to call on a session that never corrected anything.
+        """
+        self._protocol = None
+        self._stacks = None
+        self._stack_timer = None
+        self._recovery = None
+        self._closed = True
+
+    def __enter__(self) -> "CorrectionSession":
+        self._require_open("__enter__")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def _note_peak(self, pending_kmers: CountHash, pending_tiles: CountHash) -> None:
         footprint = (
             self.raw_kmers.nbytes
@@ -263,6 +303,7 @@ class CorrectionSession:
         rounds), otherwise once per ingest.  Saturating addition is
         order-independent, so any split of a dataset across ingests
         yields the same shard counts as one big build."""
+        self._require_open("ingest")
         if self._sealed:
             raise SessionError(
                 "ingest after a one-shot finalize; construct the session "
@@ -405,6 +446,7 @@ class CorrectionSession:
         round must be its last collective operation (a dead rank joins
         no further collectives); plans that only drop/duplicate/delay
         frames are fully compatible with repeated rounds."""
+        self._require_open("correct")
         timer = timer or self.timer
         comm = self.comm
         config = self.config
@@ -544,6 +586,8 @@ class CorrectionSession:
             # ward with no special casing.
             for ward, (wk, wt) in recovery.replicas.items():
                 self._protocol.shards.bind_ward(ward, wk, wt)
+        if self.protocol_handlers:
+            self._protocol.handlers.update(self.protocol_handlers)
         return self._protocol
 
     def _ensure_stacks(
@@ -572,6 +616,7 @@ class CorrectionSession:
         session: a one-shot session's tables are already thresholded,
         and a checkpoint of lossy state could not honour later ingests.
         Returns the written path."""
+        self._require_open("checkpoint")
         if not self.retain_raw:
             raise SessionError(
                 "checkpoint requires retain_raw=True (one-shot sessions "
@@ -653,6 +698,153 @@ class SessionRankReport:
     spectrum: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
 
 
+class SessionOpRunner:
+    """Per-rank op execution and bookkeeping over one session backend.
+
+    The shared engine room of every session driver: the static
+    :class:`SessionProgram` (a fixed op list known up front) and the
+    service layer's serving loop (ops arriving one at a time over a
+    command channel) both feed ops through :meth:`run_op` and collect
+    the identical :class:`SessionRankReport` from :meth:`report`, so
+    the two paths cannot drift apart.
+
+    ``finalize_boundary`` on :meth:`run_op` is the one knob the drivers
+    differ on: a static program finalizes only at the end of each run of
+    consecutive ingests (it can see the next op), while the serving loop
+    finalizes after *every* ingest (the spectrum must be servable the
+    moment the ingest command completes — it cannot see the future).
+    Either way the recompile is charged to the ingest op, so correct
+    ops never pay construction time.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: ReptileConfig,
+        heuristics: HeuristicConfig,
+        *,
+        comm_thread: bool = False,
+        resume_dir: str | None = None,
+        capture_spectrum: bool = False,
+    ) -> None:
+        self.comm = comm
+        self.heuristics = heuristics
+        self.comm_thread = comm_thread
+        self.capture_spectrum = capture_spectrum
+        self.timer = PhaseTimer()
+        if resume_dir is not None:
+            self.session = CorrectionSession.resume(
+                comm, config, heuristics, resume_dir, timer=self.timer
+            )
+        else:
+            self.session = CorrectionSession(
+                comm, config, heuristics, retain_raw=True, timer=self.timer
+            )
+        self._op_kinds: list[str] = []
+        self._op_timings: list[dict[str, float]] = []
+        self._blocks: list[ReadBlock] = []
+        self._corrections: list[np.ndarray] = []
+        self._reverted: list[int] = []
+        self._examined: list[int] = []
+        self._below: list[int] = []
+        self._memory: RankMemoryReport | None = None
+        self._last_block = ReadBlock.empty()
+
+    def _my_slice(self, block: ReadBlock) -> ReadBlock:
+        from repro.parallel.stages import slice_bounds
+
+        comm = self.comm
+        bounds = slice_bounds(len(block), comm.size)
+        with self.timer.phase("read_input"):
+            mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
+        if self.heuristics.load_balance:
+            with self.timer.phase("load_balance"):
+                mine = redistribute_reads(comm, mine)
+        return mine
+
+    def run_op(
+        self, op: SessionOp, *, finalize_boundary: bool = True
+    ) -> CorrectionResult | None:
+        """Execute one op (collective); returns a correct op's result."""
+        session = self.session
+        before = self.timer.as_dict()
+        result: CorrectionResult | None = None
+        if isinstance(op, IngestOp):
+            self._op_kinds.append("ingest")
+            mine = self._my_slice(op.block)
+            self._last_block = mine
+            session.ingest(mine)
+            if finalize_boundary:
+                # Chunk boundary: recompile now, charged to the ingest,
+                # so repeat corrections pay zero build time.
+                session.finalize()
+        elif isinstance(op, CorrectOp):
+            self._op_kinds.append("correct")
+            mine = self._my_slice(op.block)
+            self._last_block = mine
+            result = session.correct(
+                mine, timer=self.timer, comm_thread=self.comm_thread
+            )
+            self._blocks.append(result.block)
+            self._corrections.append(result.corrections_per_read)
+            self._reverted.append(int(result.reads_reverted.sum()))
+            self._examined.append(result.tiles_examined)
+            self._below.append(result.tiles_below_threshold)
+        elif isinstance(op, CheckpointOp):
+            self._op_kinds.append("checkpoint")
+            session.checkpoint(op.directory)
+        else:
+            raise SessionError(f"unknown session op {op!r}")
+        after = self.timer.as_dict()
+        self._op_timings.append({
+            name: seconds - before.get(name, 0.0)
+            for name, seconds in after.items()
+            if seconds - before.get(name, 0.0) > 0.0
+        })
+        if self._memory is None and session.finalized:
+            self._memory = RankMemoryReport.capture(
+                self.comm.rank, session.spectra, self._last_block,
+                phase="construction",
+            )
+        return result
+
+    def report(self) -> SessionRankReport:
+        """Finalize any trailing ingest and assemble the rank's report."""
+        session = self.session
+        session.finalize()  # a trailing ingest still lands in the report
+        memory = self._memory
+        if memory is None:
+            memory = RankMemoryReport.capture(
+                self.comm.rank, session.spectra, self._last_block,
+                phase="construction",
+            )
+        if self._blocks:
+            RankMemoryReport.capture(
+                self.comm.rank, session.spectra, self._last_block,
+                phase="correction", into=memory,
+            )
+        spectrum = None
+        if self.capture_spectrum:
+            kk, kc = session.spectra.kmers.items()
+            tk, tc = session.spectra.tiles.items()
+            spectrum = (kk, kc, tk, tc)
+        return SessionRankReport(
+            rank=self.comm.rank,
+            op_kinds=tuple(self._op_kinds),
+            op_timings=self._op_timings,
+            correct_blocks=self._blocks,
+            correct_corrections=self._corrections,
+            correct_reverted=self._reverted,
+            correct_tiles_examined=self._examined,
+            correct_tiles_below=self._below,
+            timings=self.timer.as_dict(),
+            memory=memory,
+            table_sizes=session.spectra.table_sizes,
+            ingest_count=session.ingest_count,
+            spectrum=spectrum,
+        )
+
+
 @dataclass
 class SessionProgram:
     """The SPMD rank program driving one :class:`CorrectionSession`.
@@ -662,7 +854,9 @@ class SessionProgram:
     session; the serving state is finalized at the end of each *run* of
     consecutive ingests (the chunk boundary), so correct ops never pay
     construction time; correct ops slice/redistribute identically and
-    collect per-op results."""
+    collect per-op results.  The per-op mechanics live in
+    :class:`SessionOpRunner`, shared with the service layer's serving
+    loop."""
 
     config: ReptileConfig
     heuristics: HeuristicConfig
@@ -672,108 +866,18 @@ class SessionProgram:
     capture_spectrum: bool = False
 
     def __call__(self, comm: Communicator) -> SessionRankReport:
-        from repro.parallel.stages import slice_bounds
-
-        timer = PhaseTimer()
-        if self.resume_dir is not None:
-            session = CorrectionSession.resume(
-                comm, self.config, self.heuristics, self.resume_dir,
-                timer=timer,
-            )
-        else:
-            session = CorrectionSession(
-                comm, self.config, self.heuristics,
-                retain_raw=True, timer=timer,
-            )
-        op_kinds: list[str] = []
-        op_timings: list[dict[str, float]] = []
-        blocks: list[ReadBlock] = []
-        corrections: list[np.ndarray] = []
-        reverted: list[int] = []
-        examined: list[int] = []
-        below: list[int] = []
-        memory: RankMemoryReport | None = None
-        last_block = ReadBlock.empty()
-
-        def my_slice(block: ReadBlock) -> ReadBlock:
-            bounds = slice_bounds(len(block), comm.size)
-            with timer.phase("read_input"):
-                mine = block.slice(bounds[comm.rank], bounds[comm.rank + 1])
-            if self.heuristics.load_balance:
-                with timer.phase("load_balance"):
-                    mine = redistribute_reads(comm, mine)
-            return mine
-
-        for i, op in enumerate(self.ops):
-            before = timer.as_dict()
-            if isinstance(op, IngestOp):
-                op_kinds.append("ingest")
-                mine = my_slice(op.block)
-                last_block = mine
-                session.ingest(mine)
+        runner = SessionOpRunner(
+            comm, self.config, self.heuristics,
+            comm_thread=self.comm_thread,
+            resume_dir=self.resume_dir,
+            capture_spectrum=self.capture_spectrum,
+        )
+        # The context manager releases the rank's endpoint even when an
+        # op raises mid-program (callers used to leak it on that path).
+        with runner.session:
+            for i, op in enumerate(self.ops):
                 at_boundary = i + 1 == len(self.ops) or not isinstance(
                     self.ops[i + 1], IngestOp
                 )
-                if at_boundary:
-                    # Chunk boundary: recompile now, charged to the
-                    # ingest, so repeat corrections pay zero build time.
-                    session.finalize()
-            elif isinstance(op, CorrectOp):
-                op_kinds.append("correct")
-                mine = my_slice(op.block)
-                last_block = mine
-                result = session.correct(
-                    mine, timer=timer, comm_thread=self.comm_thread
-                )
-                blocks.append(result.block)
-                corrections.append(result.corrections_per_read)
-                reverted.append(int(result.reads_reverted.sum()))
-                examined.append(result.tiles_examined)
-                below.append(result.tiles_below_threshold)
-            elif isinstance(op, CheckpointOp):
-                op_kinds.append("checkpoint")
-                session.checkpoint(op.directory)
-            else:
-                raise SessionError(f"unknown session op {op!r}")
-            after = timer.as_dict()
-            op_timings.append({
-                name: seconds - before.get(name, 0.0)
-                for name, seconds in after.items()
-                if seconds - before.get(name, 0.0) > 0.0
-            })
-            if memory is None and session.finalized:
-                memory = RankMemoryReport.capture(
-                    comm.rank, session.spectra, last_block,
-                    phase="construction",
-                )
-
-        session.finalize()  # a trailing ingest still lands in the report
-        if memory is None:
-            memory = RankMemoryReport.capture(
-                comm.rank, session.spectra, last_block, phase="construction"
-            )
-        if blocks:
-            RankMemoryReport.capture(
-                comm.rank, session.spectra, last_block,
-                phase="correction", into=memory,
-            )
-        spectrum = None
-        if self.capture_spectrum:
-            kk, kc = session.spectra.kmers.items()
-            tk, tc = session.spectra.tiles.items()
-            spectrum = (kk, kc, tk, tc)
-        return SessionRankReport(
-            rank=comm.rank,
-            op_kinds=tuple(op_kinds),
-            op_timings=op_timings,
-            correct_blocks=blocks,
-            correct_corrections=corrections,
-            correct_reverted=reverted,
-            correct_tiles_examined=examined,
-            correct_tiles_below=below,
-            timings=timer.as_dict(),
-            memory=memory,
-            table_sizes=session.spectra.table_sizes,
-            ingest_count=session.ingest_count,
-            spectrum=spectrum,
-        )
+                runner.run_op(op, finalize_boundary=at_boundary)
+            return runner.report()

@@ -38,6 +38,7 @@ from repro.errors import ConfigError
 from repro.io.partition import load_rank_block
 from repro.io.records import ReadBlock
 from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.backend import SessionBackend
 from repro.parallel.loadbalance import redistribute_reads
 from repro.parallel.memory import RankMemoryReport
 from repro.parallel.session import CorrectionSession
@@ -112,9 +113,11 @@ class StageContext:
     #: The whole dataset, kept only when a stage needs it (dynamic
     #: correction hands rank 0 the full read set).
     full_block: ReadBlock | None = None
-    #: The per-rank session owning spectra/protocol/stack state
-    #: (build stage writes).
-    session: CorrectionSession | None = None
+    #: The per-rank backend endpoint owning spectra/protocol/stack
+    #: state (build stage writes).  Typed as the verb protocol: stages
+    #: downstream of the build only ever use the
+    #: :class:`~repro.parallel.backend.SessionBackend` surface.
+    session: SessionBackend | None = None
     #: Footprint checkpoints (exchange stage writes construction,
     #: write-back adds correction).
     memory: RankMemoryReport | None = None
@@ -129,8 +132,8 @@ class StageContext:
             raise ConfigError("no input stage ran before a stage needing reads")
         return self.block
 
-    def require_session(self) -> CorrectionSession:
-        """The rank's session, or a ConfigError if no build stage ran."""
+    def require_session(self) -> SessionBackend:
+        """The rank's backend, or a ConfigError if no build stage ran."""
         if self.session is None:
             raise ConfigError("no build stage ran before a stage needing spectra")
         return self.session
@@ -287,9 +290,7 @@ class DynamicCorrectStage:
             ctx.result = correct_dynamic(
                 ctx.comm,
                 ctx.full_block if ctx.comm.rank == 0 else None,
-                ctx.cfg.config,
-                ctx.cfg.heuristics,
-                session.spectra,
+                session,
             )
         return _done(self.name, start)
 
@@ -365,8 +366,15 @@ class StagePlan:
     def __call__(self, comm: Communicator) -> RankReport:
         ctx = StageContext(comm=comm, cfg=self.cfg, timer=PhaseTimer())
         self.results = []
-        for stage in self.stages:
-            self.results.append(stage.run(ctx))
+        try:
+            for stage in self.stages:
+                self.results.append(stage.run(ctx))
+        finally:
+            # A stage that raises mid-plan used to leak the rank's open
+            # endpoint (protocol, compiled stacks); close() is local and
+            # idempotent, so the happy path pays one no-op-adjacent call.
+            if ctx.session is not None:
+                ctx.session.close()
         if ctx.report is None:
             raise ConfigError(
                 f"plan {self.describe()!r} produced no report "

@@ -1,0 +1,361 @@
+"""The asyncio front-end: spectrum-as-a-service for concurrent clients.
+
+:class:`SpectrumService` is what a client program holds.  ``await``-ing
+its verbs submits jobs into the bounded :class:`~repro.service.jobqueue.
+JobQueue`; a single drainer task turns queued jobs into collective
+rounds on the backend fleet (via ``run_in_executor``, so the event loop
+never blocks on MPI-style progress), and compatible correct jobs that
+pile up while a round is in flight are **coalesced** — merged into one
+collective ``correct()`` — which is the service's entire reason to
+exist: N concurrent clients pay one round's protocol overhead, not N.
+
+Coalescing is bit-exact: the merged round is renumbered to fresh
+sequential read ids, corrected once, split back on the per-job read
+counts, and re-labelled with the original ids.  Corrected codes depend
+only on read content and the spectrum, never on ids or batch
+boundaries, so each client receives exactly the bytes a solo round
+would have produced (the property test in ``tests/service`` pins
+this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.errors import ServiceError
+from repro.io.records import ReadBlock
+from repro.parallel.heuristics import HeuristicConfig
+from repro.service.executor import ServiceExecutor
+from repro.service.jobqueue import Job, JobQueue, ServicePolicy
+from repro.simmpi.instrument import SERVICE_COUNTERS
+
+
+@dataclass
+class ServiceBatchResult:
+    """One client's corrected batch, in submission order.
+
+    ``tiles_examined`` / ``tiles_below_threshold`` are *round* totals:
+    a coalesced round corrects several clients' reads in one pass, so
+    per-client attribution of spectrum probes is not defined."""
+
+    block: ReadBlock
+    corrections_per_read: np.ndarray
+    reads_reverted: np.ndarray
+    tiles_examined: int = 0
+    tiles_below_threshold: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """The service's lifetime accounting (the ``service_*`` counters)."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    rounds: int = 0
+
+    def as_counters(self) -> dict[str, int]:
+        """The report keyed by the :data:`SERVICE_COUNTERS` names."""
+        return dict(
+            zip(
+                SERVICE_COUNTERS,
+                (self.submitted, self.coalesced, self.rejected, self.rounds),
+            )
+        )
+
+
+@dataclass
+class ServiceRunResult:
+    """Everything a closed service hands back (the run's full record)."""
+
+    #: Per-rank session reports (:class:`~repro.parallel.session.
+    #: SessionRankReport`, or a :class:`~repro.faults.CrashedRank`
+    #: sentinel for ranks a fault plan killed).
+    rank_reports: list[Any]
+    #: Per-rank traffic ledgers; the service counters are folded into
+    #: rank 0's before this result is assembled.
+    stats: list[Any]
+    crashed_ranks: tuple[int, ...]
+    report: ServiceReport
+
+
+class SpectrumService:
+    """An async multi-client front door over one correction fleet.
+
+    Construction validates parameters but starts nothing; the fleet
+    spins up on :meth:`open` (or lazily on the first submission) and
+    runs until :meth:`close`, which returns the
+    :class:`ServiceRunResult`.  Use ``async with`` for the common case.
+
+    Submissions can be refused: the queue is bounded and each client
+    has a pending-job quota (:class:`~repro.service.jobqueue.
+    ServicePolicy`), and a refusal raises
+    :class:`~repro.errors.ServiceOverloadError` *synchronously inside
+    the awaited verb* without touching any other client's jobs.
+    :attr:`depth` and :attr:`pressure` expose the backpressure signal
+    for clients that prefer to pace themselves.
+    """
+
+    def __init__(
+        self,
+        config: ReptileConfig,
+        nranks: int,
+        *,
+        heuristics: HeuristicConfig | None = None,
+        engine="cooperative",
+        comm_thread: bool = False,
+        verify: bool = False,
+        faults=None,
+        policy: ServicePolicy | None = None,
+        resume_dir: str | None = None,
+        capture_spectrum: bool = False,
+    ) -> None:
+        from repro.parallel.driver import _validate_run_params
+
+        _validate_run_params(nranks, engine, comm_thread, faults)
+        self.config = config
+        self.nranks = nranks
+        self.heuristics = heuristics or HeuristicConfig()
+        self.engine = engine
+        self.comm_thread = comm_thread
+        self.verify = verify
+        self.faults = faults
+        self.policy = policy or ServicePolicy()
+        self.resume_dir = resume_dir
+        self.capture_spectrum = capture_spectrum
+        self._queue = JobQueue(self.policy)
+        self._executor: ServiceExecutor | None = None
+        self._drainer: asyncio.Task | None = None
+        self._closed = False
+        self._result: ServiceRunResult | None = None
+        self._coalesced = 0
+        self._rounds = 0
+        # A scripted crash leaves dead ranks that can answer no gather;
+        # those runs defer results to the final rank reports, exactly
+        # like the one-shot driver.
+        self._collect = faults is None or not faults.doomed_ranks()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "SpectrumService":
+        """Start the backend fleet (idempotent; implied by submission)."""
+        if self._closed:
+            raise ServiceError("the service is closed")
+        if self._executor is None:
+            self._executor = ServiceExecutor(
+                self.config, self.heuristics, self.nranks,
+                engine=self.engine,
+                comm_thread=self.comm_thread,
+                verify=self.verify,
+                faults=self.faults,
+                resume_dir=self.resume_dir,
+                capture_spectrum=self.capture_spectrum,
+            )
+        return self
+
+    @property
+    def is_open(self) -> bool:
+        return self._executor is not None and not self._closed
+
+    async def __aenter__(self) -> "SpectrumService":
+        return self.open()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> ServiceRunResult | None:
+        """Drain pending rounds, stop the fleet, return the run record.
+
+        Idempotent (later calls return the same result).  ``None`` only
+        when the fleet was never started."""
+        if self._closed:
+            return self._result
+        self._closed = True
+        if self._drainer is not None:
+            await self._drainer
+        if self._executor is None:
+            return None
+        loop = asyncio.get_running_loop()
+        outcome = await loop.run_in_executor(None, self._executor.shutdown)
+        report = self.report
+        for name, value in report.as_counters().items():
+            outcome.stats[0].bump(name, value)
+        from repro.faults import CrashedRank
+
+        crashed = tuple(
+            i for i, r in enumerate(outcome.results)
+            if isinstance(r, CrashedRank)
+        )
+        self._result = ServiceRunResult(
+            rank_reports=outcome.results,
+            stats=outcome.stats,
+            crashed_ranks=crashed,
+            report=report,
+        )
+        return self._result
+
+    @property
+    def result(self) -> ServiceRunResult | None:
+        """The run record once the service is closed (else ``None``)."""
+        return self._result
+
+    # ------------------------------------------------------------------
+    # backpressure / accounting
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet run (the queue's backlog)."""
+        return self._queue.depth
+
+    @property
+    def pressure(self) -> float:
+        """Backlog over the admission bound, in ``[0, 1]``."""
+        return self._queue.pressure
+
+    @property
+    def report(self) -> ServiceReport:
+        """A snapshot of the lifetime counters (live at any point)."""
+        return ServiceReport(
+            submitted=self._queue.submitted,
+            coalesced=self._coalesced,
+            rejected=self._queue.rejected,
+            rounds=self._rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # client verbs
+    # ------------------------------------------------------------------
+    async def ingest(self, block: ReadBlock, *, client: str = "default") -> None:
+        """Merge a batch's count deltas into the served spectrum."""
+        await self._submit("ingest", client, block=block)
+
+    async def correct(
+        self, block: ReadBlock, *, client: str = "default"
+    ) -> ServiceBatchResult | None:
+        """Correct a batch against the served spectrum.
+
+        Returns ``None`` only under a crash fault plan (results then
+        live in the closed service's rank reports)."""
+        return await self._submit("correct", client, block=block)
+
+    async def checkpoint(
+        self, directory: str, *, client: str = "default"
+    ) -> None:
+        """Persist the fleet's raw session state to ``directory``."""
+        await self._submit("checkpoint", client, directory=directory)
+
+    def _submit(self, kind: str, client: str, *, block=None, directory=None):
+        if self._closed:
+            raise ServiceError("the service is closed")
+        self.open()
+        loop = asyncio.get_running_loop()
+        job = Job(
+            kind=kind, client=client, future=loop.create_future(),
+            block=block, directory=directory,
+        )
+        self._queue.submit(job)  # may raise ServiceOverloadError
+        if self._drainer is None or self._drainer.done():
+            self._drainer = loop.create_task(self._drain())
+        return job.future
+
+    # ------------------------------------------------------------------
+    # the drainer: queued jobs -> collective rounds
+    # ------------------------------------------------------------------
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            jobs = self._queue.take_round()
+            if not jobs:
+                return
+            try:
+                results = await loop.run_in_executor(
+                    None, self._run_round, jobs
+                )
+            except BaseException as exc:
+                # The round's jobs fail with the fleet's error; keep
+                # draining so every queued future gets an answer.
+                for job in jobs:
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                continue
+            for job, result in zip(jobs, results):
+                if not job.future.done():
+                    job.future.set_result(result)
+
+    def _run_round(self, jobs: list[Job]) -> list:
+        """Execute one collective round (blocking; executor thread)."""
+        executor = self._executor
+        assert executor is not None
+        head = jobs[0]
+        if head.kind == "ingest":
+            executor.await_result(executor.ingest(head.block))
+            return [None]
+        if head.kind == "checkpoint":
+            executor.await_result(executor.checkpoint(head.directory))
+            return [None]
+        # A correct round: coalesce every job into one collective
+        # correct under fresh sequential ids, then split the id-ordered
+        # merged result back on the per-job read counts.
+        counts = [job.n_reads for job in jobs]
+        merged = ReadBlock.concat([job.block for job in jobs])
+        original_ids = merged.ids.copy()
+        coalesced = len(jobs) > 1
+        if coalesced:
+            # Different clients may reuse ids; renumber the merged round
+            # with fresh sequential ids (corrected codes are invariant
+            # to ids — the property test pins this) so the id-ordered
+            # merged result comes back in concat order, then restore
+            # the originals on the split below.  A solo round keeps its
+            # ids so its rank reports match a direct session run.
+            merged.ids = np.arange(1, len(merged) + 1, dtype=np.int64)
+            self._coalesced += len(jobs)
+        self._rounds += 1
+        payload = executor.await_result(
+            executor.correct(merged, collect=self._collect)
+        )
+        if payload is None:
+            return [None] * len(jobs)
+        ids, codes, lengths, quals, corrections, reverted, examined, below = (
+            payload
+        )
+        # Every batch is returned sorted by its own read ids (the same
+        # order ParallelRunResult.corrected_block uses).  A solo round
+        # arrives id-sorted already; a coalesced round arrives in concat
+        # order (its renumbered ids were sequential), so each job's
+        # slice is re-sorted by its original ids.
+        out = []
+        offset = 0
+        for n in counts:
+            rows = slice(offset, offset + n)
+            job_ids = original_ids[rows] if coalesced else ids[rows]
+            order = np.argsort(job_ids, kind="stable")
+            out.append(
+                ServiceBatchResult(
+                    block=ReadBlock(
+                        ids=job_ids[order],
+                        codes=codes[rows][order],
+                        lengths=lengths[rows][order],
+                        quals=quals[rows][order],
+                    ),
+                    corrections_per_read=corrections[rows][order],
+                    reads_reverted=reverted[rows][order].astype(bool),
+                    tiles_examined=int(examined),
+                    tiles_below_threshold=int(below),
+                )
+            )
+            offset += n
+        return out
+
+
+__all__ = [
+    "ServiceBatchResult",
+    "ServiceReport",
+    "ServiceRunResult",
+    "SpectrumService",
+]

@@ -1,0 +1,298 @@
+"""The persistent serving loop and its command wire.
+
+One :class:`ServingProgram` is the whole backend fleet: ``run_spmd``
+runs it on every rank, and instead of a fixed op list (the static
+:class:`~repro.parallel.session.SessionProgram`) it serves commands
+until told to shut down.  The control path is deliberately in-band:
+
+* the **channel** (:class:`ThreadChannel` in-process,
+  :class:`ProcessChannel` across the process engine's spawn boundary)
+  carries commands from the front-end to *rank 0 only* — it is the one
+  rank that talks to the outside world;
+* rank 0 **relays** each command to the other live ranks as a normal
+  tagged message (:data:`SERVICE_CMD_TAG`), so command delivery obeys
+  the same transport, accounting and fault injection as every other
+  frame, and the cooperative engine's turn-taking sees peers blocked in
+  an ordinary ``recv`` with a pending sender;
+* every rank then executes the command through the shared
+  :class:`~repro.parallel.session.SessionOpRunner` — the service layer
+  never touches spectrum state except through the
+  :class:`~repro.parallel.backend.SessionBackend` verbs.
+
+Correct commands normally gather per-rank results back to rank 0
+(:data:`SERVICE_RESULT_TAG`) and post the merged round up the channel;
+the gather doubles as the synchronization that makes the *next* relay
+race-free.  Under a fault plan with scripted crashes the gather is
+skipped (``collect=False``: a dead rank can answer nothing), results
+are deferred to the final rank reports, and a stash handler on the
+session's pump protocol absorbs any control frame that arrives while a
+rank is still serving a round's tail.
+
+Command frames are wire-codable tuples (no dicts — MPI006): the head is
+the verb name, then the sequence number, then the verb's payload.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import ReptileConfig
+from repro.core.corrector import CorrectionResult
+from repro.errors import ServiceError
+from repro.io.records import ReadBlock
+from repro.parallel.heuristics import HeuristicConfig
+from repro.parallel.session import (
+    CheckpointOp,
+    CorrectOp,
+    IngestOp,
+    SessionOpRunner,
+    SessionRankReport,
+)
+from repro.simmpi.communicator import Communicator
+
+#: Service control tags.  1-15 are the correction protocol's, 16/17 the
+#: dynamic balancer's; the service claims the next two.
+SERVICE_CMD_TAG = 18
+SERVICE_RESULT_TAG = 19
+
+
+# ----------------------------------------------------------------------
+# wire helpers (tuples of arrays/scalars only — wire-codable, MPI006)
+# ----------------------------------------------------------------------
+def encode_block(block: ReadBlock) -> tuple:
+    """A block's four arrays, in :class:`ReadBlock` field order."""
+    return (block.ids, block.codes, block.lengths, block.quals)
+
+
+def decode_block(parts: tuple) -> ReadBlock:
+    return ReadBlock(
+        ids=parts[0], codes=parts[1], lengths=parts[2], quals=parts[3]
+    )
+
+
+def encode_result(result: CorrectionResult) -> tuple:
+    """One rank's correct-round outcome as a RESULT frame payload."""
+    return (
+        *encode_block(result.block),
+        result.corrections_per_read,
+        result.reads_reverted.astype(np.uint8),
+        int(result.tiles_examined),
+        int(result.tiles_below_threshold),
+    )
+
+
+def merge_results(parts: list[tuple]) -> tuple:
+    """Fold every live rank's RESULT frame into one id-ordered round.
+
+    Each rank corrected an arbitrary slice of the round's reads (load
+    balancing may have moved them), so the merge is a concat + stable
+    sort by read id; corrected codes are invariant to which rank held a
+    read, so the merged round is bit-identical to any other execution
+    order."""
+    blocks = [decode_block(p) for p in parts]
+    merged = ReadBlock.concat(blocks)
+    corrections = np.concatenate([p[4] for p in parts])
+    reverted = np.concatenate([p[5] for p in parts])
+    order = np.argsort(merged.ids, kind="stable")
+    merged = merged.select(order)
+    return (
+        *encode_block(merged),
+        corrections[order],
+        reverted[order],
+        int(sum(p[6] for p in parts)),
+        int(sum(p[7] for p in parts)),
+    )
+
+
+# ----------------------------------------------------------------------
+# command channels
+# ----------------------------------------------------------------------
+class ThreadChannel:
+    """Front-end <-> rank 0 command/result queues for in-process fleets
+    (the cooperative and threaded engines share the parent's memory)."""
+
+    def __init__(self) -> None:
+        self._commands: queue.Queue = queue.Queue()
+        self._results: queue.Queue = queue.Queue()
+
+    def submit(self, command: tuple) -> None:
+        """Front-end side: enqueue one command for rank 0."""
+        self._commands.put(command)
+
+    def next_command(self) -> tuple:
+        """Rank 0 side: block until the next command arrives."""
+        return self._commands.get()
+
+    def post_result(self, result: tuple) -> None:
+        """Rank 0 side: answer a command up the channel."""
+        self._results.put(result)
+
+    def next_result(self, timeout: float | None = None) -> tuple:
+        """Front-end side: next answer (raises ``queue.Empty`` on
+        timeout, so the caller can interleave liveness checks)."""
+        return self._results.get(timeout=timeout)
+
+
+class ProcessChannel:
+    """The same channel over the process engine's spawn boundary.
+
+    Built on spawn-context :class:`multiprocessing.Queue` pairs; the
+    engine ships the serving program (channel included) to each child
+    through ``Process(args=...)``, which is the supported way to move an
+    ``mp.Queue`` across the boundary."""
+
+    def __init__(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self._commands = ctx.Queue()
+        self._results = ctx.Queue()
+
+    def submit(self, command: tuple) -> None:
+        self._commands.put(command)
+
+    def next_command(self) -> tuple:
+        return self._commands.get()
+
+    def post_result(self, result: tuple) -> None:
+        self._results.put(result)
+
+    def next_result(self, timeout: float | None = None) -> tuple:
+        return self._results.get(timeout=timeout)
+
+
+# ----------------------------------------------------------------------
+# the serving loop
+# ----------------------------------------------------------------------
+@dataclass
+class ServingProgram:
+    """The SPMD rank program of a long-lived correction service.
+
+    Commands (wire-codable tuples):
+
+    * ``("ingest", seq, ids, codes, lengths, quals)``
+    * ``("correct", seq, collect, ids, codes, lengths, quals)``
+    * ``("checkpoint", seq, directory)``
+    * ``("shutdown",)``
+
+    Every command is acknowledged up the channel as ``(seq, payload)``
+    once rank 0 has completed it (``payload`` is the merged round for a
+    collecting correct, else ``None``); shutdown is acknowledged by the
+    fleet's ``run_spmd`` return value itself — each rank's
+    :class:`~repro.parallel.session.SessionRankReport`."""
+
+    config: ReptileConfig
+    heuristics: HeuristicConfig
+    channel: Any
+    comm_thread: bool = False
+    resume_dir: str | None = None
+    capture_spectrum: bool = False
+
+    def __call__(self, comm: Communicator) -> SessionRankReport:
+        runner = SessionOpRunner(
+            comm, self.config, self.heuristics,
+            comm_thread=self.comm_thread,
+            resume_dir=self.resume_dir,
+            capture_spectrum=self.capture_spectrum,
+        )
+        # Stashes for frames the session's round-tail pump would
+        # otherwise trip over: a rank still wildcard-pumping in
+        # finish() may pick up the next command (peers) or an early
+        # peer's result frame (rank 0); the protocol-handler hook
+        # diverts them here instead of raising on the unknown tag.
+        cmd_stash: deque[tuple] = deque()
+        result_stash: dict[int, deque] = {}
+        if comm.rank == 0:
+            runner.session.protocol_handlers[SERVICE_RESULT_TAG] = (
+                lambda msg: result_stash.setdefault(
+                    msg.source, deque()
+                ).append(msg.payload)
+            )
+        else:
+            runner.session.protocol_handlers[SERVICE_CMD_TAG] = (
+                lambda msg: cmd_stash.append(msg.payload)
+            )
+        with runner.session:
+            while True:
+                if comm.rank == 0:
+                    cmd = self.channel.next_command()
+                    # Relay to every peer, even one a crash fault has
+                    # already killed: sends are buffered, a dead rank's
+                    # frames simply go unread, and the session contract
+                    # (a crash round is the session's last collective)
+                    # guarantees nothing after the crash waits on it.
+                    for peer in range(1, comm.size):
+                        comm.send(peer, cmd, SERVICE_CMD_TAG)
+                elif cmd_stash:
+                    cmd = cmd_stash.popleft()
+                else:
+                    cmd = comm.recv(0, SERVICE_CMD_TAG).payload
+                kind = cmd[0]
+                if kind == "shutdown":
+                    break
+                seq = int(cmd[1])
+                if kind == "ingest":
+                    runner.run_op(IngestOp(decode_block(cmd[2:])))
+                    if comm.rank == 0:
+                        self.channel.post_result((seq, None))
+                elif kind == "correct":
+                    collect = bool(cmd[2])
+                    result = runner.run_op(CorrectOp(decode_block(cmd[3:])))
+                    if collect:
+                        self._gather(comm, result, seq, result_stash)
+                    elif comm.rank == 0:
+                        # Crash-plan mode: a dead rank can answer no
+                        # gather, so results are deferred to the final
+                        # rank reports (exactly like the static driver).
+                        self.channel.post_result((seq, None))
+                elif kind == "checkpoint":
+                    runner.run_op(CheckpointOp(str(cmd[2])))
+                    if comm.rank == 0:
+                        self.channel.post_result((seq, None))
+                else:
+                    raise ServiceError(
+                        f"unknown service command {kind!r} on rank "
+                        f"{comm.rank}"
+                    )
+            return runner.report()
+
+    def _gather(
+        self,
+        comm: Communicator,
+        result: CorrectionResult,
+        seq: int,
+        result_stash: dict[int, deque],
+    ) -> None:
+        """Collect the round: peers ship their slice to rank 0, which
+        merges and answers the channel.  The rank-ordered receive is
+        also the synchronization point that makes the next command
+        relay safe — every live rank has left its round before rank 0
+        can possibly relay again."""
+        if comm.rank != 0:
+            comm.send(0, encode_result(result), SERVICE_RESULT_TAG)
+            return
+        parts = [encode_result(result)]
+        for peer in range(1, comm.size):
+            stashed = result_stash.get(peer)
+            if stashed:
+                parts.append(stashed.popleft())
+            else:
+                parts.append(comm.recv(peer, SERVICE_RESULT_TAG).payload)
+        self.channel.post_result((seq, merge_results(parts)))
+
+
+__all__ = [
+    "ProcessChannel",
+    "SERVICE_CMD_TAG",
+    "SERVICE_RESULT_TAG",
+    "ServingProgram",
+    "ThreadChannel",
+    "decode_block",
+    "encode_block",
+    "encode_result",
+    "merge_results",
+]

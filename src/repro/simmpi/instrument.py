@@ -70,6 +70,28 @@ SESSION_COUNTERS = (
     "session_recompiles",
 )
 
+#: The service-layer counter family (all in
+#: :attr:`CommStats.counters`; bumped onto rank 0's ledger by
+#: :class:`repro.service.SpectrumService` when the service closes, and
+#: summed over ranks in ``run_report``'s ``service`` section — zeros on
+#: any run that never went through the service front-end):
+#:
+#: * ``service_submitted`` — client jobs admitted past the bounded
+#:   queue and quota checks.
+#: * ``service_coalesced`` — correct jobs that shared a collective
+#:   round with at least one other job (the coalescing win).
+#: * ``service_rejected`` — submissions refused with a typed
+#:   :class:`~repro.errors.ServiceOverloadError`.
+#: * ``service_rounds`` — collective ``correct()`` rounds the backend
+#:   fleet actually ran (fewer than submitted corrects when coalescing
+#:   is doing its job).
+SERVICE_COUNTERS = (
+    "service_submitted",
+    "service_coalesced",
+    "service_rejected",
+    "service_rounds",
+)
+
 #: The per-tier lookup counter family.  Every count resolution runs an
 #: ordered tier stack (:mod:`repro.parallel.lookup`); the stack bumps
 #: ``lookup_<tier>_requests`` / ``_hits`` / ``_misses`` / ``_bytes`` for

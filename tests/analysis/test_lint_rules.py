@@ -329,6 +329,92 @@ class TestDirectSpectrumLookup:
         """) == []
 
 
+class TestServiceLayering:
+    """MPI012: the service tier (and every repro package above the
+    backend layers) touches spectrum state only through the
+    SessionBackend verbs."""
+
+    SERVICE = "src/repro/service/frontend.py"
+
+    def lint_at(self, code, path=SERVICE):
+        return lint_source(textwrap.dedent(code), path)
+
+    def test_construction_call_in_service_flagged(self):
+        found = self.lint_at("""
+            def build(self, comm, block):
+                return build_rank_spectra(comm, block, self.config)
+        """)
+        assert [f.code for f in found] == ["MPI012"]
+        assert "build_rank_spectra" in found[0].message
+
+    def test_table_probe_in_service_flagged(self):
+        found = self.lint_at("""
+            def counts(self, ids):
+                return self.spectra.kmers.lookup(ids)
+        """)
+        assert [f.code for f in found] == ["MPI012"]
+        assert "SessionBackend.correct" in found[0].message
+
+    def test_direct_backend_type_construction_flagged(self):
+        found = self.lint_at("""
+            def open(self, comm, kmers, tiles):
+                self.protocol = CorrectionProtocol(comm, kmers, tiles)
+        """)
+        assert [f.code for f in found] == ["MPI012"]
+        assert "CorrectionProtocol" in found[0].message
+
+    def test_raw_checkpoint_state_read_flagged(self):
+        found = self.lint_at("""
+            def snapshot(self, session):
+                return session.raw_kmers
+        """)
+        assert [f.code for f in found] == ["MPI012"]
+        assert "checkpoint()" in found[0].message
+
+    def test_backend_verbs_pass(self):
+        assert self.lint_at("""
+            def round(self, backend, block, directory):
+                backend.ingest(block)
+                result = backend.correct(block)
+                backend.checkpoint(directory)
+                return result
+        """) == []
+
+    def test_every_non_backend_repro_package_is_policed(self):
+        code = """
+            def rebuild(self, comm, tables):
+                return exchange_deltas(comm, tables)
+        """
+        found = self.lint_at(code, "src/repro/cli.py")
+        assert [f.code for f in found] == ["MPI012"]
+
+    def test_backend_layers_and_plain_programs_exempt(self):
+        code = """
+            def build(self, comm, kmers, tiles):
+                spectra = RankSpectra(kmers, tiles)
+                return exchange_deltas(comm, spectra)
+        """
+        assert self.lint_at(code, "src/repro/parallel/build.py") == []
+        assert self.lint_at(code, "src/repro/core/spectrum.py") == []
+        assert self.lint_at(code, "prog.py") == []
+
+    def test_annotations_and_imports_pass(self):
+        """Typing against the backend types is fine; constructing or
+        calling the machinery is what the rule police."""
+        assert self.lint_at("""
+            from repro.parallel.build import RankSpectra
+
+            def hold(self, spectra: RankSpectra) -> RankSpectra:
+                return spectra
+        """) == []
+
+    def test_noqa_marks_a_deliberate_exception(self):
+        assert self.lint_at("""
+            def debug_probe(self, ids):
+                return self.spectra.kmers.lookup(ids)  # noqa: MPI012
+        """) == []
+
+
 class TestSuppression:
     def test_noqa_with_code(self):
         assert codes("""
@@ -403,4 +489,5 @@ class TestPaths:
         assert set(RULES) == {
             "MPI000", "MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
             "MPI006", "MPI007", "MPI008", "MPI009", "MPI010", "MPI011",
+            "MPI012",
         }
